@@ -1,0 +1,81 @@
+// Command avlbench runs a single AVL-set data point — the paper's §6.2
+// micro-benchmark — with full control over the axes, and prints throughput
+// plus the execution-path and abort breakdown. It is the tool for
+// exploring one configuration in depth; cmd/experiments sweeps the full
+// grids.
+//
+// Example:
+//
+//	avlbench -method "FG-TLE(1024)" -threads 8 -range 8192 -insert 20 -remove 20 -dur 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtle/internal/avl"
+	"rtle/internal/core"
+	"rtle/internal/harness"
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+)
+
+func main() {
+	method := flag.String("method", "TLE", "synchronization method (Lock, TLE, RW-TLE, FG-TLE(N), FG-TLE(adaptive), NOrec, RHNOrec)")
+	threads := flag.Int("threads", 4, "worker threads")
+	keyRange := flag.Uint64("range", 8192, "key range (set size is ~half)")
+	insert := flag.Int("insert", 20, "insert percentage")
+	remove := flag.Int("remove", 20, "remove percentage")
+	dur := flag.Duration("dur", time.Second, "run duration")
+	attempts := flag.Int("attempts", core.DefaultAttempts, "HTM attempts before lock fallback")
+	lazy := flag.Bool("lazy", false, "lazy lock subscription on the slow path (§5)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if *insert+*remove > 100 {
+		fmt.Fprintln(os.Stderr, "avlbench: insert + remove must be at most 100")
+		os.Exit(2)
+	}
+	policy := core.Policy{Attempts: *attempts, LazySubscription: *lazy}
+
+	m := mem.New(harness.DefaultSetHeapWords(*keyRange, *threads) + 1<<18)
+	set := avl.New(m)
+	harness.SeedSet(set, *keyRange)
+	meth, err := harness.BuildMethod(*method, m, policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avlbench:", err)
+		os.Exit(2)
+	}
+
+	res := harness.Run(meth, harness.Config{
+		Threads: *threads, Duration: *dur, Seed: uint64(*seed),
+	}, harness.SetWorkerFactory(set, harness.SetMix{InsertPct: *insert, RemovePct: *remove}, *keyRange))
+
+	if err := set.CheckInvariants(core.Direct(m)); err != nil {
+		fmt.Fprintln(os.Stderr, "avlbench: TREE CORRUPTED:", err)
+		os.Exit(1)
+	}
+
+	st := res.Total
+	fmt.Printf("method      %s\n", res.Method)
+	fmt.Printf("threads     %d\n", res.Threads)
+	fmt.Printf("workload    %d:%d:%d over range %d for %v\n", *insert, *remove, 100-*insert-*remove, *keyRange, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput  %.0f ops/ms\n", res.Throughput())
+	fmt.Printf("paths       fast=%d slow=%d lock=%d stmHTM=%d stmLock=%d stmRO=%d\n",
+		st.FastCommits, st.SlowCommits, st.LockRuns, st.STMCommitsHTM, st.STMCommitsLock, st.STMCommitsRO)
+	fmt.Printf("fast aborts conflict=%d capacity=%d explicit=%d unsupported=%d (subscription=%d)\n",
+		st.FastAborts[htm.Conflict], st.FastAborts[htm.Capacity], st.FastAborts[htm.Explicit],
+		st.FastAborts[htm.Unsupported], st.SubscriptionAborts)
+	fmt.Printf("slow aborts conflict=%d capacity=%d explicit=%d\n",
+		st.SlowAborts[htm.Conflict], st.SlowAborts[htm.Capacity], st.SlowAborts[htm.Explicit])
+	if st.LockRuns > 0 {
+		fmt.Printf("lock        held %v total, %.0f lock-path ops/ms of held time, %.0f slow-HTM ops/ms of held time\n",
+			res.LockHold().Round(time.Microsecond), res.LockPathThroughput(), res.SlowHTMThroughput())
+	}
+	if st.STMStarts > 0 {
+		fmt.Printf("stm         %d starts, %.2f validations/tx, %v in software\n",
+			st.STMStarts, res.ValidationsPerTx(), time.Duration(st.STMTimeNanos).Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,53 @@
+// Command bankbench runs the paper's §6.3 bank-accounts corner case for
+// one configuration and verifies conservation of the total balance.
+//
+// Example:
+//
+//	bankbench -method "FG-TLE(8192)" -threads 8 -accounts 256 -dur 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtle/internal/bank"
+	"rtle/internal/core"
+	"rtle/internal/harness"
+	"rtle/internal/mem"
+)
+
+func main() {
+	method := flag.String("method", "TLE", "synchronization method")
+	threads := flag.Int("threads", 4, "worker threads")
+	accounts := flag.Int("accounts", 256, "number of accounts (each on its own cache line)")
+	dur := flag.Duration("dur", time.Second, "run duration")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	const initial = 10000
+	m := mem.New(*accounts*mem.WordsPerLine + 1<<18)
+	b := bank.New(m, *accounts, initial)
+	meth, err := harness.BuildMethod(*method, m, core.Policy{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bankbench:", err)
+		os.Exit(2)
+	}
+
+	res := harness.Run(meth, harness.Config{
+		Threads: *threads, Duration: *dur, Seed: uint64(*seed),
+	}, harness.BankFactory(b, 100))
+
+	if err := b.CheckConservation(core.Direct(m), uint64(*accounts)*initial); err != nil {
+		fmt.Fprintln(os.Stderr, "bankbench: CONSERVATION VIOLATED:", err)
+		os.Exit(1)
+	}
+	st := res.Total
+	fmt.Printf("method      %s, %d threads, %d accounts\n", res.Method, res.Threads, *accounts)
+	fmt.Printf("throughput  %.0f transfers/ms\n", res.Throughput())
+	fmt.Printf("paths       fast=%d slow=%d lock=%d stm=%d\n",
+		st.FastCommits, st.SlowCommits, st.LockRuns,
+		st.STMCommitsHTM+st.STMCommitsLock+st.STMCommitsRO)
+	fmt.Printf("total balance conserved (%d)\n", uint64(*accounts)*initial)
+}

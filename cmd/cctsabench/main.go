@@ -1,0 +1,72 @@
+// Command cctsabench runs the paper's §6.4 ccTSA application benchmark
+// for one configuration: the original-style fine-grained-locking
+// assembler and/or the transactified variant under a chosen method.
+//
+// Example:
+//
+//	cctsabench -threads 8 -genome 100000 -method "FG-TLE(8192)" -variant both
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtle/internal/cctsa"
+	"rtle/internal/core"
+	"rtle/internal/harness"
+	"rtle/internal/mem"
+)
+
+func main() {
+	method := flag.String("method", "TLE", "synchronization method for the transactified variant")
+	variant := flag.String("variant", "both", "original, transactified, or both")
+	threads := flag.Int("threads", 4, "worker threads")
+	genomeLen := flag.Int("genome", 60000, "synthetic genome length (bp)")
+	coverage := flag.Float64("coverage", 8, "read coverage")
+	errRate := flag.Float64("errors", 0, "per-base error rate")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	cfg := cctsa.Config{
+		GenomeLen: *genomeLen,
+		Coverage:  *coverage,
+		ErrorRate: *errRate,
+		Threads:   *threads,
+		Seed:      uint64(*seed),
+	}
+	if *errRate > 0 {
+		cfg.MinCount = 2
+	}
+	in := cctsa.Prepare(cfg)
+	fmt.Printf("input: genome %d bp, %d reads, k=27, %d threads\n", len(in.Genome), len(in.Reads), *threads)
+
+	show := func(r *cctsa.Result) {
+		fmt.Printf("%-30s build %v, process %v, total %v — %d k-mers, %d contigs (longest %d)\n",
+			r.Variant,
+			r.BuildTime.Round(time.Millisecond), r.ProcessTime.Round(time.Millisecond),
+			r.Total.Round(time.Millisecond), r.DistinctKmers, len(r.Contigs), r.Longest)
+	}
+
+	if *variant == "original" || *variant == "both" {
+		show(in.RunOriginal())
+	}
+	if *variant == "transactified" || *variant == "both" {
+		res := in.RunTransactified(func(m *mem.Memory) core.Method {
+			meth, err := harness.BuildMethod(*method, m, core.Policy{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cctsabench:", err)
+				os.Exit(2)
+			}
+			return meth
+		})
+		show(res)
+		st := res.Stats
+		if st.Ops > 0 {
+			fmt.Printf("%-30s sync: %d blocks, fast=%d slow=%d lock=%d (fallback %.4f%%)\n",
+				"", st.Ops, st.FastCommits, st.SlowCommits, st.LockRuns,
+				100*float64(st.LockRuns)/float64(st.Ops))
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+
+	"rtle/internal/avl"
+	"rtle/internal/harness"
+	"rtle/internal/mem"
+)
+
+// figScan is this repository's extension experiment (EXPERIMENTS.md §Scan):
+// the §6.2 point-operation workload plus occasional wide range scans whose
+// read sets overflow the simulated HTM capacity, so they fall back to the
+// lock *naturally* — the capacity failure source the paper's §1 names,
+// with no fault injection. While a scan holds the lock, refined TLE lets
+// point operations keep committing on the slow path.
+func figScan(opt options) {
+	header("Scan extension: 20% Ins/Rem + 5% wide scans (capacity fallbacks), key range 8192 (ops/ms)")
+	mix := harness.ScanMix{
+		SetMix:   harness.SetMix{InsertPct: 20, RemovePct: 20},
+		ScanPct:  5,
+		ScanSpan: 4096,
+	}
+	methods := []string{"Lock", "TLE", "RW-TLE", "FG-TLE(16)", "FG-TLE(1024)", "FG-TLE(8192)", "NOrec", "RHNOrec"}
+	w := newTable()
+	fmt.Fprintf(w, "method")
+	for _, n := range opt.threads {
+		fmt.Fprintf(w, "\tT=%d\tslow T=%d", n, n)
+	}
+	fmt.Fprintln(w)
+	for _, meth := range methods {
+		fmt.Fprintf(w, "%s", meth)
+		for _, n := range opt.threads {
+			res := harness.Median(opt.runs, func() *harness.Result {
+				m := mem.New(harness.DefaultSetHeapWords(8192, n) + 1<<18)
+				set := avl.New(m)
+				harness.SeedSet(set, 8192)
+				method := harness.MustBuildMethod(meth, m, opt.policy())
+				return harness.Run(method, harness.Config{
+					Threads: n, Duration: opt.dur, Seed: opt.seed,
+				}, harness.ScanWorkerFactory(set, mix, 8192))
+			})
+			fmt.Fprintf(w, "\t%.0f\t%d", res.Throughput(), res.Total.SlowCommits)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}

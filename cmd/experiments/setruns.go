@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"rtle/internal/avl"
+	"rtle/internal/core"
+	"rtle/internal/harness"
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+)
+
+// policy derives the shared synchronization policy from the contention
+// flags: every method (including the Lock baseline and the STM paths) is
+// paced identically, and spurious aborts model the non-conflict HTM
+// failures (capacity overflows, interrupts) that drive the paper's
+// contended regime.
+func (o options) policy() core.Policy {
+	return core.Policy{HTM: htm.Config{
+		InterleaveEvery: o.interleave,
+		SpuriousProb:    o.spurious,
+		SpuriousSeed:    o.seed,
+	}}
+}
+
+// mixes are the paper's operation distributions, written Ins:Rem:Find.
+var mixes = []harness.SetMix{
+	{InsertPct: 0, RemovePct: 0},
+	{InsertPct: 10, RemovePct: 10},
+	{InsertPct: 20, RemovePct: 20},
+	{InsertPct: 50, RemovePct: 50},
+}
+
+func mixLabel(m harness.SetMix) string {
+	return fmt.Sprintf("%d:%d:%d", m.InsertPct, m.RemovePct, 100-m.InsertPct-m.RemovePct)
+}
+
+// csvRecords accumulates every AVL data point for the -csv flag.
+var csvRecords []harness.Record
+
+// runSetPoint runs one AVL data point — a fresh heap, a seeded set, one
+// method, one thread count — opt.runs times, reporting the
+// median-throughput run (the paper's discipline, §6.2).
+func runSetPoint(opt options, method string, keyRange uint64, mix harness.SetMix, threads int) *harness.Result {
+	res := harness.Median(opt.runs, func() *harness.Result {
+		m := mem.New(harness.DefaultSetHeapWords(keyRange, threads) + 1<<18)
+		set := avl.New(m)
+		harness.SeedSet(set, keyRange)
+		meth := harness.MustBuildMethod(method, m, opt.policy())
+		return harness.Run(meth, harness.Config{
+			Threads:  threads,
+			Duration: opt.dur,
+			Seed:     opt.seed,
+		}, harness.SetWorkerFactory(set, mix, keyRange))
+	})
+	if opt.csvPath != "" {
+		label := fmt.Sprintf("range=%d mix=%s", keyRange, mixLabel(mix))
+		csvRecords = append(csvRecords, res.Record(label))
+	}
+	return res
+}
+
+// flushCSV writes the accumulated data points, if requested.
+func flushCSV(opt options) {
+	if opt.csvPath == "" || len(csvRecords) == 0 {
+		return
+	}
+	f, err := os.Create(opt.csvPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return
+	}
+	defer f.Close()
+	if err := harness.WriteCSV(f, csvRecords); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
+	fmt.Printf("\n%d data points written to %s\n", len(csvRecords), opt.csvPath)
+}
+
+// avlSeeded builds a seeded AVL set on m.
+func avlSeeded(m *mem.Memory, keyRange uint64) *avl.Set {
+	set := avl.New(m)
+	harness.SeedSet(set, keyRange)
+	return set
+}
+
+// newTable returns a tabwriter printing to stdout.
+func newTable() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}

@@ -1,0 +1,23 @@
+// Package rtle is a from-scratch Go reproduction of "Refined
+// Transactional Lock Elision" (Dice, Kogan, Lev — PPoPP 2016), built on a
+// simulated best-effort hardware transactional memory.
+//
+// The repository implements the paper's two contributions — RW-TLE and
+// FG-TLE — together with every substrate and baseline the evaluation
+// depends on: a word-addressable simulated shared memory with cache-line
+// versioning (internal/mem), a TL2-style best-effort HTM with capacity
+// limits and abort codes (internal/htm), a subscribable spin lock
+// (internal/spinlock), standard TLE, RW-TLE, FG-TLE and adaptive FG-TLE
+// (internal/core), the NOrec STM and RHNOrec hybrid TM baselines
+// (internal/norec, internal/rhnorec), the AVL-tree set, bank-accounts and
+// transaction-safe hash-map benchmark structures (internal/avl,
+// internal/bank, internal/tmap), a synthetic ccTSA sequence assembler
+// (internal/cctsa), and a workload harness computing every statistic the
+// paper plots (internal/harness).
+//
+// See README.md for a tour, DESIGN.md for the architecture and the
+// hardware-substitution rationale, and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure. The benchmarks in
+// bench_test.go and the cmd/experiments binary regenerate the paper's
+// evaluation; examples/ holds runnable programs against the public API.
+package rtle

@@ -1,0 +1,54 @@
+// avlset reproduces a slice of the paper's §6.2 study interactively: it
+// runs the AVL-set workload (20% Insert, 20% Remove, 60% Find over an
+// 8192-key range — the contended configuration of Figs. 6 and 7) under
+// several synchronization methods and prints throughput side by side,
+// along with where the commits happened.
+//
+// Run with: go run ./examples/avlset [-threads 4] [-dur 300ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"rtle/internal/avl"
+	"rtle/internal/core"
+	"rtle/internal/harness"
+	"rtle/internal/mem"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "worker threads")
+	dur := flag.Duration("dur", 300*time.Millisecond, "duration per method")
+	flag.Parse()
+
+	const keyRange = 8192
+	mix := harness.SetMix{InsertPct: 20, RemovePct: 20}
+	methods := []string{"Lock", "TLE", "RW-TLE", "FG-TLE(16)", "FG-TLE(1024)", "NOrec", "RHNOrec"}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tops/ms\tfast\tslow\tlock\tstm")
+	for _, name := range methods {
+		m := mem.New(harness.DefaultSetHeapWords(keyRange, *threads) + 1<<18)
+		set := avl.New(m)
+		harness.SeedSet(set, keyRange)
+		method := harness.MustBuildMethod(name, m, core.Policy{})
+		res := harness.Run(method, harness.Config{
+			Threads: *threads, Duration: *dur, Seed: 1,
+		}, harness.SetWorkerFactory(set, mix, keyRange))
+		if err := set.CheckInvariants(core.Direct(m)); err != nil {
+			fmt.Fprintf(os.Stderr, "%s corrupted the set: %v\n", name, err)
+			os.Exit(1)
+		}
+		st := res.Total
+		fmt.Fprintf(w, "%s\t%.0f\t%d\t%d\t%d\t%d\n",
+			name, res.Throughput(), st.FastCommits, st.SlowCommits, st.LockRuns,
+			st.STMCommitsHTM+st.STMCommitsLock+st.STMCommitsRO)
+	}
+	w.Flush()
+	fmt.Println("\nfast = uninstrumented HTM, slow = instrumented HTM while the lock was held,")
+	fmt.Println("lock = pessimistic executions, stm = software-transaction commits (NOrec family).")
+}

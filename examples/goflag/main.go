@@ -1,0 +1,83 @@
+// goflag demonstrates the paper's §5 limitation (Figure 4) and its
+// lazy-subscription remedy, live.
+//
+// The scenario: Thread 1 takes the lock, sets GoFlag, and only later
+// initializes Ptr before unlocking. Thread 2 spins on GoFlag outside any
+// critical section, then runs an *empty* critical section purely as a
+// barrier ("wait until the lock is free"), then dereferences Ptr.
+//
+// Under a plain lock — and under standard TLE — the empty critical
+// section cannot complete while Thread 1 holds the lock, so Ptr is always
+// initialized when Thread 2 reads it. Under refined TLE the empty
+// critical section can commit on the slow path *while the lock is held*,
+// and Thread 2 observes Ptr == 0. Enabling lazy subscription (§5)
+// restores the blocking behaviour.
+//
+// Run with: go run ./examples/goflag
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"rtle/internal/core"
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+)
+
+func run(lazy bool) (sawNull int) {
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		m := mem.New(1 << 16)
+		meth := core.NewFGTLE(m, 64, core.Policy{
+			LazySubscription: lazy,
+			// Pace the lock holder so its critical section spans
+			// scheduler slices, as a long computation would.
+			HTM: htm.Config{InterleaveEvery: 2},
+		})
+		goFlag := m.AllocLines(1)
+		ptr := m.AllocLines(1)
+		scratch := m.AllocLines(64)
+
+		t1 := meth.NewThread()
+		t2 := meth.NewThread()
+		done := make(chan struct{})
+		go func() {
+			t1.Atomic(func(c core.Context) {
+				c.Unsupported() // force the lock path, as a long CS would
+				c.Write(goFlag, 1)
+				// A long computation between the flag and the
+				// pointer initialization.
+				for w := 0; w < 64; w++ {
+					c.Write(scratch+mem.Addr(w*mem.WordsPerLine), uint64(w))
+				}
+				c.Write(ptr, 0xCAFE)
+			})
+			close(done)
+		}()
+
+		// Thread 2: wait for GoFlag outside the critical section.
+		for m.Load(goFlag) == 0 {
+			runtime.Gosched()
+		}
+		// Barrier: empty critical section.
+		t2.Atomic(func(core.Context) {})
+		// Expectation (under lock semantics): Ptr is non-null now.
+		if m.Load(ptr) == 0 {
+			sawNull++
+		}
+		<-done
+	}
+	return sawNull
+}
+
+func main() {
+	fmt.Println("Figure 4 scenario, 200 rounds each:")
+	n := run(false)
+	fmt.Printf("  refined TLE (eager):  saw Ptr==NULL %d times — the §5 limitation\n", n)
+	n = run(true)
+	fmt.Printf("  lazy subscription:    saw Ptr==NULL %d times — lock semantics restored\n", n)
+	if n != 0 {
+		fmt.Println("UNEXPECTED: lazy subscription failed to restore barrier semantics")
+	}
+}

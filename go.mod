@@ -1,0 +1,3 @@
+module rtle
+
+go 1.23

@@ -1,0 +1,181 @@
+package avl
+
+import (
+	"testing"
+
+	"rtle/internal/core"
+	"rtle/internal/mem"
+	"rtle/internal/rng"
+)
+
+// rootKey reads the current root's key.
+func rootKey(s *Set, c core.Context) uint64 {
+	root := mem.Addr(c.Read(s.head))
+	return c.Read(root + offKey)
+}
+
+// The four classic rebalancing cases, checked by root identity: inserting
+// three keys in each problematic order must leave the middle key at the
+// root with height 2.
+
+func TestRotationLL(t *testing.T) {
+	s, h, c := newSet(1 << 12)
+	for _, k := range []uint64{30, 20, 10} { // left-left
+		h.InsertCS(c, k)
+		h.AfterInsert(true)
+	}
+	if got := rootKey(s, c); got != 20 {
+		t.Fatalf("root after LL case = %d, want 20", got)
+	}
+	if err := s.CheckInvariants(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotationRR(t *testing.T) {
+	s, h, c := newSet(1 << 12)
+	for _, k := range []uint64{10, 20, 30} { // right-right
+		h.InsertCS(c, k)
+		h.AfterInsert(true)
+	}
+	if got := rootKey(s, c); got != 20 {
+		t.Fatalf("root after RR case = %d, want 20", got)
+	}
+	if err := s.CheckInvariants(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotationLR(t *testing.T) {
+	s, h, c := newSet(1 << 12)
+	for _, k := range []uint64{30, 10, 20} { // left-right (double)
+		h.InsertCS(c, k)
+		h.AfterInsert(true)
+	}
+	if got := rootKey(s, c); got != 20 {
+		t.Fatalf("root after LR case = %d, want 20", got)
+	}
+	if err := s.CheckInvariants(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotationRL(t *testing.T) {
+	s, h, c := newSet(1 << 12)
+	for _, k := range []uint64{10, 30, 20} { // right-left (double)
+		h.InsertCS(c, k)
+		h.AfterInsert(true)
+	}
+	if got := rootKey(s, c); got != 20 {
+		t.Fatalf("root after RL case = %d, want 20", got)
+	}
+	if err := s.CheckInvariants(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoveTriggersRotation: deleting from the light side of a
+// borderline-balanced tree must rotate.
+func TestRemoveTriggersRotation(t *testing.T) {
+	s, h, c := newSet(1 << 12)
+	// Build:      20
+	//           10  30
+	//                 40
+	for _, k := range []uint64{20, 10, 30, 40} {
+		h.InsertCS(c, k)
+		h.AfterInsert(true)
+	}
+	h.RemoveCS(c, 10)
+	h.AfterRemove(true)
+	if err := s.CheckInvariants(c); err != nil {
+		t.Fatalf("tree unbalanced after removal: %v", err)
+	}
+	if got := rootKey(s, c); got != 30 {
+		t.Fatalf("root after removal rotation = %d, want 30", got)
+	}
+}
+
+// TestRemoveSuccessorDeep: removing a node whose in-order successor sits
+// several levels down the right subtree.
+func TestRemoveSuccessorDeep(t *testing.T) {
+	s, h, c := newSet(1 << 14)
+	for _, k := range []uint64{50, 25, 75, 12, 37, 62, 87, 56, 68} {
+		h.InsertCS(c, k)
+		h.AfterInsert(true)
+	}
+	// 50's successor is 56 (left-most of the right subtree, two hops).
+	if !h.RemoveCS(c, 50) {
+		t.Fatal("remove failed")
+	}
+	h.AfterRemove(true)
+	if h.FindCS(c, 50) {
+		t.Fatal("50 still present")
+	}
+	for _, k := range []uint64{25, 75, 12, 37, 62, 87, 56, 68} {
+		if !h.FindCS(c, k) {
+			t.Fatalf("key %d lost during successor splice", k)
+		}
+	}
+	if err := s.CheckInvariants(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoveSuccessorIsDirectChild: the successor is the right child
+// itself (no left descent).
+func TestRemoveSuccessorIsDirectChild(t *testing.T) {
+	s, h, c := newSet(1 << 12)
+	for _, k := range []uint64{50, 25, 75, 80} {
+		h.InsertCS(c, k)
+		h.AfterInsert(true)
+	}
+	if !h.RemoveCS(c, 50) { // successor 75 is 50's right child
+		t.Fatal("remove failed")
+	}
+	h.AfterRemove(true)
+	for _, k := range []uint64{25, 75, 80} {
+		if !h.FindCS(c, k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	if err := s.CheckInvariants(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargeRandomChurnKeepsHeightTight: extended random insert/remove
+// churn must keep the height within the AVL bound at all times.
+func TestLargeRandomChurnKeepsHeightTight(t *testing.T) {
+	s, h, c := newSet(1 << 22)
+	r := rng.NewXoshiro256(99)
+	live := 0
+	for i := 0; i < 30000; i++ {
+		key := r.Uint64n(4096)
+		if r.Intn(2) == 0 {
+			if h.InsertCS(c, key) {
+				live++
+			}
+			h.AfterInsert(true)
+		} else {
+			if h.RemoveCS(c, key) {
+				live--
+			}
+			h.AfterRemove(true)
+		}
+		if i%2500 == 0 && live > 4 {
+			root := mem.Addr(c.Read(s.head))
+			height := int(c.Read(root + offHeight))
+			// AVL bound: h <= 1.4405 log2(n+2)
+			bound := 1
+			for n := live + 2; n > 1; n /= 2 {
+				bound++
+			}
+			if height > bound*3/2+1 {
+				t.Fatalf("op %d: height %d exceeds AVL bound for %d keys", i, height, live)
+			}
+		}
+	}
+	if err := s.CheckInvariants(c); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package cctsa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPackKmer checks the pack/unpack round trip and guard-bit invariants
+// on arbitrary inputs.
+func FuzzPackKmer(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGTACGTACGTACGTACG"), 27)
+	f.Add([]byte("A"), 1)
+	f.Add([]byte("TTTT"), 4)
+	f.Add([]byte("ACGN"), 4)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, seq []byte, k int) {
+		v, ok := PackKmer(seq, k)
+		if !ok {
+			return
+		}
+		if k <= 0 || k > 31 || len(seq) < k {
+			t.Fatalf("PackKmer accepted invalid input k=%d len=%d", k, len(seq))
+		}
+		if v == 0 {
+			t.Fatal("packed k-mer is 0 (reserved for absent)")
+		}
+		if got := UnpackKmer(v, k); !bytes.Equal(got, seq[:k]) {
+			t.Fatalf("round trip %q -> %q", seq[:k], got)
+		}
+		// Extension inverses.
+		if k >= 2 {
+			last := v & 3
+			first := FirstBase(v, k)
+			r := ExtendRight(v, k, 2)
+			if LastBase(r) != 2 {
+				t.Fatal("ExtendRight did not install the new base")
+			}
+			l := ExtendLeft(v, k, 1)
+			if FirstBase(l, k) != 1 {
+				t.Fatal("ExtendLeft did not install the new base")
+			}
+			_ = last
+			_ = first
+		}
+	})
+}
+
+// FuzzSampleReads checks that error-free reads are always genome
+// substrings and lengths are respected.
+func FuzzSampleReads(f *testing.F) {
+	f.Add(uint64(1), 200, 36)
+	f.Add(uint64(9), 50, 36)
+	f.Add(uint64(3), 10, 36)
+	f.Fuzz(func(t *testing.T, seed uint64, genomeLen, readLen int) {
+		if genomeLen <= 0 || genomeLen > 5000 || readLen <= 0 || readLen > 100 {
+			return
+		}
+		in := Prepare(Config{GenomeLen: genomeLen, ReadLen: readLen, Coverage: 2, Seed: seed | 1})
+		for _, r := range in.Reads {
+			if len(r) > genomeLen {
+				t.Fatalf("read longer than genome: %d > %d", len(r), genomeLen)
+			}
+			if !bytes.Contains(in.Genome, r) {
+				t.Fatal("error-free read not a genome substring")
+			}
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package cctsa reproduces the paper's §6.4 application study: ccTSA, a
+// coverage-centric threaded sequence assembler. The original consumes real
+// E. coli reads; this reproduction substitutes a synthetic pipeline that
+// preserves the synchronization-relevant structure (documented in
+// DESIGN.md): a genome generator, a 36-bp read sampler with configurable
+// coverage, k-mer extraction (k = 27 by default), a De Bruijn-graph k-mer
+// counting phase whose insert-or-increment critical sections are the
+// contended operations, and a greedy unitig-extension processing phase.
+//
+// Two variants mirror §6.4.1:
+//
+//   - Original-style: the k-mer table is split into thousands of
+//     lock-striped sub-tables (4096 by default), each protected by its own
+//     spin lock — fine-grained locking with its bookkeeping overhead.
+//   - Transactified: a single shared transaction-safe table (package tmap)
+//     synchronized by any core.Method (Lock, TLE, RW-TLE, FG-TLE, ...),
+//     with per-thread read vectors kept thread-local (the
+//     "transaction_pure" simplification the paper highlights).
+package cctsa
+
+import (
+	"rtle/internal/rng"
+)
+
+// Bases is the DNA alphabet.
+var Bases = [4]byte{'A', 'C', 'G', 'T'}
+
+// baseCode maps a base to its 2-bit encoding; 0xFF marks invalid bytes.
+var baseCode [256]byte
+
+func init() {
+	for i := range baseCode {
+		baseCode[i] = 0xFF
+	}
+	for code, b := range Bases {
+		baseCode[b] = byte(code)
+	}
+}
+
+// GenerateGenome returns a uniformly random genome of the given length.
+// For lengths well below 4^k the resulting De Bruijn graph of k-mers is a
+// simple path with overwhelming probability, which the assembler tests
+// exploit: the assembly must reconstruct the genome as one contig.
+func GenerateGenome(r *rng.Xoshiro256, length int) []byte {
+	g := make([]byte, length)
+	for i := range g {
+		g[i] = Bases[r.Intn(4)]
+	}
+	return g
+}
+
+// SampleReads draws reads of length readLen uniformly from genome until
+// the requested coverage (average number of reads covering each base) is
+// reached. errorRate, if positive, flips each base to a random different
+// base with that probability — the sequencing noise that makes weak
+// (count 1) k-mers worth filtering, as in the real assembler.
+func SampleReads(r *rng.Xoshiro256, genome []byte, readLen int, coverage float64, errorRate float64) [][]byte {
+	if readLen > len(genome) {
+		readLen = len(genome)
+	}
+	n := int(coverage * float64(len(genome)) / float64(readLen))
+	if n < 1 {
+		n = 1
+	}
+	reads := make([][]byte, n)
+	span := len(genome) - readLen + 1
+	for i := range reads {
+		start := r.Intn(span)
+		read := make([]byte, readLen)
+		copy(read, genome[start:start+readLen])
+		if errorRate > 0 {
+			for j := range read {
+				if r.Float64() < errorRate {
+					read[j] = Bases[(int(baseCode[read[j]])+1+r.Intn(3))%4]
+				}
+			}
+		}
+		reads[i] = read
+	}
+	return reads
+}
+
+// PackKmer encodes seq[0:k] into a 2-bit-per-base integer. k must be at
+// most 31 (so the packed value plus a guard bit fits 63 bits). The guard
+// bit above the encoding makes packed k-mers self-delimiting: no k-mer
+// packs to 0, and k-mers of different lengths never collide.
+func PackKmer(seq []byte, k int) (uint64, bool) {
+	if k <= 0 || k > 31 || len(seq) < k {
+		return 0, false
+	}
+	v := uint64(1) // guard bit
+	for i := 0; i < k; i++ {
+		c := baseCode[seq[i]]
+		if c == 0xFF {
+			return 0, false
+		}
+		v = v<<2 | uint64(c)
+	}
+	return v, true
+}
+
+// UnpackKmer reverses PackKmer.
+func UnpackKmer(v uint64, k int) []byte {
+	out := make([]byte, k)
+	for i := k - 1; i >= 0; i-- {
+		out[i] = Bases[v&3]
+		v >>= 2
+	}
+	return out
+}
+
+// ExtendRight returns the packed k-mer obtained by shifting in base code
+// c (0..3) on the right.
+func ExtendRight(v uint64, k int, c uint64) uint64 {
+	mask := (uint64(1) << (2 * uint(k))) - 1
+	return (uint64(1) << (2 * uint(k))) | ((v<<2 | c) & mask)
+}
+
+// ExtendLeft returns the packed k-mer obtained by shifting in base code c
+// on the left.
+func ExtendLeft(v uint64, k int, c uint64) uint64 {
+	body := v & ((uint64(1) << (2 * uint(k))) - 1)
+	body = body>>2 | c<<(2*uint(k-1))
+	return (uint64(1) << (2 * uint(k))) | body
+}
+
+// LastBase returns the 2-bit code of the rightmost base.
+func LastBase(v uint64) uint64 { return v & 3 }
+
+// FirstBase returns the 2-bit code of the leftmost base of a packed k-mer.
+func FirstBase(v uint64, k int) uint64 {
+	return (v >> (2 * uint(k-1))) & 3
+}

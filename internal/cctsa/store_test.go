@@ -1,0 +1,140 @@
+package cctsa
+
+import (
+	"testing"
+
+	"rtle/internal/core"
+	"rtle/internal/mem"
+)
+
+func newTx(threads int) (*txStore, *mem.Memory) {
+	m := mem.New(1 << 20)
+	method := core.NewTLE(m, core.Policy{})
+	return newTxStore(m, method, 256, threads), m
+}
+
+func TestTxStoreAddAndCount(t *testing.T) {
+	s, _ := newTx(1)
+	s.add(0, 0b1_01_10) // some packed k-mer
+	s.add(0, 0b1_01_10)
+	s.add(0, 0b1_11_00)
+	if got := s.count(0b1_01_10); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	if got := s.count(0b1_11_00); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if got := s.count(12345); got != 0 {
+		t.Fatalf("missing k-mer count = %d, want 0", got)
+	}
+	if s.distinct() != 2 {
+		t.Fatalf("distinct = %d, want 2", s.distinct())
+	}
+}
+
+func TestTxStoreTryVisit(t *testing.T) {
+	s, _ := newTx(1)
+	kmer := uint64(0b1_00_01)
+	s.add(0, kmer)
+	s.add(0, kmer)
+	if s.tryVisit(0, kmer, 3) {
+		t.Fatal("tryVisit succeeded below minCount")
+	}
+	if !s.tryVisit(0, kmer, 2) {
+		t.Fatal("first tryVisit at minCount failed")
+	}
+	if s.tryVisit(0, kmer, 2) {
+		t.Fatal("second tryVisit succeeded (visited flag ignored)")
+	}
+	// The count must be preserved alongside the flag.
+	if got := s.count(kmer); got != 2 {
+		t.Fatalf("count after visit = %d, want 2", got)
+	}
+	if s.tryVisit(0, 999, 1) {
+		t.Fatal("tryVisit on a missing k-mer succeeded")
+	}
+}
+
+func TestTxStoreChunksPartition(t *testing.T) {
+	s, _ := newTx(2)
+	for k := uint64(1); k <= 100; k++ {
+		s.add(0, k|1<<20)
+	}
+	seen := map[uint64]int{}
+	for ck := 0; ck < s.chunks(); ck++ {
+		s.forEachInChunk(ck, func(kmer, val uint64) {
+			seen[kmer]++
+			if val&countMask != 1 {
+				t.Fatalf("k-mer %d count %d, want 1", kmer, val&countMask)
+			}
+		})
+	}
+	if len(seen) != 100 {
+		t.Fatalf("chunks visited %d distinct k-mers, want 100", len(seen))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("k-mer %d visited %d times across chunks", k, n)
+		}
+	}
+}
+
+func TestStripedStoreMatchesTxStore(t *testing.T) {
+	m := mem.New(1 << 20)
+	st := newStripedStore(m, 16, 16, 2)
+	tx, _ := newTx(2)
+	keys := []uint64{5, 9, 5, 123, 5, 9, 1 << 30}
+	for _, k := range keys {
+		st.add(0, k|1<<40)
+		tx.add(0, k|1<<40)
+	}
+	for _, k := range keys {
+		if st.count(k|1<<40) != tx.count(k|1<<40) {
+			t.Fatalf("stores disagree on %d: %d vs %d", k, st.count(k|1<<40), tx.count(k|1<<40))
+		}
+	}
+	if st.distinct() != tx.distinct() {
+		t.Fatalf("distinct disagree: %d vs %d", st.distinct(), tx.distinct())
+	}
+}
+
+func TestStripedStoreTryVisit(t *testing.T) {
+	m := mem.New(1 << 20)
+	s := newStripedStore(m, 8, 8, 1)
+	kmer := uint64(0b1_10_01)
+	s.add(0, kmer)
+	if !s.tryVisit(0, kmer, 1) {
+		t.Fatal("tryVisit failed")
+	}
+	if s.tryVisit(0, kmer, 1) {
+		t.Fatal("double visit")
+	}
+}
+
+func TestStripedStoreChunksAreStripes(t *testing.T) {
+	m := mem.New(1 << 20)
+	s := newStripedStore(m, 32, 8, 1)
+	if s.chunks() != 32 {
+		t.Fatalf("chunks = %d, want 32", s.chunks())
+	}
+	for k := uint64(1); k <= 64; k++ {
+		s.add(0, k|1<<21)
+	}
+	total := 0
+	for ck := 0; ck < s.chunks(); ck++ {
+		s.forEachInChunk(ck, func(uint64, uint64) { total++ })
+	}
+	if total != 64 {
+		t.Fatalf("stripe iteration visited %d, want 64", total)
+	}
+}
+
+func TestVisitedBitLayout(t *testing.T) {
+	v := uint64(7) | visitedBit
+	if v&countMask != 7 {
+		t.Fatalf("count extraction broken: %d", v&countMask)
+	}
+	if v&visitedBit == 0 {
+		t.Fatal("visited bit lost")
+	}
+}

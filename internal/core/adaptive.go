@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/spinlock"
+	"rtle/internal/wanghash"
+)
+
+// AdaptiveConfig tunes AdaptiveFGTLE. The zero value selects defaults.
+// The adaptation policy itself is this repository's design: the paper
+// (§4.2.1) describes the mechanisms — resizing the orec array while
+// holding the lock, and a mode flag that turns instrumentation off to
+// recover plain TLE — and leaves the policy to future work.
+type AdaptiveConfig struct {
+	// MinOrecs and MaxOrecs bound the orec-array size (powers of two;
+	// defaults 1 and 8192).
+	MinOrecs int
+	MaxOrecs int
+	// Window is the number of lock-path executions between adaptation
+	// decisions (default 64).
+	Window int
+	// DisableModeSwitch keeps the method in FG-TLE mode always.
+	DisableModeSwitch bool
+}
+
+func (c AdaptiveConfig) min() uint64 {
+	if c.MinOrecs > 0 {
+		return uint64(c.MinOrecs)
+	}
+	return 1
+}
+
+func (c AdaptiveConfig) max() uint64 {
+	if c.MaxOrecs > 0 {
+		return uint64(c.MaxOrecs)
+	}
+	return 8192
+}
+
+func (c AdaptiveConfig) window() uint64 {
+	if c.Window > 0 {
+		return uint64(c.Window)
+	}
+	return 64
+}
+
+// Adaptive mode values stored at modeAddr.
+const (
+	modeTLE uint64 = 0 // instrumentation off; slow path disabled
+	modeFG  uint64 = 1 // FG-TLE behaviour
+)
+
+// AdaptiveFGTLE is FG-TLE with a self-tuning orec array (§4.2.1):
+//
+//   - The current orec count lives in simulated memory and is read inside
+//     every slow-path transaction, so a resize (performed by a lock holder,
+//     which is the only writer) aborts concurrent slow-path transactions
+//     and the new size takes effect safely. Stale orec stamps need no
+//     cleanup: they carry old epochs and read as unowned.
+//   - A mode flag, also read inside every slow-path transaction, lets the
+//     method fall back to plain TLE: the lock holder runs uninstrumented
+//     and slow-path speculation is disabled.
+//
+// Policy (ours): every Window lock-path executions the holder inspects the
+// mean number of orecs its critical sections acquired. If most orecs went
+// unused the array shrinks (cheaper saturation optimization); if the
+// critical sections saturated the array and slow-path transactions were
+// aborting, it grows. If a full window passes with slow-path speculation
+// enabled but no slow-path commits, the method switches to TLE mode; it
+// probes back to FG-TLE mode a window later.
+type AdaptiveFGTLE struct {
+	m      *mem.Memory
+	lock   *spinlock.Lock
+	policy Policy
+	cfg    AdaptiveConfig
+
+	epochAddr mem.Addr
+	sizeAddr  mem.Addr
+	modeAddr  mem.Addr
+	rOrecs    mem.Addr
+	wOrecs    mem.Addr
+
+	// Adaptation state, mutated only while holding the lock.
+	windowRuns  uint64
+	usageSum    uint64
+	saturations uint64
+	slowBase    uint64 // slow commits observed at window start (approximate)
+	slowCommits *counterSet
+}
+
+// counterSet lets lock holders observe approximate global slow-path commit
+// counts without scanning thread stats: each thread increments its own slot.
+// The mutex guards the slots slice itself (threads can be created while
+// others already run); slot increments are lock-free.
+type counterSet struct {
+	mu    sync.Mutex
+	slots []*paddedCounter
+}
+
+type paddedCounter struct {
+	n atomic.Uint64
+	_ [7]uint64 // pad to a cache line to avoid false sharing between threads
+}
+
+func (c *counterSet) add() *paddedCounter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot := &paddedCounter{}
+	c.slots = append(c.slots, slot)
+	return slot
+}
+
+func (c *counterSet) sum() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t uint64
+	for _, s := range c.slots {
+		t += s.n.Load()
+	}
+	return t
+}
+
+// NewAdaptiveFGTLE returns an adaptive FG-TLE method over m. The orec
+// array is allocated at cfg.MaxOrecs and the live size starts there.
+func NewAdaptiveFGTLE(m *mem.Memory, policy Policy, cfg AdaptiveConfig) *AdaptiveFGTLE {
+	minN, maxN := cfg.min(), cfg.max()
+	if minN&(minN-1) != 0 || maxN&(maxN-1) != 0 || minN > maxN {
+		panic(fmt.Sprintf("core: adaptive orec bounds [%d, %d] must be powers of two with min <= max", minN, maxN))
+	}
+	a := &AdaptiveFGTLE{
+		m:           m,
+		lock:        spinlock.New(m),
+		policy:      policy,
+		cfg:         cfg,
+		slowCommits: &counterSet{},
+	}
+	a.epochAddr = m.AllocLines(1)
+	m.Store(a.epochAddr, 1)
+	ctl := m.AllocLines(1)
+	a.sizeAddr = ctl
+	a.modeAddr = ctl + 1
+	m.Store(a.sizeAddr, maxN)
+	m.Store(a.modeAddr, modeFG)
+	a.rOrecs = m.AllocAligned(int(maxN))
+	a.wOrecs = m.AllocAligned(int(maxN))
+	return a
+}
+
+// Name implements Method.
+func (a *AdaptiveFGTLE) Name() string { return "FG-TLE(adaptive)" }
+
+// Lock exposes the underlying lock.
+func (a *AdaptiveFGTLE) Lock() *spinlock.Lock { return a.lock }
+
+// CurrentOrecs returns the live orec-array size (racy probe, for tests and
+// reports).
+func (a *AdaptiveFGTLE) CurrentOrecs() int { return int(a.m.Load(a.sizeAddr)) }
+
+// InTLEMode reports whether the method is currently running as plain TLE.
+func (a *AdaptiveFGTLE) InTLEMode() bool { return a.m.Load(a.modeAddr) == modeTLE }
+
+// NewThread implements Method.
+func (a *AdaptiveFGTLE) NewThread() Thread {
+	t := &adaptiveThread{method: a, slot: a.slowCommits.add()}
+	t.refinedThread = refinedThread{
+		m:        a.m,
+		lock:     a.lock,
+		policy:   a.policy,
+		pacer:    &Pacer{Every: a.policy.HTM.InterleaveEvery},
+		attempts: attemptPolicyFor(a.policy),
+		tx:       htm.NewTx(a.m, a.policy.HTM),
+	}
+	t.slowAttempt = t.runSlow
+	t.lockRun = t.runUnderLock
+	return t
+}
+
+type adaptiveThread struct {
+	refinedThread
+	method *AdaptiveFGTLE
+	slot   *paddedCounter
+
+	seq   uint64
+	size  uint64
+	uniqR uint64
+	uniqW uint64
+}
+
+// runSlow mirrors fgtleThread.runSlow but additionally reads the mode flag
+// and the live orec count inside the transaction, subscribing to both.
+func (t *adaptiveThread) runSlow(body func(Context)) htm.AbortReason {
+	a := t.method
+	localSeq := t.m.Load(a.epochAddr)
+	reason := t.tx.Run(func(tx *htm.Tx) {
+		if tx.Read(a.modeAddr) != modeFG {
+			tx.Abort() // TLE mode: no slow-path speculation
+		}
+		size := tx.Read(a.sizeAddr)
+		body(adaptiveSlowCtx{method: a, tx: tx, localSeq: localSeq, size: size})
+		t.lazySubscribe(tx)
+	})
+	if reason == htm.None {
+		t.slot.n.Add(1)
+	}
+	return reason
+}
+
+func (t *adaptiveThread) runUnderLock(body func(Context)) {
+	a := t.method
+	t.lock.Acquire()
+	start := time.Now()
+	m := t.m
+
+	t.adapt()
+
+	t.size = m.Load(a.sizeAddr)
+	mode := m.Load(a.modeAddr)
+	t.seq = m.Load(a.epochAddr) + 1
+	if mode == modeFG {
+		m.Store(a.epochAddr, t.seq)
+		t.uniqR, t.uniqW = 0, 0
+		body(adaptiveLockCtx{t})
+		m.Store(a.epochAddr, t.seq+1)
+		a.usageSum += t.uniqR + t.uniqW
+		if t.uniqR >= t.size && t.uniqW >= t.size {
+			a.saturations++
+		}
+	} else {
+		body(lockPathCtx(m, t.pacer)) // TLE mode: uninstrumented
+	}
+	a.windowRuns++
+	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.lock.Release()
+	t.stats.LockRuns++
+}
+
+// adapt runs the adaptation policy. Called with the lock held, before the
+// critical section, so resizes and mode switches are safe (§4.2.1).
+func (t *adaptiveThread) adapt() {
+	a := t.method
+	if a.windowRuns < a.cfg.window() {
+		return
+	}
+	m := t.m
+	size := m.Load(a.sizeAddr)
+	mode := m.Load(a.modeAddr)
+	slowNow := a.slowCommits.sum()
+	slowDelta := slowNow - a.slowBase
+
+	if mode == modeFG {
+		switch {
+		case !a.cfg.DisableModeSwitch && slowDelta == 0:
+			// A full window of lock-path executions with zero
+			// slow-path commits: instrumentation is pure overhead.
+			m.Store(a.modeAddr, modeTLE)
+			t.stats.ModeSwitches++
+		case a.windowRuns > 0 && a.usageSum/a.windowRuns*4 <= size && size > a.cfg.min():
+			// Most orecs never used: shrink so the saturation
+			// optimization kicks in sooner (the paper's hint).
+			m.Store(a.sizeAddr, size/2)
+			t.stats.Resizes++
+		case a.saturations*2 >= a.windowRuns && size < a.cfg.max():
+			// Critical sections keep acquiring every orec while
+			// speculation continues: refine the granularity.
+			m.Store(a.sizeAddr, size*2)
+			t.stats.Resizes++
+		}
+	} else {
+		// Probe back into FG-TLE mode each window; if speculation
+		// still yields nothing, adapt will switch away again.
+		m.Store(a.modeAddr, modeFG)
+		t.stats.ModeSwitches++
+	}
+
+	a.windowRuns, a.usageSum, a.saturations = 0, 0, 0
+	a.slowBase = slowNow
+}
+
+// adaptiveSlowCtx is fgSlowCtx with the transactionally-read orec count.
+type adaptiveSlowCtx struct {
+	method   *AdaptiveFGTLE
+	tx       *htm.Tx
+	localSeq uint64
+	size     uint64
+}
+
+func (c adaptiveSlowCtx) Read(a mem.Addr) uint64 {
+	f := c.method
+	idx := wanghash.Hash(uint64(a), c.size)
+	if c.tx.Read(f.wOrecs+mem.Addr(idx)) >= c.localSeq {
+		c.tx.Abort()
+	}
+	return c.tx.Read(a)
+}
+
+func (c adaptiveSlowCtx) Write(a mem.Addr, v uint64) {
+	f := c.method
+	idx := wanghash.Hash(uint64(a), c.size)
+	if c.tx.Read(f.rOrecs+mem.Addr(idx)) >= c.localSeq ||
+		c.tx.Read(f.wOrecs+mem.Addr(idx)) >= c.localSeq {
+		c.tx.Abort()
+	}
+	c.tx.Write(a, v)
+}
+
+func (c adaptiveSlowCtx) InHTM() bool  { return true }
+func (c adaptiveSlowCtx) Unsupported() { c.tx.Unsupported() }
+
+// adaptiveLockCtx is fgLockCtx against the live orec count.
+type adaptiveLockCtx struct {
+	t *adaptiveThread
+}
+
+func (c adaptiveLockCtx) Read(a mem.Addr) uint64 {
+	t := c.t
+	t.pacer.Tick()
+	f := t.method
+	if t.uniqR < t.size {
+		idx := wanghash.Hash(uint64(a), t.size)
+		oa := f.rOrecs + mem.Addr(idx)
+		if t.m.Load(oa) < t.seq {
+			t.m.Store(oa, t.seq)
+			t.uniqR++
+		}
+	}
+	return t.m.Load(a)
+}
+
+func (c adaptiveLockCtx) Write(a mem.Addr, v uint64) {
+	t := c.t
+	t.pacer.Tick()
+	f := t.method
+	if t.uniqW < t.size {
+		idx := wanghash.Hash(uint64(a), t.size)
+		oa := f.wOrecs + mem.Addr(idx)
+		if t.m.Load(oa) < t.seq {
+			t.m.Store(oa, t.seq)
+			t.uniqW++
+		}
+	}
+	t.m.Store(a, v)
+}
+
+func (c adaptiveLockCtx) InHTM() bool  { return false }
+func (c adaptiveLockCtx) Unsupported() {}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/spinlock"
+	"rtle/internal/wanghash"
+)
+
+// ALEMethod models Amalgamated Lock Elision (Afek, Matveev, Moll, Shavit —
+// DISC 2015), the concurrent work the paper contrasts with refined TLE in
+// §2. Like refined TLE, ALE lets one pessimistic thread run alongside
+// hardware transactions; the structural differences — both implemented
+// here because they are exactly what the paper criticizes — are:
+//
+//  1. The roles are inverted: in ALE the *hardware* fast path carries the
+//     instrumentation (every fast-path write stamps an ownership record),
+//     paying overhead even when no thread is in software; the software
+//     thread (the lock holder) runs with buffered writes.
+//  2. The software thread publishes its write buffer with a small hardware
+//     transaction at the end of its critical section; if that write-back
+//     transaction cannot commit, a blocked flag halts ALL fast-path
+//     transactions — even ones with no data conflict — for a pessimistic
+//     write-back.
+//
+// Reconstruction notes (DESIGN.md §2): the software thread detects
+// interference from concurrently committing fast-path transactions through
+// the orecs its read barrier checks eagerly, with the simulator's line
+// versions standing in for ALE's signature scheme to guarantee the
+// software execution never acts on a torn view; the write-back transaction
+// re-validates the entire read log by value, so validation and publication
+// are one atomic step. Fast-path transactions subscribe to the software
+// phase counter, so a beginning software section aborts in-flight fast
+// transactions once (the analogue of ALE's synchronized phase start).
+type ALEMethod struct {
+	m      *mem.Memory
+	lock   *spinlock.Lock
+	policy Policy
+
+	seqAddr     mem.Addr // software-phase counter (bumped by each sw section)
+	blockedAddr mem.Addr // halts the fast path during pessimistic write-back
+	orecs       mem.Addr
+	norecs      uint64
+}
+
+// NewALE returns an ALE-style method over m with the given write-orec
+// count (power of two).
+func NewALE(m *mem.Memory, orecs int, policy Policy) *ALEMethod {
+	if orecs < 1 || orecs > 1<<20 || orecs&(orecs-1) != 0 {
+		panic(fmt.Sprintf("core: ALE orec count %d is not a power of two in [1, 2^20]", orecs))
+	}
+	a := &ALEMethod{
+		m:      m,
+		lock:   spinlock.New(m),
+		policy: policy,
+		norecs: uint64(orecs),
+	}
+	line := m.AllocLines(1)
+	a.seqAddr = line
+	a.blockedAddr = line + 1
+	m.Store(a.seqAddr, 1)
+	a.orecs = m.AllocAligned(orecs)
+	return a
+}
+
+// Name implements Method.
+func (a *ALEMethod) Name() string { return fmt.Sprintf("ALE(%d)", a.norecs) }
+
+// Lock exposes the underlying lock.
+func (a *ALEMethod) Lock() *spinlock.Lock { return a.lock }
+
+// NewThread implements Method.
+func (a *ALEMethod) NewThread() Thread {
+	return &aleThread{
+		method:   a,
+		tx:       htm.NewTx(a.m, a.policy.HTM),
+		pacer:    &Pacer{Every: a.policy.HTM.InterleaveEvery},
+		attempts: attemptPolicyFor(a.policy),
+		writeMap: map[mem.Addr]uint64{},
+	}
+}
+
+type aleThread struct {
+	method   *ALEMethod
+	tx       *htm.Tx
+	pacer    *Pacer
+	attempts AttemptPolicy
+	stats    Stats
+
+	// Software-section state.
+	swSeq      uint64 // phase counter value of this section
+	swClock    uint64 // memory-clock snapshot at section begin
+	readAddrs  []mem.Addr
+	readVals   []uint64
+	writeMap   map[mem.Addr]uint64
+	writeOrder []mem.Addr
+}
+
+func (t *aleThread) Stats() *Stats { return &t.stats }
+
+func (t *aleThread) Atomic(body func(Context)) {
+	a := t.method
+	attempts := 0
+	budget := t.attempts.Budget()
+	for attempts < budget {
+		t.stats.FastAttempts++
+		reason := t.tx.Run(func(tx *htm.Tx) {
+			// Subscribe to the blocked flag (pessimistic write-back
+			// halts us) and the phase counter (a beginning software
+			// section invalidates our orec stamps).
+			if tx.Read(a.blockedAddr) != 0 {
+				tx.Abort()
+			}
+			seq := tx.Read(a.seqAddr)
+			body(aleFastCtx{method: a, tx: tx, seq: seq})
+		})
+		if reason == htm.None {
+			t.stats.FastCommits++
+			t.stats.Ops++
+			t.attempts.Record(attempts, true)
+			return
+		}
+		t.stats.FastAborts[reason]++
+		attempts++
+	}
+	t.attempts.Record(attempts, false)
+	t.software(body)
+	t.stats.Ops++
+}
+
+// software runs the critical section as the single software thread, under
+// the lock, with buffered writes, retrying until the write-back commits.
+func (t *aleThread) software(body func(Context)) {
+	a := t.method
+	a.lock.Acquire()
+	start := time.Now()
+	for {
+		if t.attemptSoftware(body) {
+			break
+		}
+		t.stats.STMAborts++
+	}
+	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	a.lock.Release()
+	t.stats.LockRuns++
+}
+
+type aleAbort struct{}
+
+// attemptSoftware runs one buffered execution plus write-back; false means
+// interference was detected and the section must re-run.
+func (t *aleThread) attemptSoftware(body func(Context)) (ok bool) {
+	a := t.method
+	m := a.m
+	// Begin a software phase: the bump aborts all in-flight fast-path
+	// transactions (they subscribed to seqAddr), so every fast commit
+	// that lands during this section stamps orecs with a value >= swSeq.
+	t.swSeq = m.Load(a.seqAddr) + 1
+	m.Store(a.seqAddr, t.swSeq)
+	t.swClock = m.ClockLoad()
+	t.readAddrs = t.readAddrs[:0]
+	t.readVals = t.readVals[:0]
+	clear(t.writeMap)
+	t.writeOrder = t.writeOrder[:0]
+	t.stats.STMStarts++
+
+	defer func() {
+		if r := recover(); r != nil {
+			if _, is := r.(aleAbort); is {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	body(aleSwCtx{t})
+	return t.writeBack()
+}
+
+// writeBack publishes the buffered writes: first with a small hardware
+// transaction that revalidates the read log by value (atomically with the
+// publication), then — after repeated failures — pessimistically behind
+// the blocked flag, halting the whole fast path (the §2 criticism).
+func (t *aleThread) writeBack() bool {
+	a := t.method
+	m := a.m
+	if len(t.writeOrder) == 0 {
+		// Read-only section: reads were validated eagerly (orec +
+		// version checks), so the section is consistent as of swClock.
+		t.stats.STMCommitsRO++
+		return true
+	}
+	valid := true
+	for i := 0; i < t.method.policyAttempts(); i++ {
+		reason := t.tx.Run(func(tx *htm.Tx) {
+			// Every logged read is a pre-write observation and must
+			// still hold — including reads of addresses this section
+			// later wrote (read-modify-writes).
+			for j, addr := range t.readAddrs {
+				if tx.Read(addr) != t.readVals[j] {
+					valid = false
+					tx.Abort()
+				}
+			}
+			for _, addr := range t.writeOrder {
+				tx.Write(addr, t.writeMap[addr])
+			}
+		})
+		if reason == htm.None {
+			t.stats.STMCommitsHTM++
+			return true
+		}
+		if !valid {
+			return false // real interference: re-run the section
+		}
+	}
+	// Halt the fast path and publish pessimistically.
+	m.Store(a.blockedAddr, 1)
+	defer m.Store(a.blockedAddr, 0)
+	for j, addr := range t.readAddrs {
+		if m.Load(addr) != t.readVals[j] {
+			return false
+		}
+	}
+	for _, addr := range t.writeOrder {
+		m.Store(addr, t.writeMap[addr])
+	}
+	t.stats.STMCommitsLock++
+	return true
+}
+
+func (a *ALEMethod) policyAttempts() int { return a.policy.attempts() }
+
+func (a *ALEMethod) orecOf(addr mem.Addr) mem.Addr {
+	return a.orecs + mem.Addr(wanghash.Hash(uint64(addr), a.norecs))
+}
+
+// aleFastCtx is ALE's hardware fast path: reads are raw, writes carry the
+// always-on instrumentation (stamp the orec with the subscribed phase
+// counter) — the overhead the paper's §2 calls out.
+type aleFastCtx struct {
+	method *ALEMethod
+	tx     *htm.Tx
+	seq    uint64
+}
+
+func (c aleFastCtx) Read(a mem.Addr) uint64 { return c.tx.Read(a) }
+
+func (c aleFastCtx) Write(a mem.Addr, v uint64) {
+	oa := c.method.orecOf(a)
+	if c.tx.Read(oa) != c.seq {
+		c.tx.Write(oa, c.seq)
+	}
+	c.tx.Write(a, v)
+}
+
+func (c aleFastCtx) InHTM() bool  { return true }
+func (c aleFastCtx) Unsupported() { c.tx.Unsupported() }
+
+// aleSwCtx is ALE's software path: buffered writes; reads check the orec
+// eagerly (a fast-path commit during this section stamps it with >= swSeq)
+// and the line version (no torn views), then log the value for the atomic
+// write-back validation.
+type aleSwCtx struct {
+	t *aleThread
+}
+
+func (c aleSwCtx) Read(a mem.Addr) uint64 {
+	t := c.t
+	t.pacer.Tick()
+	if len(t.writeMap) > 0 {
+		if v, ok := t.writeMap[a]; ok {
+			return v
+		}
+	}
+	m := t.method.m
+	if m.Load(t.method.orecOf(a)) >= t.swSeq {
+		panic(aleAbort{})
+	}
+	line := mem.LineOf(a)
+	v := m.Load(a)
+	if mw := m.MetaLoad(line); mem.Locked(mw) || mem.VersionOf(mw) > t.swClock {
+		// A transaction committed to this line after the section
+		// began: the view would be torn.
+		panic(aleAbort{})
+	}
+	t.readAddrs = append(t.readAddrs, a)
+	t.readVals = append(t.readVals, v)
+	return v
+}
+
+func (c aleSwCtx) Write(a mem.Addr, v uint64) {
+	t := c.t
+	t.pacer.Tick()
+	if _, ok := t.writeMap[a]; !ok {
+		t.writeOrder = append(t.writeOrder, a)
+	}
+	t.writeMap[a] = v
+}
+
+func (c aleSwCtx) InHTM() bool  { return false }
+func (c aleSwCtx) Unsupported() {}

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"testing"
+
+	"rtle/internal/core"
+	"rtle/internal/mem"
+	"rtle/internal/norec"
+	"rtle/internal/rhnorec"
+)
+
+func TestDirectContextSemantics(t *testing.T) {
+	m := mem.New(1 << 12)
+	c := core.Direct(m)
+	a := m.Alloc(2)
+	c.Write(a, 11)
+	c.Write(a+1, 22)
+	if c.Read(a) != 11 || c.Read(a+1) != 22 {
+		t.Fatal("direct context lost writes")
+	}
+	if c.InHTM() {
+		t.Fatal("direct context claims to be in HTM")
+	}
+	c.Unsupported() // must be a no-op
+	if m.Load(a) != 11 {
+		t.Fatal("Unsupported damaged state")
+	}
+}
+
+func TestDirectWritesVisibleToOtherContexts(t *testing.T) {
+	m := mem.New(1 << 12)
+	a := m.Alloc(1)
+	core.Direct(m).Write(a, 9)
+	if m.Load(a) != 9 {
+		t.Fatal("direct write not visible via plain load")
+	}
+	meth := core.NewTLE(m, core.Policy{})
+	th := meth.NewThread()
+	var got uint64
+	th.Atomic(func(c core.Context) { got = c.Read(a) })
+	if got != 9 {
+		t.Fatal("direct write not visible inside a transaction")
+	}
+}
+
+// TestContextsAgreeAcrossMethods: the same critical section produces the
+// same result through every method's context, including the exotic paths.
+func TestContextsAgreeAcrossMethods(t *testing.T) {
+	type cs = func(c core.Context) uint64
+	body := func(base mem.Addr) cs {
+		return func(c core.Context) uint64 {
+			// A small read-compute-write kernel.
+			x := c.Read(base)
+			y := c.Read(base + 1)
+			c.Write(base+2, x*31+y)
+			return c.Read(base + 2)
+		}
+	}
+	var want uint64
+	for i, name := range []string{"Lock", "TLE", "HLE", "RW-TLE", "FG-TLE(16)", "FG-TLE(adaptive)", "ALE(16)", "NOrec", "RHNOrec"} {
+		m := mem.New(1 << 18)
+		base := m.AllocLines(1)
+		m.Store(base, 1234)
+		m.Store(base+1, 99)
+		meth := methodByNameExt(t, m, name)
+		th := meth.NewThread()
+		var got uint64
+		f := body(base)
+		th.Atomic(func(c core.Context) { got = f(c) })
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("method %s computed %d, want %d", name, got, want)
+		}
+		if m.Load(base+2) != want {
+			t.Errorf("method %s left %d in memory, want %d", name, m.Load(base+2), want)
+		}
+	}
+}
+
+func methodByNameExt(t *testing.T, m *mem.Memory, name string) core.Method {
+	t.Helper()
+	switch name {
+	case "HLE":
+		return core.NewHLE(m, core.Policy{})
+	case "ALE(16)":
+		return core.NewALE(m, 16, core.Policy{})
+	case "NOrec":
+		return norec.New(m, core.Policy{})
+	case "RHNOrec":
+		return rhnorec.New(m, core.Policy{})
+	default:
+		return methodByName(t, m, name, core.Policy{})
+	}
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"rtle/internal/core"
+	"rtle/internal/mem"
+)
+
+// Example demonstrates the minimal end-to-end flow: heap, method, thread,
+// atomic block.
+func Example() {
+	m := mem.New(1 << 16)
+	method := core.NewFGTLE(m, 256, core.Policy{})
+	counter := m.AllocLines(1)
+
+	th := method.NewThread()
+	for i := 0; i < 10; i++ {
+		th.Atomic(func(c core.Context) {
+			c.Write(counter, c.Read(counter)+1)
+		})
+	}
+	fmt.Println(m.Load(counter))
+	fmt.Println(th.Stats().FastCommits)
+	// Output:
+	// 10
+	// 10
+}
+
+// ExamplePolicy shows the paper's §6.3 corner case: a critical section
+// with an HTM-unfriendly instruction exhausts its attempt budget and runs
+// under the lock.
+func ExamplePolicy() {
+	m := mem.New(1 << 16)
+	method := core.NewTLE(m, core.Policy{Attempts: 3})
+	a := m.AllocLines(1)
+
+	th := method.NewThread()
+	th.Atomic(func(c core.Context) {
+		c.Unsupported() // divide-by-zero, syscall, ...
+		c.Write(a, 7)
+	})
+	s := th.Stats()
+	fmt.Println(m.Load(a), s.FastAttempts, s.LockRuns)
+	// Output:
+	// 7 3 1
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/spinlock"
+	"rtle/internal/wanghash"
+)
+
+// FGTLEMethod implements FG-TLE (§4): fine-grained conflict detection
+// between the lock holder and slow-path hardware transactions through two
+// arrays of ownership records (orecs) — one for reads, one for writes —
+// plus an epoch counter:
+//
+//   - The lock holder bumps the epoch after acquiring the lock, stamps the
+//     epoch into the orec of every address it reads or writes (at most once
+//     per orec per critical section), and bumps the epoch again before
+//     releasing — implicitly releasing all orecs without a single store to
+//     them, so slow-path transactions survive the release.
+//   - A slow-path transaction snapshots the epoch before it begins. Its
+//     read barrier checks the write orec; its write barrier checks both
+//     orecs; an orec stamped at or after the snapshot means a potential
+//     conflict with the lock holder and the transaction self-aborts
+//     (Figure 3).
+//
+// The orec count is the tuning knob the paper sweeps (FG-TLE(1) ...
+// FG-TLE(8192)).
+type FGTLEMethod struct {
+	m      *mem.Memory
+	lock   *spinlock.Lock
+	policy Policy
+
+	epochAddr mem.Addr
+	rOrecs    mem.Addr
+	wOrecs    mem.Addr
+	orecs     uint64
+}
+
+// NewFGTLE returns an FG-TLE method over m with orecs ownership records per
+// array. orecs must be a power of two between 1 and 1<<20.
+func NewFGTLE(m *mem.Memory, orecs int, policy Policy) *FGTLEMethod {
+	if orecs < 1 || orecs > 1<<20 || orecs&(orecs-1) != 0 {
+		panic(fmt.Sprintf("core: FG-TLE orec count %d is not a power of two in [1, 2^20]", orecs))
+	}
+	f := &FGTLEMethod{
+		m:      m,
+		lock:   spinlock.New(m),
+		policy: policy,
+		orecs:  uint64(orecs),
+	}
+	f.epochAddr = m.AllocLines(1)
+	// Epoch starts at 1 so that zero-initialized orecs read as unowned
+	// (orec < snapshot) from the very first transaction.
+	m.Store(f.epochAddr, 1)
+	f.rOrecs = m.AllocAligned(orecs)
+	f.wOrecs = m.AllocAligned(orecs)
+	return f
+}
+
+// Name implements Method.
+func (f *FGTLEMethod) Name() string { return fmt.Sprintf("FG-TLE(%d)", f.orecs) }
+
+// Lock exposes the underlying lock.
+func (f *FGTLEMethod) Lock() *spinlock.Lock { return f.lock }
+
+// Orecs returns the orec-array size.
+func (f *FGTLEMethod) Orecs() int { return int(f.orecs) }
+
+// NewThread implements Method.
+func (f *FGTLEMethod) NewThread() Thread {
+	t := &fgtleThread{method: f}
+	t.refinedThread = refinedThread{
+		m:        f.m,
+		lock:     f.lock,
+		policy:   f.policy,
+		pacer:    &Pacer{Every: f.policy.HTM.InterleaveEvery},
+		attempts: attemptPolicyFor(f.policy),
+		tx:       htm.NewTx(f.m, f.policy.HTM),
+	}
+	t.slowAttempt = t.runSlow
+	t.lockRun = t.runUnderLock
+	return t
+}
+
+type fgtleThread struct {
+	refinedThread
+	method *FGTLEMethod
+
+	// Lock-holder state for the current critical section.
+	seq   uint64 // epoch stamped into acquired orecs
+	uniqR uint64 // distinct read orecs acquired so far (Figure 3's uniq_r_orecs)
+	uniqW uint64 // distinct write orecs acquired so far
+}
+
+// runSlow is one instrumented slow-path attempt. The epoch snapshot is
+// taken before the transaction begins (local_seq_number in Figure 3), so
+// the epoch line itself is not subscribed and the lock release does not
+// abort slow-path transactions.
+func (t *fgtleThread) runSlow(body func(Context)) htm.AbortReason {
+	localSeq := t.m.Load(t.method.epochAddr)
+	return t.tx.Run(func(tx *htm.Tx) {
+		body(fgSlowCtx{method: t.method, tx: tx, localSeq: localSeq})
+		t.lazySubscribe(tx)
+	})
+}
+
+// runUnderLock is the instrumented pessimistic path of Figure 3's else
+// branches: bump the epoch, stamp orecs while executing, bump the epoch
+// again to release all orecs at once.
+func (t *fgtleThread) runUnderLock(body func(Context)) {
+	t.lock.Acquire()
+	start := time.Now()
+	m := t.m
+	t.seq = m.Load(t.method.epochAddr) + 1
+	m.Store(t.method.epochAddr, t.seq)
+	t.uniqR, t.uniqW = 0, 0
+	body(fgLockCtx{t})
+	m.Store(t.method.epochAddr, t.seq+1)
+	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.lock.Release()
+	t.stats.LockRuns++
+}
+
+// fgSlowCtx is the instrumented slow path of Figure 3's on_htm() branches.
+type fgSlowCtx struct {
+	method   *FGTLEMethod
+	tx       *htm.Tx
+	localSeq uint64
+}
+
+func (c fgSlowCtx) Read(a mem.Addr) uint64 {
+	f := c.method
+	idx := wanghash.Hash(uint64(a), f.orecs)
+	if c.tx.Read(f.wOrecs+mem.Addr(idx)) >= c.localSeq {
+		c.tx.Abort()
+	}
+	return c.tx.Read(a)
+}
+
+func (c fgSlowCtx) Write(a mem.Addr, v uint64) {
+	f := c.method
+	idx := wanghash.Hash(uint64(a), f.orecs)
+	if c.tx.Read(f.rOrecs+mem.Addr(idx)) >= c.localSeq ||
+		c.tx.Read(f.wOrecs+mem.Addr(idx)) >= c.localSeq {
+		c.tx.Abort()
+	}
+	c.tx.Write(a, v)
+}
+
+func (c fgSlowCtx) InHTM() bool  { return true }
+func (c fgSlowCtx) Unsupported() { c.tx.Unsupported() }
+
+// fgLockCtx is the instrumented pessimistic path of Figure 3's else
+// branches, with both of the paper's §4.2 optimizations: an orec is written
+// at most once per critical section (skip if it already holds the current
+// epoch), and once every orec has been acquired the barrier reduces to the
+// plain access (skip the hash entirely).
+type fgLockCtx struct {
+	t *fgtleThread
+}
+
+func (c fgLockCtx) Read(a mem.Addr) uint64 {
+	t := c.t
+	t.pacer.Tick()
+	f := t.method
+	if t.uniqR < f.orecs {
+		idx := wanghash.Hash(uint64(a), f.orecs)
+		oa := f.rOrecs + mem.Addr(idx)
+		if t.m.Load(oa) < t.seq {
+			t.m.Store(oa, t.seq)
+			t.uniqR++
+		}
+	}
+	return t.m.Load(a)
+}
+
+func (c fgLockCtx) Write(a mem.Addr, v uint64) {
+	t := c.t
+	t.pacer.Tick()
+	f := t.method
+	if t.uniqW < f.orecs {
+		idx := wanghash.Hash(uint64(a), f.orecs)
+		oa := f.wOrecs + mem.Addr(idx)
+		if t.m.Load(oa) < t.seq {
+			t.m.Store(oa, t.seq)
+			t.uniqW++
+		}
+	}
+	t.m.Store(a, v)
+}
+
+func (c fgLockCtx) InHTM() bool  { return false }
+func (c fgLockCtx) Unsupported() {}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"time"
+
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/spinlock"
+)
+
+// HLEMethod models Intel's Hardware Lock Elision mode (§1): elision
+// implemented *in hardware* via instruction prefixes (XACQUIRE/XRELEASE),
+// with the begin-fail-retry logic fixed by the microarchitecture — one
+// implicit speculative attempt, then the real atomic acquisition. It is a
+// useful floor for the software-controlled TLE policies: identical
+// mechanism, no retry budget, no wait-until-free discipline.
+type HLEMethod struct {
+	m      *mem.Memory
+	lock   *spinlock.Lock
+	policy Policy
+}
+
+// NewHLE returns an HLE-style method over m. Only the policy's HTM
+// configuration applies; the retry policy is hardware-fixed (a single
+// attempt).
+func NewHLE(m *mem.Memory, policy Policy) *HLEMethod {
+	return &HLEMethod{m: m, lock: spinlock.New(m), policy: policy}
+}
+
+// Name implements Method.
+func (h *HLEMethod) Name() string { return "HLE" }
+
+// Lock exposes the underlying lock.
+func (h *HLEMethod) Lock() *spinlock.Lock { return h.lock }
+
+// NewThread implements Method.
+func (h *HLEMethod) NewThread() Thread {
+	return &hleThread{
+		m:     h.m,
+		lock:  h.lock,
+		tx:    htm.NewTx(h.m, h.policy.HTM),
+		pacer: &Pacer{Every: h.policy.HTM.InterleaveEvery},
+	}
+}
+
+type hleThread struct {
+	m     *mem.Memory
+	lock  *spinlock.Lock
+	tx    *htm.Tx
+	pacer *Pacer
+	stats Stats
+}
+
+func (t *hleThread) Stats() *Stats { return &t.stats }
+
+func (t *hleThread) Atomic(body func(Context)) {
+	// One hardware attempt: the elided XACQUIRE leaves the lock word
+	// unchanged but in the read set, so a real acquisition aborts us.
+	t.stats.FastAttempts++
+	reason := t.tx.Run(func(tx *htm.Tx) {
+		if tx.Read(t.lock.Addr()) != 0 {
+			t.stats.SubscriptionAborts++
+			tx.Abort()
+		}
+		body(htmCtx{tx})
+	})
+	if reason == htm.None {
+		t.stats.FastCommits++
+		t.stats.Ops++
+		return
+	}
+	t.stats.FastAborts[reason]++
+	// Hardware re-execution without elision: take the lock for real.
+	t.lock.Acquire()
+	start := time.Now()
+	body(lockPathCtx(t.m, t.pacer))
+	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.lock.Release()
+	t.stats.LockRuns++
+	t.stats.Ops++
+}

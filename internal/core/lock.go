@@ -1,0 +1,63 @@
+package core
+
+import (
+	"time"
+
+	"rtle/internal/mem"
+	"rtle/internal/spinlock"
+)
+
+// LockMethod is the pessimistic baseline: every atomic block acquires the
+// lock and runs uninstrumented. It anchors the paper's speedup
+// normalization (every Fig. 5 curve is relative to single-threaded Lock).
+type LockMethod struct {
+	m      *mem.Memory
+	lock   *spinlock.Lock
+	policy Policy
+}
+
+// NewLock returns a lock-only method over m with a fresh lock.
+func NewLock(m *mem.Memory) *LockMethod {
+	return NewLockWithPolicy(m, Policy{})
+}
+
+// NewLockWithPolicy is NewLock honouring the policy's concurrency
+// virtualization (the lock path paces its accesses like every other path,
+// keeping the baseline comparable); the speculation knobs are ignored.
+func NewLockWithPolicy(m *mem.Memory, policy Policy) *LockMethod {
+	return &LockMethod{m: m, lock: spinlock.New(m), policy: policy}
+}
+
+// Name implements Method.
+func (l *LockMethod) Name() string { return "Lock" }
+
+// Lock exposes the underlying lock, so tests can share it across methods.
+func (l *LockMethod) Lock() *spinlock.Lock { return l.lock }
+
+// NewThread implements Method.
+func (l *LockMethod) NewThread() Thread {
+	return &lockThread{
+		m:     l.m,
+		lock:  l.lock,
+		pacer: &Pacer{Every: l.policy.HTM.InterleaveEvery},
+	}
+}
+
+type lockThread struct {
+	m     *mem.Memory
+	lock  *spinlock.Lock
+	pacer *Pacer
+	stats Stats
+}
+
+func (t *lockThread) Stats() *Stats { return &t.stats }
+
+func (t *lockThread) Atomic(body func(Context)) {
+	t.lock.Acquire()
+	start := time.Now()
+	body(lockPathCtx(t.m, t.pacer))
+	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.lock.Release()
+	t.stats.LockRuns++
+	t.stats.Ops++
+}

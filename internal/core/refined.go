@@ -1,0 +1,120 @@
+package core
+
+import (
+	"runtime"
+
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/spinlock"
+)
+
+// refinedThread implements the control flow of Figure 1's right-hand
+// (refined TLE) path, shared by RW-TLE, FG-TLE and adaptive FG-TLE:
+//
+//   - lock free, attempts remaining → fast path: uninstrumented HTM with
+//     eager lock subscription;
+//   - lock held → slow path: instrumented HTM attempt, concurrent with the
+//     lock holder; slow-path failures do not count against the fast-path
+//     attempt budget (§6.2.1);
+//   - attempt budget exhausted → acquire the lock and run the instrumented
+//     pessimistic path.
+//
+// Variants plug in via the slowAttempt and lockRun hooks.
+type refinedThread struct {
+	m        *mem.Memory
+	lock     *spinlock.Lock
+	policy   Policy
+	tx       *htm.Tx
+	pacer    *Pacer
+	attempts AttemptPolicy
+	stats    Stats
+
+	// slowAttempt runs one instrumented HTM attempt of body on tx and
+	// returns htm.None on commit.
+	slowAttempt func(body func(Context)) htm.AbortReason
+	// lockRun acquires the lock, runs body on the instrumented
+	// pessimistic path, releases, and maintains LockRuns/LockHoldNanos.
+	lockRun func(body func(Context))
+
+	lockBusy bool
+}
+
+func (r *refinedThread) Stats() *Stats { return &r.stats }
+
+func (r *refinedThread) subscribe(tx *htm.Tx) {
+	if tx.Read(r.lock.Addr()) != 0 {
+		r.lockBusy = true
+		tx.Abort()
+	}
+}
+
+// lazySubscribe implements the §5 option: subscribe to the lock at the end
+// of a slow-path transaction, so the transaction cannot commit while the
+// lock is held. Variants call it from their slowAttempt when enabled.
+func (r *refinedThread) lazySubscribe(tx *htm.Tx) {
+	if r.policy.LazySubscription && tx.Read(r.lock.Addr()) != 0 {
+		tx.Abort()
+	}
+}
+
+func (r *refinedThread) Atomic(body func(Context)) {
+	attempts := 0
+	budget := r.attempts.Budget()
+	backoff := 1
+	for {
+		if r.lock.Held() {
+			r.stats.SlowAttempts++
+			reason := r.slowAttempt(body)
+			if reason == htm.None {
+				r.stats.SlowCommits++
+				r.stats.Ops++
+				return
+			}
+			r.stats.SlowAborts[reason]++
+			// A slow-path abort usually means a conflict with the
+			// lock holder that persists until its critical section
+			// retires; back off politely instead of spinning hot.
+			spinBackoff(&backoff)
+			continue
+		}
+		backoff = 1
+		if attempts >= budget {
+			r.lockRun(body)
+			r.stats.Ops++
+			r.attempts.Record(attempts, false)
+			return
+		}
+		r.lockBusy = false
+		r.stats.FastAttempts++
+		reason := r.tx.Run(func(tx *htm.Tx) {
+			r.subscribe(tx)
+			body(htmCtx{tx})
+		})
+		if reason == htm.None {
+			r.stats.FastCommits++
+			r.stats.Ops++
+			r.attempts.Record(attempts, true)
+			return
+		}
+		r.stats.FastAborts[reason]++
+		if r.lockBusy {
+			r.stats.SubscriptionAborts++
+		}
+		attempts++
+	}
+}
+
+// spinBackoff burns a short, exponentially growing number of iterations and
+// yields to the scheduler, so that retry storms stay polite under
+// GOMAXPROCS=1 and on loaded machines.
+func spinBackoff(backoff *int) {
+	for i := 0; i < *backoff; i++ {
+		if i%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+	runtime.Gosched()
+	if *backoff < 256 {
+		*backoff <<= 1
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"time"
+
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/spinlock"
+)
+
+// RWTLEMethod implements RW-TLE (§3): the lock is augmented with a boolean
+// write flag. While a thread holds the lock, other threads may complete
+// read-only critical sections in hardware transactions on the slow path,
+// as long as the lock holder has not yet executed its first write:
+//
+//   - The lock holder's write barrier raises the flag on its first write.
+//   - A slow-path transaction subscribes to the flag at begin (aborting if
+//     it is already set), so a later flag raise aborts it.
+//   - A slow-path transaction's own write barrier self-aborts — only
+//     read-only transactions may commit on the slow path (Figure 2).
+//
+// The flag deliberately shares a cache line with the lock word, so that the
+// lock-release store also aborts slow-path subscribers: this is the eager
+// switch back to the fast path that §6.3 contrasts with FG-TLE's behaviour.
+type RWTLEMethod struct {
+	m        *mem.Memory
+	lock     *spinlock.Lock
+	flagAddr mem.Addr
+	policy   Policy
+}
+
+// NewRWTLE returns an RW-TLE method over m with a fresh lock+flag line.
+func NewRWTLE(m *mem.Memory, policy Policy) *RWTLEMethod {
+	line := m.AllocLines(1)
+	return &RWTLEMethod{
+		m:        m,
+		lock:     spinlock.NewAt(m, line),
+		flagAddr: line + 1,
+		policy:   policy,
+	}
+}
+
+// Name implements Method.
+func (r *RWTLEMethod) Name() string { return "RW-TLE" }
+
+// Lock exposes the underlying lock.
+func (r *RWTLEMethod) Lock() *spinlock.Lock { return r.lock }
+
+// FlagAddr returns the write-flag address (for tests).
+func (r *RWTLEMethod) FlagAddr() mem.Addr { return r.flagAddr }
+
+// NewThread implements Method.
+func (r *RWTLEMethod) NewThread() Thread {
+	t := &rwtleThread{method: r}
+	t.refinedThread = refinedThread{
+		m:        r.m,
+		lock:     r.lock,
+		policy:   r.policy,
+		pacer:    &Pacer{Every: r.policy.HTM.InterleaveEvery},
+		attempts: attemptPolicyFor(r.policy),
+		tx:       htm.NewTx(r.m, r.policy.HTM),
+	}
+	t.slowAttempt = t.runSlow
+	t.lockRun = t.runUnderLock
+	return t
+}
+
+type rwtleThread struct {
+	refinedThread
+	method *RWTLEMethod
+	wrote  bool // write flag raised during the current lock-held CS
+}
+
+// runSlow is one instrumented slow-path attempt: subscribe to the write
+// flag, run the body with the aborting write barrier, optionally subscribe
+// to the lock lazily.
+func (t *rwtleThread) runSlow(body func(Context)) htm.AbortReason {
+	return t.tx.Run(func(tx *htm.Tx) {
+		if tx.Read(t.method.flagAddr) != 0 {
+			tx.Abort()
+		}
+		body(rwSlowCtx{tx})
+		t.lazySubscribe(tx)
+	})
+}
+
+// runUnderLock is the instrumented pessimistic path: writes raise the flag
+// (once per critical section — Figure 2's note that only the first write
+// needs the barrier).
+func (t *rwtleThread) runUnderLock(body func(Context)) {
+	t.lock.Acquire()
+	start := time.Now()
+	t.wrote = false
+	body(rwLockCtx{t})
+	if t.wrote {
+		t.m.Store(t.method.flagAddr, 0)
+	}
+	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.lock.Release()
+	t.stats.LockRuns++
+}
+
+// rwSlowCtx is the instrumented slow path: reads are plain transactional
+// loads; any write self-aborts (Figure 2, line 2).
+type rwSlowCtx struct {
+	tx *htm.Tx
+}
+
+func (c rwSlowCtx) Read(a mem.Addr) uint64     { return c.tx.Read(a) }
+func (c rwSlowCtx) Write(a mem.Addr, v uint64) { c.tx.Abort() }
+func (c rwSlowCtx) InHTM() bool                { return true }
+func (c rwSlowCtx) Unsupported()               { c.tx.Unsupported() }
+
+// rwLockCtx is the instrumented pessimistic path: the first write raises
+// the write flag before touching data (Figure 2, lines 3–4; under TSO the
+// flag store becomes visible no later than the data store).
+type rwLockCtx struct {
+	t *rwtleThread
+}
+
+func (c rwLockCtx) Read(a mem.Addr) uint64 {
+	c.t.pacer.Tick()
+	return c.t.m.Load(a)
+}
+
+func (c rwLockCtx) Write(a mem.Addr, v uint64) {
+	c.t.pacer.Tick()
+	if !c.t.wrote {
+		c.t.m.Store(c.t.method.flagAddr, 1)
+		c.t.wrote = true
+	}
+	c.t.m.Store(a, v)
+}
+
+func (c rwLockCtx) InHTM() bool  { return false }
+func (c rwLockCtx) Unsupported() {}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"time"
+
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/spinlock"
+)
+
+// TLEMethod is standard transactional lock elision (Fig. 1, left path):
+// attempt the critical section in a hardware transaction with the lock
+// subscribed; after Policy.Attempts failures acquire the lock. While the
+// lock is held, every speculating thread waits — the limitation the
+// refined variants remove.
+type TLEMethod struct {
+	m      *mem.Memory
+	lock   *spinlock.Lock
+	policy Policy
+}
+
+// NewTLE returns a TLE method over m with a fresh lock.
+func NewTLE(m *mem.Memory, policy Policy) *TLEMethod {
+	return &TLEMethod{m: m, lock: spinlock.New(m), policy: policy}
+}
+
+// Name implements Method.
+func (t *TLEMethod) Name() string { return "TLE" }
+
+// Lock exposes the underlying lock.
+func (t *TLEMethod) Lock() *spinlock.Lock { return t.lock }
+
+// NewThread implements Method.
+func (t *TLEMethod) NewThread() Thread {
+	return &tleThread{
+		m:        t.m,
+		lock:     t.lock,
+		policy:   t.policy,
+		tx:       htm.NewTx(t.m, t.policy.HTM),
+		pacer:    &Pacer{Every: t.policy.HTM.InterleaveEvery},
+		attempts: attemptPolicyFor(t.policy),
+	}
+}
+
+type tleThread struct {
+	m        *mem.Memory
+	lock     *spinlock.Lock
+	policy   Policy
+	tx       *htm.Tx
+	pacer    *Pacer
+	attempts AttemptPolicy
+	stats    Stats
+
+	lockBusy bool // set when the subscription check sees the lock held
+}
+
+func (t *tleThread) Stats() *Stats { return &t.stats }
+
+// subscribe reads the lock word inside the transaction, adding it to the
+// read set so that a later acquisition aborts this transaction; if the lock
+// is already held the attempt self-aborts immediately.
+func (t *tleThread) subscribe(tx *htm.Tx) {
+	if tx.Read(t.lock.Addr()) != 0 {
+		t.lockBusy = true
+		tx.Abort()
+	}
+}
+
+func (t *tleThread) Atomic(body func(Context)) {
+	attempts := 0
+	budget := t.attempts.Budget()
+	for {
+		// "Is lock available?" — do not even start a transaction that
+		// is doomed to fail its subscription [16].
+		if t.lock.Held() {
+			t.lock.WaitUntilFree()
+		}
+		if attempts >= budget {
+			t.runUnderLock(body)
+			t.attempts.Record(attempts, false)
+			return
+		}
+		t.lockBusy = false
+		t.stats.FastAttempts++
+		reason := t.tx.Run(func(tx *htm.Tx) {
+			t.subscribe(tx)
+			body(htmCtx{tx})
+		})
+		if reason == htm.None {
+			t.stats.FastCommits++
+			t.stats.Ops++
+			t.attempts.Record(attempts, true)
+			return
+		}
+		t.stats.FastAborts[reason]++
+		if t.lockBusy {
+			t.stats.SubscriptionAborts++
+		}
+		attempts++
+	}
+}
+
+// runUnderLock executes the pessimistic path: plain TLE runs the
+// unmodified (uninstrumented) critical section.
+func (t *tleThread) runUnderLock(body func(Context)) {
+	t.lock.Acquire()
+	start := time.Now()
+	body(lockPathCtx(t.m, t.pacer))
+	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.lock.Release()
+	t.stats.LockRuns++
+	t.stats.Ops++
+}

@@ -1,0 +1,22 @@
+package harness
+
+import "sort"
+
+// Median runs an experiment n times (each invocation of run must build a
+// fresh data structure and method) and returns the run with the median
+// throughput. The paper reports the median of 5 runs and presents the
+// auxiliary statistics from the median run (§6.2); this helper gives
+// drivers the same discipline.
+func Median(n int, run func() *Result) *Result {
+	if n <= 0 {
+		n = 1
+	}
+	results := make([]*Result, n)
+	for i := range results {
+		results[i] = run()
+	}
+	sort.Slice(results, func(i, j int) bool {
+		return results[i].Throughput() < results[j].Throughput()
+	})
+	return results[n/2]
+}

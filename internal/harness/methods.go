@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rtle/internal/core"
+	"rtle/internal/mem"
+	"rtle/internal/norec"
+	"rtle/internal/rhnorec"
+)
+
+// MethodNames lists every synchronization method of the paper's Fig. 5, in
+// its legend order.
+var MethodNames = []string{
+	"Lock", "NOrec", "RHNOrec", "TLE", "RW-TLE",
+	"FG-TLE(1)", "FG-TLE(4)", "FG-TLE(16)", "FG-TLE(256)",
+	"FG-TLE(1024)", "FG-TLE(4096)", "FG-TLE(8192)",
+}
+
+// RefinedNames lists the refined-TLE variants of Fig. 6.
+var RefinedNames = []string{
+	"RW-TLE", "FG-TLE(1)", "FG-TLE(4)", "FG-TLE(16)", "FG-TLE(256)",
+	"FG-TLE(1024)", "FG-TLE(4096)", "FG-TLE(8192)",
+}
+
+// BuildMethod constructs a method by its Fig. 5 legend name over m.
+// Recognized: "Lock", "TLE", "HLE", "RW-TLE", "FG-TLE(<power-of-two>)",
+// "FG-TLE(adaptive)", "ALE(<power-of-two>)", "NOrec", "RHNOrec".
+func BuildMethod(name string, m *mem.Memory, p core.Policy) (core.Method, error) {
+	switch name {
+	case "Lock":
+		return core.NewLockWithPolicy(m, p), nil
+	case "TLE":
+		return core.NewTLE(m, p), nil
+	case "HLE":
+		return core.NewHLE(m, p), nil
+	case "RW-TLE":
+		return core.NewRWTLE(m, p), nil
+	case "NOrec":
+		return norec.New(m, p), nil
+	case "RHNOrec":
+		return rhnorec.New(m, p), nil
+	case "FG-TLE(adaptive)":
+		return core.NewAdaptiveFGTLE(m, p, core.AdaptiveConfig{}), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "FG-TLE("); ok {
+		if ns, ok := strings.CutSuffix(rest, ")"); ok {
+			n, err := strconv.Atoi(ns)
+			if err == nil && n > 0 {
+				return core.NewFGTLE(m, n, p), nil
+			}
+		}
+	}
+	if rest, ok := strings.CutPrefix(name, "ALE("); ok {
+		if ns, ok := strings.CutSuffix(rest, ")"); ok {
+			n, err := strconv.Atoi(ns)
+			if err == nil && n > 0 {
+				return core.NewALE(m, n, p), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown method %q", name)
+}
+
+// MustBuildMethod is BuildMethod for statically-known names.
+func MustBuildMethod(name string, m *mem.Memory, p core.Policy) core.Method {
+	meth, err := BuildMethod(name, m, p)
+	if err != nil {
+		panic(err)
+	}
+	return meth
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"rtle/internal/core"
+	"rtle/internal/mem"
+)
+
+func TestBuildMethodKnownNames(t *testing.T) {
+	names := append([]string{}, MethodNames...)
+	names = append(names, "HLE", "FG-TLE(adaptive)", "ALE(64)")
+	for _, name := range names {
+		m := mem.New(1 << 18)
+		meth, err := BuildMethod(name, m, core.Policy{})
+		if err != nil {
+			t.Errorf("BuildMethod(%q): %v", name, err)
+			continue
+		}
+		if meth.Name() != name {
+			t.Errorf("BuildMethod(%q).Name() = %q", name, meth.Name())
+		}
+		// The method must actually work.
+		a := m.AllocLines(1)
+		th := meth.NewThread()
+		th.Atomic(func(c core.Context) { c.Write(a, 7) })
+		if m.Load(a) != 7 {
+			t.Errorf("method %q did not execute the critical section", name)
+		}
+	}
+}
+
+func TestBuildMethodUnknownNames(t *testing.T) {
+	m := mem.New(1 << 16)
+	for _, bad := range []string{"", "FOO", "FG-TLE", "FG-TLE()", "FG-TLE(x)", "FG-TLE(-2)", "ALE(0)", "fg-tle(4)"} {
+		if _, err := BuildMethod(bad, m, core.Policy{}); err == nil {
+			t.Errorf("BuildMethod(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestMustBuildMethodPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuildMethod did not panic")
+		}
+	}()
+	MustBuildMethod("nope", mem.New(1<<16), core.Policy{})
+}
+
+func TestMethodNameListsConsistent(t *testing.T) {
+	// Every refined name must be in the full Fig. 5 legend.
+	full := map[string]bool{}
+	for _, n := range MethodNames {
+		full[n] = true
+	}
+	for _, n := range RefinedNames {
+		if !full[n] {
+			t.Errorf("refined method %q missing from MethodNames", n)
+		}
+	}
+	// Legend order starts with the baselines, as in the paper.
+	if MethodNames[0] != "Lock" {
+		t.Errorf("legend should start with Lock: %v", MethodNames[:3])
+	}
+	for _, n := range MethodNames {
+		if strings.Contains(n, " ") {
+			t.Errorf("method name %q contains spaces", n)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"rtle/internal/avl"
+	"rtle/internal/bank"
+	"rtle/internal/core"
+	"rtle/internal/mem"
+	"rtle/internal/rng"
+	"rtle/internal/wanghash"
+)
+
+// SetMix is an operation distribution over a set, in percent; the
+// remainder after Insert and Remove is Find. The paper writes mixes as
+// Insert:Remove:Find, e.g. 20:20:60.
+type SetMix struct {
+	InsertPct int
+	RemovePct int
+}
+
+// SeedSet populates set with a deterministic pseudo-random half of the
+// keys in [0, keyRange), single-threaded, matching the paper's setup ("we
+// initialized the set with half of the keys from that range") so that
+// Insert and Remove succeed with probability ~1/2 each and the set size
+// stays stable.
+func SeedSet(set *avl.Set, keyRange uint64) {
+	h := set.NewHandle()
+	c := core.Direct(set.Memory())
+	for k := uint64(0); k < keyRange; k++ {
+		if wanghash.Mix(k)&1 == 0 {
+			h.InsertCS(c, k)
+			h.AfterInsert(true)
+		}
+	}
+}
+
+// NewSetWorker returns a Worker performing the paper's §6.2 workload on an
+// AVL set: operations drawn from mix with keys uniform in [0, keyRange).
+func NewSetWorker(set *avl.Set, t core.Thread, mix SetMix, keyRange uint64) Worker {
+	h := set.NewHandle()
+	return func(r *rng.Xoshiro256) {
+		p := r.Intn(100)
+		key := r.Uint64n(keyRange)
+		switch {
+		case p < mix.InsertPct:
+			h.Insert(t, key)
+		case p < mix.InsertPct+mix.RemovePct:
+			h.Remove(t, key)
+		default:
+			h.Contains(t, key)
+		}
+	}
+}
+
+// SetWorkerFactory adapts NewSetWorker to Run's factory signature.
+func SetWorkerFactory(set *avl.Set, mix SetMix, keyRange uint64) WorkerFactory {
+	return func(id int, t core.Thread) Worker {
+		return NewSetWorker(set, t, mix, keyRange)
+	}
+}
+
+// NewUnfriendlySetWorker returns the §6.3 corner-case update worker: it
+// performs Insert and Remove at equal probability, with an HTM-unfriendly
+// instruction (Context.Unsupported) injected into the critical section —
+// at its end when atEnd is true, before any shared access otherwise. Such
+// operations can never commit on HTM and always fall back to the lock.
+func NewUnfriendlySetWorker(set *avl.Set, t core.Thread, keyRange uint64, atEnd bool) Worker {
+	h := set.NewHandle()
+	return func(r *rng.Xoshiro256) {
+		key := r.Uint64n(keyRange)
+		insert := r.Intn(2) == 0
+		var res bool
+		t.Atomic(func(c core.Context) {
+			if !atEnd {
+				c.Unsupported()
+			}
+			if insert {
+				res = h.InsertCS(c, key)
+			} else {
+				res = h.RemoveCS(c, key)
+			}
+			if atEnd {
+				c.Unsupported()
+			}
+		})
+		if insert {
+			h.AfterInsert(res)
+		} else {
+			h.AfterRemove(res)
+		}
+	}
+}
+
+// UnfriendlyFactory builds the Fig. 12 fleet: thread 0 runs the
+// HTM-unfriendly update worker; all other threads run Find-only workers.
+func UnfriendlyFactory(set *avl.Set, keyRange uint64, atEnd bool) WorkerFactory {
+	return func(id int, t core.Thread) Worker {
+		if id == 0 {
+			return NewUnfriendlySetWorker(set, t, keyRange, atEnd)
+		}
+		return NewSetWorker(set, t, SetMix{}, keyRange)
+	}
+}
+
+// ScanMix extends SetMix with occasional range scans: ScanPct percent of
+// operations count the keys in a random window of ScanSpan keys. Large
+// spans overflow the simulated HTM's read capacity, so scans fall back to
+// the lock *naturally* — the capacity-driven contended regime the paper
+// names in §1, with no fault injection involved. Under plain TLE a
+// scanning lock holder stalls everyone; under refined TLE point reads
+// keep committing on the slow path.
+type ScanMix struct {
+	SetMix
+	ScanPct  int
+	ScanSpan uint64
+}
+
+// NewScanWorker returns a worker over set with the given scan-heavy mix.
+func NewScanWorker(set *avl.Set, t core.Thread, mix ScanMix, keyRange uint64) Worker {
+	h := set.NewHandle()
+	return func(r *rng.Xoshiro256) {
+		p := r.Intn(100)
+		key := r.Uint64n(keyRange)
+		switch {
+		case p < mix.ScanPct:
+			lo := key
+			hi := lo + mix.ScanSpan
+			if hi >= keyRange {
+				hi = keyRange - 1
+			}
+			h.RangeCount(t, lo, hi)
+		case p < mix.ScanPct+mix.InsertPct:
+			h.Insert(t, key)
+		case p < mix.ScanPct+mix.InsertPct+mix.RemovePct:
+			h.Remove(t, key)
+		default:
+			h.Contains(t, key)
+		}
+	}
+}
+
+// ScanWorkerFactory adapts NewScanWorker to Run's factory signature.
+func ScanWorkerFactory(set *avl.Set, mix ScanMix, keyRange uint64) WorkerFactory {
+	return func(id int, t core.Thread) Worker {
+		return NewScanWorker(set, t, mix, keyRange)
+	}
+}
+
+// NewBankWorker returns the §6.3 bank worker: transfer a random amount
+// between two distinct random accounts (accounts and amount chosen before
+// the critical section, as in the paper).
+func NewBankWorker(b *bank.Bank, t core.Thread, maxAmount uint64) Worker {
+	n := b.Accounts()
+	return func(r *rng.Xoshiro256) {
+		from := r.Intn(n)
+		to := r.Intn(n - 1)
+		if to >= from {
+			to++
+		}
+		amount := r.Uint64n(maxAmount) + 1
+		b.Transfer(t, from, to, amount)
+	}
+}
+
+// BankFactory adapts NewBankWorker to Run's factory signature.
+func BankFactory(b *bank.Bank, maxAmount uint64) WorkerFactory {
+	return func(id int, t core.Thread) Worker {
+		return NewBankWorker(b, t, maxAmount)
+	}
+}
+
+// DefaultSetHeapWords sizes a heap for an AVL experiment: seed nodes plus
+// churn headroom (handles recycle removed nodes, so churn is bounded by
+// in-flight spares) plus method metadata.
+func DefaultSetHeapWords(keyRange uint64, threads int) int {
+	nodes := int(keyRange) // ~half live, 2x headroom
+	return nodes*mem.WordsPerLine + threads*64*mem.WordsPerLine + 1<<16
+}

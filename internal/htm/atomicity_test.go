@@ -1,0 +1,146 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+
+	"rtle/internal/mem"
+)
+
+// TestPlainLoadNeverSeesPartialCommit is the regression test for the
+// simulator's most subtle requirement: a non-transactional reader must
+// never observe a subset of a transaction's writes (real HTM commits at a
+// single instant). Writers transactionally update two words on different
+// lines keeping them equal; a plain reader samples both and must always
+// see them equal or see both from a previous commit... since it cannot
+// read them atomically as a pair, the invariant checked is per-word
+// monotonicity plus the pairing at quiescence. The strict check — a load
+// during publication — is covered deterministically below.
+func TestPlainLoadNeverSeesPartialCommit(t *testing.T) {
+	m := mem.New(1 << 12)
+	a := m.AllocLines(1)
+	line := mem.LineOf(a)
+
+	// Simulate a committing transaction holding the line lock.
+	mw := m.MetaLoad(line)
+	if !m.TryLockLine(line, mw) {
+		t.Fatal("could not lock line")
+	}
+	loaded := make(chan uint64)
+	go func() {
+		loaded <- m.Load(a) // must block until the line is unlocked
+	}()
+	select {
+	case v := <-loaded:
+		t.Fatalf("Load returned %d while the line was commit-locked", v)
+	default:
+	}
+	m.WordStore(a, 42)
+	ver := m.ClockTick()
+	m.UnlockLine(line, ver)
+	if v := <-loaded; v != 42 {
+		t.Fatalf("Load after publication = %d, want 42", v)
+	}
+}
+
+// TestAtomicRMWVsCommittingTx: transactional increments racing with
+// non-transactional FetchAdd increments. Both are individually atomic:
+// FetchAdd takes the line lock (serializing against commit publication)
+// and bumps the version (dooming transactions that read the old value),
+// so no update may ever be lost in either direction. This is the
+// htm-level regression for the commit-window bug (a transaction
+// validating, then a plain access slipping in before publication); the
+// core-level counterpart with a full lock holder is
+// core.TestConcurrentCounterMixedPaths.
+func TestAtomicRMWVsCommittingTx(t *testing.T) {
+	m := mem.New(1 << 12)
+	a := m.AllocLines(1)
+
+	const total = 4000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		tx := NewTx(m, Config{})
+		for done := 0; done < total; {
+			if tx.Run(func(tx *Tx) { tx.Write(a, tx.Read(a)+1) }) == None {
+				done++
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for done := 0; done < total; done++ {
+			m.FetchAdd(a, 1)
+		}
+	}()
+	wg.Wait()
+	if got := m.Load(a); got != 2*total {
+		t.Fatalf("counter = %d, want %d — an update was lost across the commit window", got, 2*total)
+	}
+}
+
+// TestUnprotectedPlainRMWCanLoseTxUpdates documents the deliberate
+// semantic hole (the one real HTM also has, and the one the paper's
+// barriers close): a plain load-compute-store sequence is NOT atomic
+// against transaction commits, so updates may be lost. The assertion is
+// directional: the counter never exceeds the update count and the
+// transactional side alone is never lost below its own contribution...
+// which cannot be separated out, so the only safe bound is the total.
+func TestUnprotectedPlainRMWCanLoseTxUpdates(t *testing.T) {
+	m := mem.New(1 << 12)
+	a := m.AllocLines(1)
+	const total = 2000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		tx := NewTx(m, Config{})
+		for done := 0; done < total; {
+			if tx.Run(func(tx *Tx) { tx.Write(a, tx.Read(a)+1) }) == None {
+				done++
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for done := 0; done < total; done++ {
+			m.Store(a, m.Load(a)+1) // unprotected read-modify-write
+		}
+	}()
+	wg.Wait()
+	if got := m.Load(a); got > 2*total {
+		t.Fatalf("counter = %d exceeds the %d updates performed", got, 2*total)
+	}
+	if got := m.Load(a); got == 0 {
+		t.Fatal("counter is zero: all updates vanished")
+	}
+}
+
+// TestStoreWaitsForCommitLock: a plain store to a line locked by a commit
+// must wait and then land after the publication.
+func TestStoreWaitsForCommitLock(t *testing.T) {
+	m := mem.New(1 << 12)
+	a := m.AllocLines(1)
+	line := mem.LineOf(a)
+	mw := m.MetaLoad(line)
+	if !m.TryLockLine(line, mw) {
+		t.Fatal("could not lock line")
+	}
+	stored := make(chan struct{})
+	go func() {
+		m.Store(a, 7)
+		close(stored)
+	}()
+	select {
+	case <-stored:
+		t.Fatal("Store completed while line commit-locked")
+	default:
+	}
+	m.WordStore(a, 1)
+	m.UnlockLine(line, m.ClockTick())
+	<-stored
+	if v := m.Load(a); v != 7 {
+		t.Fatalf("plain store lost: %d", v)
+	}
+}

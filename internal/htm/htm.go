@@ -1,0 +1,402 @@
+// Package htm simulates best-effort hardware transactional memory over the
+// simulated shared heap of package mem.
+//
+// The engine follows the TL2 recipe — snapshot a global clock at begin,
+// validate each read against the snapshot, buffer writes, and at commit
+// lock the write-set lines, revalidate the read set, and publish — which
+// yields exactly the guarantees the paper's algorithms assume of real HTM:
+//
+//   - Strong atomicity per access: a non-transactional store (mem.Store)
+//     bumps the line version, dooming every in-flight transaction that read
+//     the line.
+//   - Opacity: a transaction never observes a state newer than its
+//     snapshot, so doomed transactions abort instead of computing on torn
+//     data.
+//   - Invisibility of speculative writes until commit.
+//   - Best-effort completion: transactions can fail for data conflicts,
+//     capacity overflow (bounded read/write sets, as an L1-bounded HTM),
+//     explicit self-abort, "unsupported instructions" (the Unsupported
+//     hook, modelling a divide-by-zero or syscall under RTM), and — when
+//     fault injection is enabled — spuriously.
+//
+// What the engine deliberately does NOT provide is atomicity for a group of
+// non-transactional accesses: the thread holding the lock in a TLE scheme
+// executes plain loads and stores and receives no isolation from committing
+// transactions. Real HTM has the same hole, and closing it is precisely the
+// job of the RW-TLE and FG-TLE barriers in package core.
+package htm
+
+import (
+	"fmt"
+	"runtime"
+
+	"rtle/internal/mem"
+	"rtle/internal/rng"
+)
+
+// AbortReason classifies the outcome of a transaction attempt. None means
+// the transaction committed.
+type AbortReason uint8
+
+const (
+	// None reports a successful commit.
+	None AbortReason = iota
+	// Conflict is a data conflict with a concurrent transaction or a
+	// non-transactional store.
+	Conflict
+	// Capacity is a read- or write-set overflow.
+	Capacity
+	// Explicit is a self-abort requested by the transaction body (for
+	// example an instrumentation barrier detecting an orec conflict).
+	Explicit
+	// Unsupported models an instruction that can never complete inside a
+	// hardware transaction.
+	Unsupported
+	// Spurious is an injected fault (interrupt, false sharing, ...).
+	Spurious
+
+	// NumReasons is the number of distinct AbortReason values.
+	NumReasons = int(Spurious) + 1
+)
+
+// String returns the reason's name.
+func (r AbortReason) String() string {
+	switch r {
+	case None:
+		return "none"
+	case Conflict:
+		return "conflict"
+	case Capacity:
+		return "capacity"
+	case Explicit:
+		return "explicit"
+	case Unsupported:
+		return "unsupported"
+	case Spurious:
+		return "spurious"
+	default:
+		return fmt.Sprintf("AbortReason(%d)", uint8(r))
+	}
+}
+
+// Config bounds a simulated transaction. The zero value selects defaults.
+type Config struct {
+	// ReadLines is the maximum number of distinct cache lines a
+	// transaction may read (default 512, a 32 KB L1 of 64-byte lines).
+	ReadLines int
+	// WriteLines is the maximum number of distinct cache lines a
+	// transaction may write (default 128, a store-buffer-bounded HTM).
+	WriteLines int
+	// SpuriousProb, if positive, aborts each access with the given
+	// probability. Used for fault-injection tests.
+	SpuriousProb float64
+	// SpuriousSeed seeds the fault-injection generator.
+	SpuriousSeed uint64
+	// InterleaveEvery, if positive, yields the goroutine every N
+	// transactional accesses. This is concurrency virtualization for
+	// hosts with fewer cores than worker threads: on real parallel
+	// hardware transactions overlap in time and conflict; on a
+	// single core a transaction usually runs to completion within its
+	// scheduler slice and contention vanishes. Yielding inside the
+	// transaction restores the overlap (see DESIGN.md §1.5). Zero
+	// disables it.
+	InterleaveEvery int
+}
+
+// DefaultReadLines and DefaultWriteLines are the capacity bounds used when
+// Config fields are zero.
+const (
+	DefaultReadLines  = 512
+	DefaultWriteLines = 128
+)
+
+func (c Config) readLines() int {
+	if c.ReadLines > 0 {
+		return c.ReadLines
+	}
+	return DefaultReadLines
+}
+
+func (c Config) writeLines() int {
+	if c.WriteLines > 0 {
+		return c.WriteLines
+	}
+	return DefaultWriteLines
+}
+
+// Stats counts transaction outcomes for one Tx (one thread).
+type Stats struct {
+	Starts  uint64
+	Commits uint64
+	Aborts  [NumReasons]uint64
+}
+
+// TotalAborts sums aborts across reasons.
+func (s *Stats) TotalAborts() uint64 {
+	var t uint64
+	for _, v := range s.Aborts {
+		t += v
+	}
+	return t
+}
+
+// Merge adds other into s.
+func (s *Stats) Merge(other *Stats) {
+	s.Starts += other.Starts
+	s.Commits += other.Commits
+	for i := range s.Aborts {
+		s.Aborts[i] += other.Aborts[i]
+	}
+}
+
+// abortSignal is the private panic value used to unwind an aborting
+// transaction back to Run.
+type abortSignal struct{ reason AbortReason }
+
+type lineVer struct {
+	line uint64
+	ver  uint64
+}
+
+// Tx is a reusable transaction context bound to one thread. A Tx must not
+// be shared between goroutines. Accessor methods (Read, Write, Abort,
+// Unsupported) may only be called from inside the body passed to Run.
+type Tx struct {
+	m   *mem.Memory
+	cfg Config
+
+	snapshot uint64
+	active   bool
+	accesses int
+
+	readLines  *lineSet
+	writeLines *lineSet
+	writes     *writeMap
+	locked     []lineVer
+
+	fault *rng.Xoshiro256
+
+	// Stats accumulates outcomes across all Run calls on this Tx.
+	Stats Stats
+}
+
+// NewTx returns a transaction context over m with the given configuration.
+func NewTx(m *mem.Memory, cfg Config) *Tx {
+	t := &Tx{
+		m:          m,
+		cfg:        cfg,
+		readLines:  newLineSet(cfg.readLines()),
+		writeLines: newLineSet(cfg.writeLines()),
+		writes:     newWriteMap(cfg.writeLines() * mem.WordsPerLine),
+	}
+	if cfg.SpuriousProb > 0 {
+		t.fault = rng.NewXoshiro256(cfg.SpuriousSeed | 1)
+	}
+	return t
+}
+
+// Memory returns the heap this Tx operates on.
+func (t *Tx) Memory() *mem.Memory { return t.m }
+
+// Active reports whether a transaction is currently executing on t.
+func (t *Tx) Active() bool { return t.active }
+
+// Snapshot returns the clock snapshot of the current attempt. It is only
+// meaningful while Active.
+func (t *Tx) Snapshot() uint64 { return t.snapshot }
+
+// Run executes body as one hardware-transaction attempt and returns None on
+// commit or the abort reason. Speculative writes are discarded on abort.
+// Run never retries: retry policy belongs to the caller, as with real RTM
+// where XBEGIN's fallback path owns the decision.
+//
+// Panics raised by body that are not transaction aborts propagate to the
+// caller after the speculative state is discarded.
+func (t *Tx) Run(body func(*Tx)) (reason AbortReason) {
+	if t.active {
+		panic("htm: nested Run on the same Tx")
+	}
+	t.begin()
+	defer func() {
+		t.reset()
+		if r := recover(); r != nil {
+			if sig, ok := r.(abortSignal); ok {
+				reason = sig.reason
+				t.Stats.Aborts[sig.reason]++
+				return
+			}
+			panic(r)
+		}
+	}()
+	body(t)
+	reason = t.commit()
+	if reason == None {
+		t.Stats.Commits++
+	} else {
+		t.Stats.Aborts[reason]++
+	}
+	return reason
+}
+
+func (t *Tx) begin() {
+	t.active = true
+	t.accesses = 0
+	t.snapshot = t.m.ClockLoad()
+	t.Stats.Starts++
+}
+
+func (t *Tx) reset() {
+	t.active = false
+	t.readLines.reset()
+	t.writeLines.reset()
+	t.writes.reset()
+	t.locked = t.locked[:0]
+}
+
+// abort unwinds the current attempt with the given reason.
+func (t *Tx) abort(reason AbortReason) {
+	panic(abortSignal{reason})
+}
+
+// Abort self-aborts the current transaction (XABORT).
+func (t *Tx) Abort() {
+	t.mustBeActive("Abort")
+	t.abort(Explicit)
+}
+
+// Unsupported models executing an instruction HTM cannot speculate through
+// (divide-by-zero in the paper's §6.3 experiment, syscalls, ...). It always
+// aborts the current attempt.
+func (t *Tx) Unsupported() {
+	t.mustBeActive("Unsupported")
+	t.abort(Unsupported)
+}
+
+func (t *Tx) mustBeActive(op string) {
+	if !t.active {
+		panic("htm: " + op + " outside a transaction")
+	}
+}
+
+// onAccess runs the per-access hooks: fault injection and single-core
+// concurrency virtualization (InterleaveEvery).
+func (t *Tx) onAccess() {
+	if t.fault != nil && t.fault.Float64() < t.cfg.SpuriousProb {
+		t.abort(Spurious)
+	}
+	if n := t.cfg.InterleaveEvery; n > 0 {
+		t.accesses++
+		if t.accesses%n == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Read performs a transactional load of a word. It returns the
+// transaction's own pending write if there is one. The line joins the read
+// set; a version newer than the snapshot, a locked line, or read-set
+// overflow aborts the attempt.
+func (t *Tx) Read(a mem.Addr) uint64 {
+	t.mustBeActive("Read")
+	t.onAccess()
+	if t.writes.len() > 0 {
+		if v, ok := t.writes.get(a); ok {
+			return v
+		}
+	}
+	line := mem.LineOf(a)
+	m1 := t.m.MetaLoad(line)
+	v := t.m.WordLoad(a)
+	m2 := t.m.MetaLoad(line)
+	if m1 != m2 || mem.Locked(m1) || mem.VersionOf(m1) > t.snapshot {
+		t.abort(Conflict)
+	}
+	if t.readLines.len() >= t.cfg.readLines() && !t.readLines.contains(line) {
+		t.abort(Capacity)
+	}
+	t.readLines.add(line)
+	return v
+}
+
+// Write performs a transactional store of a word. The value is buffered
+// until commit; write-set overflow aborts the attempt.
+func (t *Tx) Write(a mem.Addr, v uint64) {
+	t.mustBeActive("Write")
+	t.onAccess()
+	line := mem.LineOf(a)
+	if t.writeLines.len() >= t.cfg.writeLines() && !t.writeLines.contains(line) {
+		t.abort(Capacity)
+	}
+	t.writeLines.add(line)
+	t.writes.put(a, v)
+}
+
+// ReadSetLines and WriteSetLines report the current footprint, for tests
+// and adaptive policies.
+func (t *Tx) ReadSetLines() int  { return t.readLines.len() }
+func (t *Tx) WriteSetLines() int { return t.writeLines.len() }
+
+// commit attempts to make the attempt's writes visible atomically.
+func (t *Tx) commit() AbortReason {
+	if t.writes.len() == 0 {
+		// Read-only transactions were validated read-by-read against
+		// the snapshot; they serialize at snapshot time.
+		return None
+	}
+	// Lock the write set. Pure try-lock: any contention aborts, so there
+	// is no deadlock and no ordering requirement.
+	ok := true
+	t.writeLines.forEach(func(line uint64) bool {
+		mw := t.m.MetaLoad(line)
+		if mem.Locked(mw) || !t.m.TryLockLine(line, mw) {
+			ok = false
+			return false
+		}
+		ver := mem.VersionOf(mw)
+		t.locked = append(t.locked, lineVer{line, ver})
+		if ver > t.snapshot && t.readLines.contains(line) {
+			// A line we both read and wrote changed since we read it.
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		t.rollbackLocks()
+		return Conflict
+	}
+	// Validate the read set.
+	t.readLines.forEach(func(line uint64) bool {
+		if t.writeLines.contains(line) {
+			return true // validated during locking above
+		}
+		mw := t.m.MetaLoad(line)
+		if mem.Locked(mw) || mem.VersionOf(mw) > t.snapshot {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		t.rollbackLocks()
+		return Conflict
+	}
+	// Publish.
+	wv := t.m.ClockTick()
+	t.writes.forEachOrdered(func(a mem.Addr, v uint64) {
+		t.m.WordStore(a, v)
+	})
+	for _, lv := range t.locked {
+		t.m.UnlockLine(lv.line, wv)
+	}
+	return None
+}
+
+// rollbackLocks releases any line locks taken during a failed commit,
+// restoring the pre-lock versions.
+func (t *Tx) rollbackLocks() {
+	for _, lv := range t.locked {
+		t.m.UnlockLine(lv.line, lv.ver)
+	}
+	t.locked = t.locked[:0]
+}

@@ -1,0 +1,182 @@
+package htm
+
+import "rtle/internal/mem"
+
+// lineSet is an open-addressing set of cache-line indices, reset in O(1)
+// by bumping an epoch tag instead of clearing the table. It is the
+// transaction read/write-set index — the hot path of every transactional
+// access — so it avoids Go map overhead.
+//
+// Slots hold epoch<<32 | (line+1); a slot belongs to the current
+// generation only if its epoch matches. Line indices fit comfortably in
+// 32 bits (a 2^32-line heap would be 2 TiB of simulated memory).
+type lineSet struct {
+	slots []uint64
+	mask  uint64
+	n     int
+	epoch uint32
+}
+
+func newLineSet(capacity int) *lineSet {
+	size := 4
+	for size < capacity*2 {
+		size <<= 1
+	}
+	return &lineSet{slots: make([]uint64, size), mask: uint64(size - 1), epoch: 1}
+}
+
+// reset empties the set in O(1).
+func (s *lineSet) reset() {
+	s.n = 0
+	s.epoch++
+	if s.epoch == 0 { // epoch wrapped: lazily stale tags could collide
+		clear(s.slots)
+		s.epoch = 1
+	}
+}
+
+func (s *lineSet) len() int { return s.n }
+
+// add inserts line, reporting whether it was absent. The caller bounds
+// occupancy (capacity aborts fire before the table fills).
+func (s *lineSet) add(line uint64) bool {
+	want := uint64(s.epoch)<<32 | (line + 1)
+	i := mix(line) & s.mask
+	for {
+		slot := s.slots[i]
+		if slot == want {
+			return false
+		}
+		if uint32(slot>>32) != s.epoch || slot == 0 {
+			s.slots[i] = want
+			s.n++
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// contains reports membership.
+func (s *lineSet) contains(line uint64) bool {
+	want := uint64(s.epoch)<<32 | (line + 1)
+	i := mix(line) & s.mask
+	for {
+		slot := s.slots[i]
+		if slot == want {
+			return true
+		}
+		if uint32(slot>>32) != s.epoch || slot == 0 {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// forEach visits every member of the current generation.
+func (s *lineSet) forEach(fn func(line uint64) bool) {
+	if s.n == 0 {
+		return
+	}
+	for _, slot := range s.slots {
+		if slot != 0 && uint32(slot>>32) == s.epoch {
+			if !fn((slot & 0xffffffff) - 1) {
+				return
+			}
+		}
+	}
+}
+
+// writeMap buffers a transaction's speculative stores: an epoch-tagged
+// open-addressing index from word address to a dense values array, plus
+// the insertion order for deterministic write-back.
+type writeMap struct {
+	keys  []uint64 // epoch<<32 | (addr+1) -> index+1 into vals, packed below
+	idx   []uint32
+	vals  []uint64
+	order []mem.Addr
+	mask  uint64
+	epoch uint32
+}
+
+func newWriteMap(capacity int) *writeMap {
+	size := 4
+	for size < capacity*2 {
+		size <<= 1
+	}
+	return &writeMap{
+		keys:  make([]uint64, size),
+		idx:   make([]uint32, size),
+		vals:  make([]uint64, 0, capacity),
+		order: make([]mem.Addr, 0, capacity),
+		mask:  uint64(size - 1),
+		epoch: 1,
+	}
+}
+
+func (w *writeMap) reset() {
+	w.vals = w.vals[:0]
+	w.order = w.order[:0]
+	w.epoch++
+	if w.epoch == 0 {
+		clear(w.keys)
+		w.epoch = 1
+	}
+}
+
+func (w *writeMap) len() int { return len(w.order) }
+
+// get returns the buffered value for addr, if any.
+func (w *writeMap) get(a mem.Addr) (uint64, bool) {
+	want := uint64(w.epoch)<<32 | (uint64(a) + 1)
+	i := mix(uint64(a)) & w.mask
+	for {
+		k := w.keys[i]
+		if k == want {
+			return w.vals[w.idx[i]], true
+		}
+		if uint32(k>>32) != w.epoch || k == 0 {
+			return 0, false
+		}
+		i = (i + 1) & w.mask
+	}
+}
+
+// put buffers a store. The caller bounds occupancy via the line budget
+// (at most WriteLines × WordsPerLine distinct words).
+func (w *writeMap) put(a mem.Addr, v uint64) {
+	want := uint64(w.epoch)<<32 | (uint64(a) + 1)
+	i := mix(uint64(a)) & w.mask
+	for {
+		k := w.keys[i]
+		if k == want {
+			w.vals[w.idx[i]] = v
+			return
+		}
+		if uint32(k>>32) != w.epoch || k == 0 {
+			w.keys[i] = want
+			w.idx[i] = uint32(len(w.vals))
+			w.vals = append(w.vals, v)
+			w.order = append(w.order, a)
+			return
+		}
+		i = (i + 1) & w.mask
+	}
+}
+
+// forEachOrdered visits buffered stores in insertion order with their
+// final values.
+func (w *writeMap) forEachOrdered(fn func(a mem.Addr, v uint64)) {
+	for _, a := range w.order {
+		v, _ := w.get(a)
+		fn(a, v)
+	}
+}
+
+// mix is a fast 64-bit finalizer (splitmix64 tail) for slot hashing.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}

@@ -1,0 +1,208 @@
+// Package norec implements the NOrec software transactional memory of
+// Dalessandro, Spear and Scott (PPoPP 2010), the software-only comparison
+// point of the paper's evaluation (§6.2.2) and the substrate of the
+// RHNOrec hybrid.
+//
+// NOrec keeps no ownership records: a single global sequence lock
+// serializes writer commits, and readers detect interference by
+// value-based validation — re-reading every location in the read set and
+// comparing values — whenever the sequence lock changes. Read-only
+// transactions commit without touching shared metadata.
+package norec
+
+import (
+	"runtime"
+	"time"
+
+	"rtle/internal/core"
+	"rtle/internal/mem"
+)
+
+// Method implements core.Method with the NOrec STM. All atomic blocks run
+// as software transactions; there is no hardware component.
+type Method struct {
+	m       *mem.Memory
+	seqAddr mem.Addr
+	policy  core.Policy
+}
+
+// New returns a NOrec method over m. Only the policy's concurrency
+// virtualization (InterleaveEvery) applies; software transactions retry
+// until they commit regardless of the attempt budget.
+func New(m *mem.Memory, policy core.Policy) *Method {
+	return &Method{m: m, seqAddr: m.AllocLines(1), policy: policy}
+}
+
+// Name implements core.Method.
+func (n *Method) Name() string { return "NOrec" }
+
+// SeqAddr returns the global sequence-lock address (for RHNOrec and tests).
+func (n *Method) SeqAddr() mem.Addr { return n.seqAddr }
+
+// NewThread implements core.Method.
+func (n *Method) NewThread() core.Thread {
+	return &thread{
+		method:    n,
+		writeVals: make(map[mem.Addr]uint64, 64),
+		pacer:     &core.Pacer{Every: n.policy.HTM.InterleaveEvery},
+	}
+}
+
+// stmAbort is the private panic value that unwinds an aborting software
+// transaction attempt.
+type stmAbort struct{}
+
+type thread struct {
+	method *Method
+	pacer  *core.Pacer
+	stats  core.Stats
+
+	snapshot   uint64
+	readAddrs  []mem.Addr
+	readVals   []uint64
+	writeVals  map[mem.Addr]uint64
+	writeOrder []mem.Addr
+}
+
+func (t *thread) Stats() *core.Stats { return &t.stats }
+
+// Atomic implements core.Thread: retry the software transaction until it
+// commits.
+func (t *thread) Atomic(body func(core.Context)) {
+	start := time.Now()
+	for !t.attempt(body) {
+		t.stats.STMAborts++
+	}
+	t.stats.STMTimeNanos += time.Since(start).Nanoseconds()
+	t.stats.Ops++
+}
+
+// attempt runs one software transaction attempt; false means validation
+// failed and the caller must retry.
+func (t *thread) attempt(body func(core.Context)) (ok bool) {
+	t.begin()
+	defer func() {
+		t.reset()
+		if r := recover(); r != nil {
+			if _, is := r.(stmAbort); is {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	body(ctx{t})
+	t.commit()
+	return true
+}
+
+func (t *thread) begin() {
+	t.stats.STMStarts++
+	t.snapshot = t.waitEven()
+}
+
+func (t *thread) reset() {
+	t.readAddrs = t.readAddrs[:0]
+	t.readVals = t.readVals[:0]
+	clear(t.writeVals)
+	t.writeOrder = t.writeOrder[:0]
+}
+
+// waitEven spins until the sequence lock is even (no writer committing)
+// and returns its value.
+func (t *thread) waitEven() uint64 {
+	m := t.method.m
+	for spins := 0; ; spins++ {
+		s := m.Load(t.method.seqAddr)
+		if s&1 == 0 {
+			return s
+		}
+		if spins%8 == 7 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// validate re-reads the entire read set and compares values (NOrec's
+// signature mechanism, counted for Fig. 10). It returns the new consistent
+// snapshot, or aborts the attempt on a changed value.
+func (t *thread) validate() uint64 {
+	m := t.method.m
+	for {
+		s := t.waitEven()
+		t.stats.Validations++
+		consistent := true
+		for i, a := range t.readAddrs {
+			if m.Load(a) != t.readVals[i] {
+				consistent = false
+				break
+			}
+		}
+		if !consistent {
+			panic(stmAbort{})
+		}
+		if m.Load(t.method.seqAddr) == s {
+			return s
+		}
+	}
+}
+
+// read performs a transactional load with the NOrec post-validation loop.
+func (t *thread) read(a mem.Addr) uint64 {
+	t.pacer.Tick()
+	if len(t.writeVals) > 0 {
+		if v, ok := t.writeVals[a]; ok {
+			return v
+		}
+	}
+	m := t.method.m
+	v := m.Load(a)
+	for t.snapshot != m.Load(t.method.seqAddr) {
+		t.snapshot = t.validate()
+		v = m.Load(a)
+	}
+	t.readAddrs = append(t.readAddrs, a)
+	t.readVals = append(t.readVals, v)
+	return v
+}
+
+func (t *thread) write(a mem.Addr, v uint64) {
+	t.pacer.Tick()
+	if _, ok := t.writeVals[a]; !ok {
+		t.writeOrder = append(t.writeOrder, a)
+	}
+	t.writeVals[a] = v
+}
+
+// commit publishes buffered writes under the sequence lock. Read-only
+// transactions are already consistent at snapshot time and commit for free.
+func (t *thread) commit() {
+	if len(t.writeVals) == 0 {
+		t.stats.STMCommitsRO++
+		return
+	}
+	m := t.method.m
+	for !m.CAS(t.method.seqAddr, t.snapshot, t.snapshot+1) {
+		t.snapshot = t.validate()
+	}
+	for _, a := range t.writeOrder {
+		m.Store(a, t.writeVals[a])
+	}
+	m.Store(t.method.seqAddr, t.snapshot+2)
+	// Plain NOrec serializes every writer commit on the sequence lock;
+	// report those in the "slow" software-commit bucket.
+	t.stats.STMCommitsLock++
+}
+
+// ctx adapts a thread to core.Context.
+type ctx struct {
+	t *thread
+}
+
+func (c ctx) Read(a mem.Addr) uint64     { return c.t.read(a) }
+func (c ctx) Write(a mem.Addr, v uint64) { c.t.write(a, v) }
+func (c ctx) InHTM() bool                { return false }
+
+// Unsupported is a no-op: software transactions can run anything, which is
+// why the HTM-unfriendly thread of §6.3 always lands on the software path.
+func (c ctx) Unsupported() {}

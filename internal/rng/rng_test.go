@@ -1,0 +1,129 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(1), NewSplitMix64(1)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 1234567 from the public-domain
+	// implementation.
+	s := NewSplitMix64(1234567)
+	got := []uint64{s.Next(), s.Next(), s.Next()}
+	want := []uint64{6457827717110365317, 3203168211198807973, 9817491932198370423}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a, b := NewXoshiro256(99), NewXoshiro256(99)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestXoshiroSeedsDiffer(t *testing.T) {
+	a, b := NewXoshiro256(1), NewXoshiro256(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical outputs from different seeds", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := NewXoshiro256(7)
+	for _, n := range []uint64{1, 2, 3, 100, 8192} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	NewXoshiro256(1).Uint64n(0)
+}
+
+func TestUint64nOneIsZero(t *testing.T) {
+	r := NewXoshiro256(5)
+	for i := 0; i < 100; i++ {
+		if r.Uint64n(1) != 0 {
+			t.Fatal("Uint64n(1) must be 0")
+		}
+	}
+}
+
+func TestIntnCoversRange(t *testing.T) {
+	r := NewXoshiro256(11)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		seen[r.Intn(10)] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d never drawn in 10000 tries", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewXoshiro256(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestUint64nRoughlyUniform(t *testing.T) {
+	r := NewXoshiro256(17)
+	const buckets = 16
+	const draws = 160000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d count %d deviates more than 10%% from %d", b, c, want)
+		}
+	}
+}
+
+func TestQuickUint64nBounded(t *testing.T) {
+	r := NewXoshiro256(23)
+	f := func(n uint32) bool {
+		nn := uint64(n) + 1
+		return r.Uint64n(nn) < nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+package tmap
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"rtle/internal/core"
+	"rtle/internal/mem"
+	"rtle/internal/rng"
+)
+
+func newMap(buckets int) (*Map, *Handle, core.Context) {
+	m := mem.New(1 << 20)
+	mp := New(m, buckets)
+	return mp, mp.NewHandle(), core.Direct(m)
+}
+
+func TestBucketsRoundedToPowerOfTwo(t *testing.T) {
+	mp, _, _ := newMap(100)
+	if mp.Buckets() != 128 {
+		t.Fatalf("Buckets = %d, want 128", mp.Buckets())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, h, c := newMap(16)
+	if _, ok := h.GetCS(c, 5); ok {
+		t.Fatal("empty map returned a value")
+	}
+}
+
+func TestAddInsertsAndIncrements(t *testing.T) {
+	_, h, c := newMap(16)
+	if got := h.AddDirect(c, 7, 1); got != 1 {
+		t.Fatalf("first Add = %d, want 1", got)
+	}
+	if got := h.AddDirect(c, 7, 2); got != 3 {
+		t.Fatalf("second Add = %d, want 3", got)
+	}
+	if v, ok := h.GetCS(c, 7); !ok || v != 3 {
+		t.Fatalf("Get = %d,%v, want 3,true", v, ok)
+	}
+}
+
+func TestPut(t *testing.T) {
+	_, h, c := newMap(16)
+	if !h.PutDirect(c, 1, 10) {
+		t.Fatal("Put of a new key did not report insertion")
+	}
+	if h.PutDirect(c, 1, 20) {
+		t.Fatal("Put of an existing key reported insertion")
+	}
+	if v, _ := h.GetCS(c, 1); v != 20 {
+		t.Fatalf("value = %d, want 20", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	mp, h, c := newMap(16)
+	h.PutDirect(c, 1, 10)
+	h.PutDirect(c, 2, 20)
+	if !h.DeleteDirect(c, 1) {
+		t.Fatal("Delete of present key failed")
+	}
+	if h.DeleteDirect(c, 1) {
+		t.Fatal("Delete of absent key succeeded")
+	}
+	if _, ok := h.GetCS(c, 1); ok {
+		t.Fatal("deleted key still present")
+	}
+	if v, _ := h.GetCS(c, 2); v != 20 {
+		t.Fatal("unrelated key damaged by delete")
+	}
+	if mp.Len(c) != 1 {
+		t.Fatalf("Len = %d, want 1", mp.Len(c))
+	}
+}
+
+func TestDeleteMiddleOfChain(t *testing.T) {
+	// With a single bucket every key chains; delete each position.
+	mp, h, c := newMap(1)
+	for _, k := range []uint64{1, 2, 3} {
+		h.PutDirect(c, k, k*10)
+	}
+	if !h.DeleteDirect(c, 2) {
+		t.Fatal("delete of middle chain entry failed")
+	}
+	for _, k := range []uint64{1, 3} {
+		if v, ok := h.GetCS(c, k); !ok || v != k*10 {
+			t.Fatalf("chain broken: key %d -> %d,%v", k, v, ok)
+		}
+	}
+	if mp.Len(c) != 2 {
+		t.Fatalf("Len = %d, want 2", mp.Len(c))
+	}
+}
+
+func TestCollidingKeysCoexist(t *testing.T) {
+	_, h, c := newMap(1) // everything collides
+	for k := uint64(0); k < 50; k++ {
+		h.AddDirect(c, k, k+1)
+	}
+	for k := uint64(0); k < 50; k++ {
+		if v, ok := h.GetCS(c, k); !ok || v != k+1 {
+			t.Fatalf("key %d -> %d,%v, want %d", k, v, ok, k+1)
+		}
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	mp, h, c := newMap(8)
+	want := map[uint64]uint64{}
+	for k := uint64(0); k < 30; k++ {
+		h.PutDirect(c, k, k*k)
+		want[k] = k * k
+	}
+	got := map[uint64]uint64{}
+	mp.ForEach(c, func(k, v uint64) bool { got[k] = v; return true })
+	if len(got) != len(want) {
+		t.Fatalf("visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d -> %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	mp, h, c := newMap(8)
+	for k := uint64(0); k < 30; k++ {
+		h.PutDirect(c, k, 1)
+	}
+	n := 0
+	mp.ForEach(c, func(uint64, uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("ForEach visited %d after early stop, want 5", n)
+	}
+}
+
+func TestNodeRecyclingAfterDelete(t *testing.T) {
+	mp, h, c := newMap(4)
+	h.PutDirect(c, 1, 1)
+	if h.usedSpare {
+		h.spare = mem.Nil
+	}
+	before := mp.m.Allocated()
+	for i := 0; i < 40; i++ {
+		if !h.DeleteDirect(c, 1) {
+			t.Fatal("delete failed")
+		}
+		if h.removed != mem.Nil {
+			h.freeList = append(h.freeList, h.removed)
+			h.removed = mem.Nil
+		}
+		h.PutDirect(c, 1, 1)
+		if h.usedSpare {
+			h.spare = mem.Nil
+		}
+	}
+	if grown := mp.m.Allocated() - before; grown > 2*mem.WordsPerLine {
+		t.Fatalf("heap grew %d words across churn; free list broken", grown)
+	}
+}
+
+func TestModelRandomOps(t *testing.T) {
+	mp, h, c := newMap(32)
+	model := map[uint64]uint64{}
+	r := rng.NewXoshiro256(13)
+	for i := 0; i < 20000; i++ {
+		k := r.Uint64n(100)
+		switch r.Intn(4) {
+		case 0:
+			d := r.Uint64n(5) + 1
+			got := h.AddDirect(c, k, d)
+			model[k] += d
+			if got != model[k] {
+				t.Fatalf("op %d: Add(%d,%d) = %d, want %d", i, k, d, got, model[k])
+			}
+			if h.usedSpare {
+				h.spare = mem.Nil
+			}
+		case 1:
+			v := r.Next()
+			h.PutDirect(c, k, v)
+			model[k] = v
+			if h.usedSpare {
+				h.spare = mem.Nil
+			}
+		case 2:
+			_, wantOK := model[k]
+			if got := h.DeleteDirect(c, k); got != wantOK {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, wantOK)
+			}
+			delete(model, k)
+			if h.removed != mem.Nil {
+				h.freeList = append(h.freeList, h.removed)
+				h.removed = mem.Nil
+			}
+		default:
+			v, ok := h.GetCS(c, k)
+			wv, wok := model[k]
+			if ok != wok || v != wv {
+				t.Fatalf("op %d: Get(%d) = %d,%v, want %d,%v", i, k, v, ok, wv, wok)
+			}
+		}
+	}
+	if mp.Len(c) != len(model) {
+		t.Fatalf("Len = %d, want %d", mp.Len(c), len(model))
+	}
+}
+
+func TestQuickAddAccumulates(t *testing.T) {
+	_, h, c := newMap(64)
+	totals := map[uint64]uint64{}
+	f := func(k uint16, d uint8) bool {
+		key, delta := uint64(k), uint64(d)+1
+		totals[key] += delta
+		got := h.AddDirect(c, key, delta)
+		if h.usedSpare {
+			h.spare = mem.Nil
+		}
+		return got == totals[key]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAddWithMethod(t *testing.T) {
+	m := mem.New(1 << 22)
+	meth := core.NewFGTLE(m, 64, core.Policy{})
+	mp := New(m, 64)
+	const goroutines = 5
+	const perG = 400
+	const keyRange = 40
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		th := meth.NewThread()
+		go func(id int, th core.Thread) {
+			defer wg.Done()
+			h := mp.NewHandle()
+			r := rng.NewXoshiro256(uint64(id) + 3)
+			for i := 0; i < perG; i++ {
+				h.Add(th, r.Uint64n(keyRange), 1)
+			}
+		}(g, th)
+	}
+	wg.Wait()
+	var total uint64
+	mp.ForEach(core.Direct(m), func(_, v uint64) bool { total += v; return true })
+	if total != goroutines*perG {
+		t.Fatalf("total count %d, want %d — increments lost", total, goroutines*perG)
+	}
+}

@@ -1,0 +1,36 @@
+package vspace_test
+
+import (
+	"fmt"
+
+	"rtle/internal/core"
+	"rtle/internal/mem"
+	"rtle/internal/vspace"
+)
+
+// Example demonstrates the address-space manager: fixed mappings, the
+// page-fault lookup path, and overlap rejection.
+func Example() {
+	m := mem.New(1 << 20)
+	method := core.NewRWTLE(m, core.Policy{})
+	space := vspace.New(m, 1<<32)
+
+	th := method.NewThread()
+	h := space.NewHandle()
+
+	fmt.Println(h.MapFixed(th, 0x400000, 0x10000)) // text segment
+	fmt.Println(h.MapFixed(th, 0x408000, 0x1000))  // overlaps: rejected
+
+	start, length, ok := h.Lookup(th, 0x400abc) // page fault
+	fmt.Printf("%#x %#x %v\n", start, length, ok)
+
+	fmt.Println(h.Unmap(th, 0x400000))
+	_, _, ok = h.Lookup(th, 0x400abc)
+	fmt.Println(ok)
+	// Output:
+	// true
+	// false
+	// 0x400000 0x10000 true
+	// true
+	// false
+}

@@ -1,0 +1,155 @@
+// Package vspace implements a virtual-address-space manager over the
+// transactional ordered map: the very system the paper cites to motivate
+// its AVL benchmark ("the address space of each process is managed by an
+// AVL tree" in OpenSolaris, §6.2, citing Clements et al. [5]).
+//
+// An address space is a set of non-overlapping segments [start, start+len)
+// stored in an avl.Map keyed by start address with the length as the
+// value. The operation mix is the classic motivation for lock elision on
+// this structure: page-fault handling performs a read-only floor lookup
+// (the overwhelmingly common case), while mmap/munmap mutate — so
+// RW-TLE's read-only slow path and FG-TLE's fine-grained orecs map
+// directly onto the workload.
+package vspace
+
+import (
+	"fmt"
+
+	"rtle/internal/avl"
+	"rtle/internal/core"
+	"rtle/internal/mem"
+)
+
+// Space is a virtual address space: non-overlapping segments in an
+// ordered map.
+type Space struct {
+	mp *avl.Map
+	// Limit is the exclusive upper bound of the address space.
+	Limit uint64
+}
+
+// New allocates an empty address space on m with the given limit.
+func New(m *mem.Memory, limit uint64) *Space {
+	return &Space{mp: avl.NewMap(m), Limit: limit}
+}
+
+// Handle is the per-thread access handle.
+type Handle struct {
+	s *Space
+	h *avl.MapHandle
+}
+
+// NewHandle returns a fresh per-thread handle.
+func (s *Space) NewHandle() *Handle {
+	return &Handle{s: s, h: s.mp.NewHandle()}
+}
+
+// MapFixedCS maps [start, start+length) if the range is valid and free,
+// reporting success. It must run inside an atomic block.
+func (h *Handle) MapFixedCS(c core.Context, start, length uint64) bool {
+	if length == 0 || start >= h.s.Limit || h.s.Limit-start < length {
+		return false
+	}
+	// The previous segment must end at or before start...
+	if k, l, ok := h.h.FloorCS(c, start); ok && k+l > start {
+		return false
+	}
+	// ...and the next segment must begin at or after start+length.
+	if k, _, ok := h.h.CeilingCS(c, start+1); ok && k < start+length {
+		return false
+	}
+	h.h.PutCS(c, start, length)
+	return true
+}
+
+// UnmapCS removes the segment starting exactly at start, reporting whether
+// one existed. (Real munmap can split segments; fixed-grain unmap keeps
+// the critical section shaped like the paper's Remove.)
+func (h *Handle) UnmapCS(c core.Context, start uint64) bool {
+	return h.h.RemoveCS(c, start)
+}
+
+// LookupCS resolves addr to its containing segment, the page-fault path:
+// a floor search plus a bounds check, touching O(log n) nodes, read-only.
+func (h *Handle) LookupCS(c core.Context, addr uint64) (start, length uint64, ok bool) {
+	k, l, found := h.h.FloorCS(c, addr)
+	if !found || addr >= k+l {
+		return 0, 0, false
+	}
+	return k, l, true
+}
+
+// AfterMap finalizes handle bookkeeping after a committed atomic block
+// that called MapFixedCS (callers composing CS bodies themselves must
+// call it, like avl's AfterInsert).
+func (h *Handle) AfterMap(mapped bool) { h.h.AfterPut(mapped) }
+
+// AfterUnmap is AfterMap's counterpart for UnmapCS.
+func (h *Handle) AfterUnmap(unmapped bool) { h.h.AfterRemove(unmapped) }
+
+// --- Atomic wrappers ---------------------------------------------------------
+
+// MapFixed runs MapFixedCS atomically on t, with handle bookkeeping.
+func (h *Handle) MapFixed(t core.Thread, start, length uint64) bool {
+	var ok bool
+	t.Atomic(func(c core.Context) { ok = h.MapFixedCS(c, start, length) })
+	h.AfterMap(ok)
+	return ok
+}
+
+// Unmap runs UnmapCS atomically on t, with handle bookkeeping.
+func (h *Handle) Unmap(t core.Thread, start uint64) bool {
+	var ok bool
+	t.Atomic(func(c core.Context) { ok = h.UnmapCS(c, start) })
+	h.AfterUnmap(ok)
+	return ok
+}
+
+// Lookup runs LookupCS atomically on t.
+func (h *Handle) Lookup(t core.Thread, addr uint64) (uint64, uint64, bool) {
+	var start, length uint64
+	var ok bool
+	t.Atomic(func(c core.Context) { start, length, ok = h.LookupCS(c, addr) })
+	return start, length, ok
+}
+
+// --- Whole-space helpers (quiescent use) --------------------------------------
+
+// Segments returns all (start, length) pairs in address order via c.
+func (s *Space) Segments(c core.Context) (starts, lengths []uint64) {
+	return s.mp.Entries(c)
+}
+
+// CheckInvariants verifies the tree structure and that no two segments
+// overlap and none exceeds the limit.
+func (s *Space) CheckInvariants(c core.Context) error {
+	if err := s.mp.CheckInvariants(c); err != nil {
+		return err
+	}
+	starts, lengths := s.mp.Entries(c)
+	var prevEnd uint64
+	for i := range starts {
+		if lengths[i] == 0 {
+			return fmt.Errorf("vspace: zero-length segment at %#x", starts[i])
+		}
+		if starts[i] < prevEnd {
+			return fmt.Errorf("vspace: segment %#x overlaps previous end %#x", starts[i], prevEnd)
+		}
+		end := starts[i] + lengths[i]
+		if end > s.Limit || end < starts[i] {
+			return fmt.Errorf("vspace: segment [%#x, %#x) exceeds limit %#x", starts[i], end, s.Limit)
+		}
+		prevEnd = end
+	}
+	return nil
+}
+
+// MappedBytes sums segment lengths via c.
+func (s *Space) MappedBytes(c core.Context) uint64 {
+	_, lengths := s.mp.Entries(c)
+	var total uint64
+	for _, l := range lengths {
+		total += l
+	}
+	return total
+}

@@ -1,0 +1,212 @@
+package vspace
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"rtle/internal/core"
+	"rtle/internal/mem"
+	"rtle/internal/rng"
+)
+
+func newSpace(limit uint64) (*Space, *Handle, core.Context) {
+	m := mem.New(1 << 20)
+	s := New(m, limit)
+	return s, s.NewHandle(), core.Direct(m)
+}
+
+func TestMapFixedAndLookup(t *testing.T) {
+	s, h, c := newSpace(1 << 20)
+	if !h.MapFixedCS(c, 0x1000, 0x2000) {
+		t.Fatal("mapping into empty space failed")
+	}
+	h.h.AfterPut(true)
+	for _, addr := range []uint64{0x1000, 0x1fff, 0x2fff} {
+		start, length, ok := h.LookupCS(c, addr)
+		if !ok || start != 0x1000 || length != 0x2000 {
+			t.Fatalf("Lookup(%#x) = %#x,%#x,%v", addr, start, length, ok)
+		}
+	}
+	for _, addr := range []uint64{0xfff, 0x3000, 0} {
+		if _, _, ok := h.LookupCS(c, addr); ok {
+			t.Fatalf("Lookup(%#x) found a segment outside any mapping", addr)
+		}
+	}
+	if err := s.CheckInvariants(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFixedRejectsOverlap(t *testing.T) {
+	s, h, c := newSpace(1 << 20)
+	h.MapFixedCS(c, 0x2000, 0x1000) // [0x2000, 0x3000)
+	h.h.AfterPut(true)
+	cases := []struct {
+		start, length uint64
+		why           string
+	}{
+		{0x2000, 0x1000, "identical"},
+		{0x1800, 0x1000, "overlaps from below"},
+		{0x2800, 0x1000, "overlaps from above"},
+		{0x2400, 0x100, "contained"},
+		{0x1000, 0x3000, "contains"},
+	}
+	for _, tc := range cases {
+		if h.MapFixedCS(c, tc.start, tc.length) {
+			t.Errorf("mapping %s succeeded: [%#x, +%#x)", tc.why, tc.start, tc.length)
+		}
+	}
+	// Adjacent mappings must succeed (half-open ranges).
+	if !h.MapFixedCS(c, 0x1000, 0x1000) {
+		t.Error("mapping adjacent below failed")
+	}
+	h.h.AfterPut(true)
+	if !h.MapFixedCS(c, 0x3000, 0x1000) {
+		t.Error("mapping adjacent above failed")
+	}
+	h.h.AfterPut(true)
+	if err := s.CheckInvariants(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFixedRejectsBadRanges(t *testing.T) {
+	s, h, c := newSpace(0x10000)
+	if h.MapFixedCS(c, 0x1000, 0) {
+		t.Error("zero-length mapping succeeded")
+	}
+	if h.MapFixedCS(c, 0x10000, 0x1000) {
+		t.Error("mapping at the limit succeeded")
+	}
+	if h.MapFixedCS(c, 0xF000, 0x2000) {
+		t.Error("mapping across the limit succeeded")
+	}
+	if h.MapFixedCS(c, ^uint64(0)-10, 100) {
+		t.Error("address-overflowing mapping succeeded")
+	}
+	_ = s
+}
+
+func TestUnmap(t *testing.T) {
+	s, h, c := newSpace(1 << 20)
+	h.MapFixedCS(c, 0x1000, 0x1000)
+	h.h.AfterPut(true)
+	if !h.UnmapCS(c, 0x1000) {
+		t.Fatal("unmap of mapped segment failed")
+	}
+	h.h.AfterRemove(true)
+	if h.UnmapCS(c, 0x1000) {
+		t.Fatal("double unmap succeeded")
+	}
+	if _, _, ok := h.LookupCS(c, 0x1800); ok {
+		t.Fatal("lookup found an unmapped segment")
+	}
+	if s.MappedBytes(c) != 0 {
+		t.Fatal("mapped bytes nonzero after unmap")
+	}
+}
+
+func TestQuickRandomMapUnmapNoOverlap(t *testing.T) {
+	s, h, c := newSpace(1 << 16)
+	f := func(start16, len16 uint16, unmap bool) bool {
+		start := uint64(start16)
+		length := uint64(len16%512) + 1
+		if unmap {
+			h.UnmapCS(c, start)
+			h.h.AfterRemove(true)
+		} else {
+			ok := h.MapFixedCS(c, start, length)
+			h.h.AfterPut(ok)
+		}
+		return s.CheckInvariants(c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentAddressSpace drives the mmap/pagefault/munmap mix through
+// elision methods, including HTM-unfriendly mmaps that hold the lock, and
+// checks the no-overlap invariant plus exact byte accounting afterwards.
+func TestConcurrentAddressSpace(t *testing.T) {
+	for _, name := range []string{"TLE", "RW-TLE", "FG-TLE(256)"} {
+		t.Run(name, func(t *testing.T) {
+			m := mem.New(1 << 22)
+			var meth core.Method
+			switch name {
+			case "TLE":
+				meth = core.NewTLE(m, core.Policy{})
+			case "RW-TLE":
+				meth = core.NewRWTLE(m, core.Policy{})
+			default:
+				meth = core.NewFGTLE(m, 256, core.Policy{})
+			}
+			s := New(m, 1<<24)
+			const goroutines = 4
+			const perG = 400
+			const slots = 64
+			const slotSize = 1 << 12
+			mapped := make([][]int64, goroutines) // net bytes mapped per slot
+			var wg sync.WaitGroup
+			wg.Add(goroutines)
+			for g := 0; g < goroutines; g++ {
+				mapped[g] = make([]int64, slots)
+				th := meth.NewThread()
+				go func(id int, th core.Thread) {
+					defer wg.Done()
+					h := s.NewHandle()
+					r := rng.NewXoshiro256(uint64(id) + 29)
+					for i := 0; i < perG; i++ {
+						slot := r.Uint64n(slots)
+						start := slot * 4 * slotSize // spaced slots
+						unfriendly := r.Intn(15) == 0
+						switch r.Intn(10) {
+						case 0, 1:
+							var ok bool
+							th.Atomic(func(c core.Context) {
+								if unfriendly {
+									c.Unsupported()
+								}
+								ok = h.MapFixedCS(c, start, slotSize)
+							})
+							h.h.AfterPut(ok)
+							if ok {
+								mapped[id][slot] += slotSize
+							}
+						case 2:
+							var ok bool
+							th.Atomic(func(c core.Context) {
+								if unfriendly {
+									c.Unsupported()
+								}
+								ok = h.UnmapCS(c, start)
+							})
+							h.h.AfterRemove(ok)
+							if ok {
+								mapped[id][slot] -= slotSize
+							}
+						default:
+							// Page fault: lookup a random address.
+							h.Lookup(th, r.Uint64n(1<<24))
+						}
+					}
+				}(g, th)
+			}
+			wg.Wait()
+			dc := core.Direct(m)
+			if err := s.CheckInvariants(dc); err != nil {
+				t.Fatalf("%s broke the address space: %v", name, err)
+			}
+			var want int64
+			for g := range mapped {
+				for _, b := range mapped[g] {
+					want += b
+				}
+			}
+			if got := int64(s.MappedBytes(dc)); got != want {
+				t.Fatalf("%s: mapped bytes %d, want %d — mmap accounting violated", name, got, want)
+			}
+		})
+	}
+}

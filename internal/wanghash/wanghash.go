@@ -1,0 +1,29 @@
+// Package wanghash implements Thomas Wang's 64-bit integer hash function,
+// the fast_hash of the paper (reference [25]): a short sequence of bitwise
+// operations mapping a 64-bit value — here, a memory address — to an index
+// in [0, r). FG-TLE uses it to map addresses to ownership records.
+package wanghash
+
+// Mix applies Wang's 64-bit mix to x. The result is well distributed even
+// for sequential or line-aligned inputs, which matters because simulated
+// heap addresses are allocated sequentially.
+func Mix(x uint64) uint64 {
+	x = ^x + (x << 21) // x = (x << 21) - x - 1
+	x ^= x >> 24
+	x = (x + (x << 3)) + (x << 8) // x * 265
+	x ^= x >> 14
+	x = (x + (x << 2)) + (x << 4) // x * 21
+	x ^= x >> 28
+	x += x << 31
+	return x
+}
+
+// Hash maps x to a value in [0, r). r must be > 0. When r is a power of
+// two the reduction is a mask; otherwise a modulo is used.
+func Hash(x, r uint64) uint64 {
+	h := Mix(x)
+	if r&(r-1) == 0 {
+		return h & (r - 1)
+	}
+	return h % r
+}

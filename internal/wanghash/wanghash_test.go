@@ -1,0 +1,86 @@
+package wanghash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMixDeterministic(t *testing.T) {
+	if Mix(12345) != Mix(12345) {
+		t.Fatal("Mix is not deterministic")
+	}
+}
+
+func TestMixSpreadsSequentialInputs(t *testing.T) {
+	// Consecutive line-aligned addresses must not collide trivially in a
+	// small table — the paper's orec indexing depends on it.
+	const buckets = 64
+	counts := make([]int, buckets)
+	for i := uint64(0); i < 1024; i++ {
+		counts[Hash(i*8, buckets)]++
+	}
+	for b, c := range counts {
+		// Perfectly uniform would be 16 per bucket.
+		if c == 0 {
+			t.Errorf("bucket %d empty for sequential input", b)
+		}
+		if c > 64 {
+			t.Errorf("bucket %d pathologically hot: %d of 1024", b, c)
+		}
+	}
+}
+
+func TestHashInRange(t *testing.T) {
+	for _, r := range []uint64{1, 2, 7, 16, 100, 8192} {
+		for i := uint64(0); i < 100; i++ {
+			if h := Hash(i*0x9e3779b9, r); h >= r {
+				t.Fatalf("Hash(%d, %d) = %d out of range", i, r, h)
+			}
+		}
+	}
+}
+
+func TestHashRangeOne(t *testing.T) {
+	for i := uint64(0); i < 50; i++ {
+		if Hash(i, 1) != 0 {
+			t.Fatal("Hash with range 1 must always be 0")
+		}
+	}
+}
+
+func TestPowerOfTwoMatchesModulo(t *testing.T) {
+	// The mask fast path must agree with the generic reduction.
+	for _, r := range []uint64{2, 8, 1024} {
+		for i := uint64(0); i < 200; i++ {
+			if Hash(i, r) != Mix(i)%r {
+				t.Fatalf("mask path diverges from modulo at x=%d r=%d", i, r)
+			}
+		}
+	}
+}
+
+func TestQuickHashBounded(t *testing.T) {
+	f := func(x uint64, r uint16) bool {
+		rr := uint64(r) + 1
+		return Hash(x, rr) < rr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMixInjectiveOnSample(t *testing.T) {
+	// Wang's mix is a bijection on 64 bits; no collisions on any sample.
+	seen := map[uint64]uint64{}
+	f := func(x uint64) bool {
+		h := Mix(x)
+		if prev, ok := seen[h]; ok {
+			return prev == x
+		}
+		seen[h] = x
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
