@@ -19,6 +19,7 @@ import (
 	"rtle/internal/harness"
 	"rtle/internal/htm"
 	"rtle/internal/mem"
+	"rtle/internal/obs"
 	"rtle/internal/rng"
 )
 
@@ -344,4 +345,28 @@ func BenchmarkScanWorkload(b *testing.B) {
 			b.ReportMetric(float64(res.Total.SlowCommits), "slow-commits")
 		})
 	}
+}
+
+// BenchmarkObserverOverhead measures the cost of the live-observability
+// layer on the hot path: the same FG-TLE workload with Policy.Observer nil
+// (the production default — each event pays one nil check) and with an
+// obs.Registry attached (every event lands in atomic shard counters plus a
+// latency-histogram update per op). The acceptance bar for the nil case is
+// within 2% of the pre-observability baseline; compare the two sub-bench
+// throughputs to read the enabled cost.
+func BenchmarkObserverOverhead(b *testing.B) {
+	mix := harness.SetMix{InsertPct: 20, RemovePct: 20}
+	b.Run("observer=off", func(b *testing.B) {
+		benchSet(b, "FG-TLE(256)", 8192, mix, 4, core.Policy{})
+	})
+	b.Run("observer=on", func(b *testing.B) {
+		// TraceCapacity -1: isolate the counter/histogram cost from
+		// the (mutex-guarded, samplable) trace ring.
+		reg := obs.NewRegistry(obs.Config{TraceCapacity: -1})
+		benchSet(b, "FG-TLE(256)", 8192, mix, 4, core.Policy{Observer: reg})
+	})
+	b.Run("observer=on+trace", func(b *testing.B) {
+		reg := obs.NewRegistry(obs.Config{})
+		benchSet(b, "FG-TLE(256)", 8192, mix, 4, core.Policy{Observer: reg})
+	})
 }

@@ -2,6 +2,37 @@
 // Transactional Lock Elision" (Dice, Kogan, Lev — PPoPP 2016), built on a
 // simulated best-effort hardware transactional memory.
 //
+// # Public API
+//
+// The root package is the entry point: rtle.New assembles a simulated
+// heap and a synchronization method with functional options,
+//
+//	reg := rtle.NewRegistry()
+//	tm, err := rtle.New(rtle.FGTLE,
+//		rtle.WithOrecs(256),
+//		rtle.WithAttempts(5),
+//		rtle.WithLazySubscription(),
+//		rtle.WithObserver(reg))
+//	th := tm.NewThread()            // one per goroutine
+//	th.Atomic(func(c rtle.Context) { ... })
+//
+// Every synchronization method of the paper's evaluation is an Algorithm
+// value: Lock, TLE, HLE, RWTLE, FGTLE, AdaptiveFGTLE, ALE, NOrec and
+// RHNOrec. A critical section is one function of a Context; the same body
+// runs uninstrumented on the HTM fast path, barrier-instrumented on the
+// slow path, and under the lock — the method supplies the barriers,
+// exactly the role the libitm ABI plays in the paper's implementation.
+// Bodies must route all shared access through the Context and be
+// re-executable (aborted speculative runs have no effect).
+//
+// Statistics come in two forms: quiescent per-thread Stats (read after
+// workers stop, merged with Stats.Merge), and — when WithObserver attaches
+// a Registry — live coherent snapshots readable at any moment during a
+// run, with per-path latency histograms, path-transition traces, and
+// Prometheus/JSON export (see internal/obs and cmd/rtlemon).
+//
+// # Repository layout
+//
 // The repository implements the paper's two contributions — RW-TLE and
 // FG-TLE — together with every substrate and baseline the evaluation
 // depends on: a word-addressable simulated shared memory with cache-line
@@ -9,11 +40,12 @@
 // limits and abort codes (internal/htm), a subscribable spin lock
 // (internal/spinlock), standard TLE, RW-TLE, FG-TLE and adaptive FG-TLE
 // (internal/core), the NOrec STM and RHNOrec hybrid TM baselines
-// (internal/norec, internal/rhnorec), the AVL-tree set, bank-accounts and
-// transaction-safe hash-map benchmark structures (internal/avl,
-// internal/bank, internal/tmap), a synthetic ccTSA sequence assembler
-// (internal/cctsa), and a workload harness computing every statistic the
-// paper plots (internal/harness).
+// (internal/norec, internal/rhnorec), the live-observability layer
+// (internal/obs), the AVL-tree set, bank-accounts and transaction-safe
+// hash-map benchmark structures (internal/avl, internal/bank,
+// internal/tmap), a synthetic ccTSA sequence assembler (internal/cctsa),
+// and a workload harness computing every statistic the paper plots
+// (internal/harness).
 //
 // See README.md for a tour, DESIGN.md for the architecture and the
 // hardware-substitution rationale, and EXPERIMENTS.md for the

@@ -1,10 +1,13 @@
-// Quickstart: the smallest end-to-end use of the library.
+// Quickstart: the smallest end-to-end use of the library through the
+// public rtle API.
 //
-// It builds a simulated shared heap, creates an FG-TLE synchronization
-// method over it, and runs concurrent critical sections against a shared
+// It assembles an FG-TLE transactional-memory instance with a live-metrics
+// registry attached, runs concurrent critical sections against a shared
 // counter and a shared AVL set — showing how work lands on the HTM fast
-// path, the instrumented slow path, or the lock, and how to read the
-// statistics back.
+// path, the instrumented slow path, or the lock — and reads the statistics
+// back two ways: the quiescent per-thread counters, and a registry
+// snapshot that would have been available while the workers were still
+// running.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -13,45 +16,47 @@ import (
 	"fmt"
 	"sync"
 
+	"rtle"
 	"rtle/internal/avl"
-	"rtle/internal/core"
 	"rtle/internal/harness"
-	"rtle/internal/mem"
 )
 
 func main() {
-	// 1. A simulated heap: all shared state lives here so the simulated
-	//    HTM can observe every access.
-	m := mem.New(1 << 20)
+	// 1. A transactional-memory instance: a simulated heap plus a
+	//    synchronization method over it. Swap rtle.FGTLE for rtle.TLE,
+	//    rtle.RWTLE, rtle.NOrec, ... freely — the critical-section code
+	//    below does not change. The registry makes live metrics
+	//    available while workers run.
+	reg := rtle.NewRegistry()
+	tm := rtle.MustNew(rtle.FGTLE,
+		rtle.WithOrecs(256),
+		rtle.WithObserver(reg))
+	m := tm.Memory()
 
-	// 2. A synchronization method. FG-TLE with 256 ownership records;
-	//    swap in core.NewTLE, core.NewRWTLE, norec.New, ... freely — the
-	//    critical-section code below does not change.
-	method := core.NewFGTLE(m, 256, core.Policy{})
-
-	// 3. Shared data: a counter and an AVL set.
+	// 2. Shared data: a counter and an AVL set, allocated on the
+	//    instance's heap so the simulated HTM observes every access.
 	counter := m.AllocLines(1)
 	set := avl.New(m)
 	harness.SeedSet(set, 1024)
 
-	// 4. Concurrent workers. Each goroutine gets its own Thread (and
+	// 3. Concurrent workers. Each goroutine gets its own Thread (and
 	//    per-thread data-structure handles).
 	const goroutines = 4
 	var wg sync.WaitGroup
-	threads := make([]core.Thread, goroutines)
+	threads := make([]rtle.Thread, goroutines)
 	for g := 0; g < goroutines; g++ {
-		threads[g] = method.NewThread()
+		threads[g] = tm.NewThread()
 	}
 	wg.Add(goroutines)
 	for g := 0; g < goroutines; g++ {
-		go func(id int, th core.Thread) {
+		go func(id int, th rtle.Thread) {
 			defer wg.Done()
 			h := set.NewHandle()
 			for i := 0; i < 5000; i++ {
 				key := uint64((id*5000 + i) % 1024)
 				// A critical section is a function of a Context;
 				// all shared accesses go through it.
-				th.Atomic(func(c core.Context) {
+				th.Atomic(func(c rtle.Context) {
 					c.Write(counter, c.Read(counter)+1)
 				})
 				switch i % 3 {
@@ -67,11 +72,12 @@ func main() {
 	}
 	wg.Wait()
 
-	// 5. Results and statistics.
+	// 4. Results and statistics, the quiescent way: merge per-thread
+	//    counters after the workers are done.
 	fmt.Printf("counter: %d (expected %d)\n", m.Load(counter), goroutines*5000)
-	fmt.Printf("set size: %d\n", set.Size(core.Direct(m)))
+	fmt.Printf("set size: %d\n", set.Size(rtle.Direct(m)))
 
-	var total core.Stats
+	var total rtle.Stats
 	for _, th := range threads {
 		total.Merge(th.Stats())
 	}
@@ -80,7 +86,20 @@ func main() {
 	fmt.Printf("  slow-path HTM commits (while lock held): %d\n", total.SlowCommits)
 	fmt.Printf("  lock-path executions:  %d\n", total.LockRuns)
 	fmt.Printf("  fast-path aborts:      %d\n", sum(total.FastAborts[:]))
-	if err := set.CheckInvariants(core.Direct(m)); err != nil {
+
+	// 5. The same numbers the live way: a registry snapshot. Snapshot()
+	//    is safe to call at any moment — including while the workers
+	//    above were still running — and stays coherent (commits never
+	//    exceed ops). It adds what quiescent stats cannot offer:
+	//    per-path latency histograms and a path-transition trace.
+	snap := reg.Snapshot()
+	fmt.Printf("registry: %d ops across %d threads agree with merged stats: %v\n",
+		snap.Stats.Ops, snap.Threads, snap.Stats == total)
+	fast := snap.Latency[rtle.PathFast]
+	fmt.Printf("  mean fast-path latency: %.0fns over %d ops\n", fast.MeanNanos(), fast.Count)
+	fmt.Printf("  path transitions traced: %d\n", len(snap.Trace))
+
+	if err := set.CheckInvariants(rtle.Direct(m)); err != nil {
 		fmt.Println("INVARIANT VIOLATION:", err)
 		return
 	}

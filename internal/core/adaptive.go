@@ -175,6 +175,7 @@ func (a *AdaptiveFGTLE) NewThread() Thread {
 		pacer:    &Pacer{Every: a.policy.HTM.InterleaveEvery},
 		attempts: attemptPolicyFor(a.policy),
 		tx:       htm.NewTx(a.m, a.policy.HTM),
+		rec:      NewRecorder(a.policy, a.Name()),
 	}
 	t.slowAttempt = t.runSlow
 	t.lockRun = t.runUnderLock
@@ -235,9 +236,8 @@ func (t *adaptiveThread) runUnderLock(body func(Context)) {
 		body(lockPathCtx(m, t.pacer)) // TLE mode: uninstrumented
 	}
 	a.windowRuns++
-	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.rec.LockHold(time.Since(start).Nanoseconds())
 	t.lock.Release()
-	t.stats.LockRuns++
 }
 
 // adapt runs the adaptation policy. Called with the lock held, before the
@@ -259,23 +259,23 @@ func (t *adaptiveThread) adapt() {
 			// A full window of lock-path executions with zero
 			// slow-path commits: instrumentation is pure overhead.
 			m.Store(a.modeAddr, modeTLE)
-			t.stats.ModeSwitches++
+			t.rec.ModeSwitch()
 		case a.windowRuns > 0 && a.usageSum/a.windowRuns*4 <= size && size > a.cfg.min():
 			// Most orecs never used: shrink so the saturation
 			// optimization kicks in sooner (the paper's hint).
 			m.Store(a.sizeAddr, size/2)
-			t.stats.Resizes++
+			t.rec.Resize()
 		case a.saturations*2 >= a.windowRuns && size < a.cfg.max():
 			// Critical sections keep acquiring every orec while
 			// speculation continues: refine the granularity.
 			m.Store(a.sizeAddr, size*2)
-			t.stats.Resizes++
+			t.rec.Resize()
 		}
 	} else {
 		// Probe back into FG-TLE mode each window; if speculation
 		// still yields nothing, adapt will switch away again.
 		m.Store(a.modeAddr, modeFG)
-		t.stats.ModeSwitches++
+		t.rec.ModeSwitch()
 	}
 
 	a.windowRuns, a.usageSum, a.saturations = 0, 0, 0

@@ -80,6 +80,7 @@ func (a *ALEMethod) NewThread() Thread {
 		pacer:    &Pacer{Every: a.policy.HTM.InterleaveEvery},
 		attempts: attemptPolicyFor(a.policy),
 		writeMap: map[mem.Addr]uint64{},
+		rec:      NewRecorder(a.policy, a.Name()),
 	}
 }
 
@@ -88,7 +89,7 @@ type aleThread struct {
 	tx       *htm.Tx
 	pacer    *Pacer
 	attempts AttemptPolicy
-	stats    Stats
+	rec      Recorder
 
 	// Software-section state.
 	swSeq      uint64 // phase counter value of this section
@@ -99,14 +100,15 @@ type aleThread struct {
 	writeOrder []mem.Addr
 }
 
-func (t *aleThread) Stats() *Stats { return &t.stats }
+func (t *aleThread) Stats() *Stats { return t.rec.Stats() }
 
 func (t *aleThread) Atomic(body func(Context)) {
+	t0 := t.rec.Begin()
 	a := t.method
 	attempts := 0
 	budget := t.attempts.Budget()
 	for attempts < budget {
-		t.stats.FastAttempts++
+		t.rec.FastAttempt()
 		reason := t.tx.Run(func(tx *htm.Tx) {
 			// Subscribe to the blocked flag (pessimistic write-back
 			// halts us) and the phase counter (a beginning software
@@ -118,17 +120,16 @@ func (t *aleThread) Atomic(body func(Context)) {
 			body(aleFastCtx{method: a, tx: tx, seq: seq})
 		})
 		if reason == htm.None {
-			t.stats.FastCommits++
-			t.stats.Ops++
+			t.rec.FastCommit(t0)
 			t.attempts.Record(attempts, true)
 			return
 		}
-		t.stats.FastAborts[reason]++
+		t.rec.FastAbort(reason, false)
 		attempts++
 	}
 	t.attempts.Record(attempts, false)
 	t.software(body)
-	t.stats.Ops++
+	t.rec.LockCommit(t0)
 }
 
 // software runs the critical section as the single software thread, under
@@ -141,11 +142,10 @@ func (t *aleThread) software(body func(Context)) {
 		if t.attemptSoftware(body) {
 			break
 		}
-		t.stats.STMAborts++
+		t.rec.STMAbort()
 	}
-	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.rec.LockHold(time.Since(start).Nanoseconds())
 	a.lock.Release()
-	t.stats.LockRuns++
 }
 
 type aleAbort struct{}
@@ -165,7 +165,7 @@ func (t *aleThread) attemptSoftware(body func(Context)) (ok bool) {
 	t.readVals = t.readVals[:0]
 	clear(t.writeMap)
 	t.writeOrder = t.writeOrder[:0]
-	t.stats.STMStarts++
+	t.rec.STMStart()
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -190,7 +190,10 @@ func (t *aleThread) writeBack() bool {
 	if len(t.writeOrder) == 0 {
 		// Read-only section: reads were validated eagerly (orec +
 		// version checks), so the section is consistent as of swClock.
-		t.stats.STMCommitsRO++
+		// ALE software sections are dual-booked: a lock run (the Op,
+		// recorded by Atomic) plus the STM commit bucket of the
+		// write-back, hence the extraCommit here and below.
+		t.rec.ExtraCommit(CommitSTMRO)
 		return true
 	}
 	valid := true
@@ -210,7 +213,7 @@ func (t *aleThread) writeBack() bool {
 			}
 		})
 		if reason == htm.None {
-			t.stats.STMCommitsHTM++
+			t.rec.ExtraCommit(CommitSTMHTM)
 			return true
 		}
 		if !valid {
@@ -228,7 +231,7 @@ func (t *aleThread) writeBack() bool {
 	for _, addr := range t.writeOrder {
 		m.Store(addr, t.writeMap[addr])
 	}
-	t.stats.STMCommitsLock++
+	t.rec.ExtraCommit(CommitSTMLock)
 	return true
 }
 

@@ -79,6 +79,7 @@ func (f *FGTLEMethod) NewThread() Thread {
 		pacer:    &Pacer{Every: f.policy.HTM.InterleaveEvery},
 		attempts: attemptPolicyFor(f.policy),
 		tx:       htm.NewTx(f.m, f.policy.HTM),
+		rec:      NewRecorder(f.policy, f.Name()),
 	}
 	t.slowAttempt = t.runSlow
 	t.lockRun = t.runUnderLock
@@ -119,9 +120,8 @@ func (t *fgtleThread) runUnderLock(body func(Context)) {
 	t.uniqR, t.uniqW = 0, 0
 	body(fgLockCtx{t})
 	m.Store(t.method.epochAddr, t.seq+1)
-	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.rec.LockHold(time.Since(start).Nanoseconds())
 	t.lock.Release()
-	t.stats.LockRuns++
 }
 
 // fgSlowCtx is the instrumented slow path of Figure 3's on_htm() branches.

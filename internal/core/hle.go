@@ -40,6 +40,7 @@ func (h *HLEMethod) NewThread() Thread {
 		lock:  h.lock,
 		tx:    htm.NewTx(h.m, h.policy.HTM),
 		pacer: &Pacer{Every: h.policy.HTM.InterleaveEvery},
+		rec:   NewRecorder(h.policy, h.Name()),
 	}
 }
 
@@ -48,34 +49,36 @@ type hleThread struct {
 	lock  *spinlock.Lock
 	tx    *htm.Tx
 	pacer *Pacer
-	stats Stats
+	rec   Recorder
+
+	lockBusy bool
 }
 
-func (t *hleThread) Stats() *Stats { return &t.stats }
+func (t *hleThread) Stats() *Stats { return t.rec.Stats() }
 
 func (t *hleThread) Atomic(body func(Context)) {
+	t0 := t.rec.Begin()
 	// One hardware attempt: the elided XACQUIRE leaves the lock word
 	// unchanged but in the read set, so a real acquisition aborts us.
-	t.stats.FastAttempts++
+	t.lockBusy = false
+	t.rec.FastAttempt()
 	reason := t.tx.Run(func(tx *htm.Tx) {
 		if tx.Read(t.lock.Addr()) != 0 {
-			t.stats.SubscriptionAborts++
+			t.lockBusy = true
 			tx.Abort()
 		}
 		body(htmCtx{tx})
 	})
 	if reason == htm.None {
-		t.stats.FastCommits++
-		t.stats.Ops++
+		t.rec.FastCommit(t0)
 		return
 	}
-	t.stats.FastAborts[reason]++
+	t.rec.FastAbort(reason, t.lockBusy)
 	// Hardware re-execution without elision: take the lock for real.
 	t.lock.Acquire()
 	start := time.Now()
 	body(lockPathCtx(t.m, t.pacer))
-	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.rec.LockHold(time.Since(start).Nanoseconds())
 	t.lock.Release()
-	t.stats.LockRuns++
-	t.stats.Ops++
+	t.rec.LockCommit(t0)
 }

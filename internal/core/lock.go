@@ -40,6 +40,7 @@ func (l *LockMethod) NewThread() Thread {
 		m:     l.m,
 		lock:  l.lock,
 		pacer: &Pacer{Every: l.policy.HTM.InterleaveEvery},
+		rec:   NewRecorder(l.policy, l.Name()),
 	}
 }
 
@@ -47,17 +48,17 @@ type lockThread struct {
 	m     *mem.Memory
 	lock  *spinlock.Lock
 	pacer *Pacer
-	stats Stats
+	rec   Recorder
 }
 
-func (t *lockThread) Stats() *Stats { return &t.stats }
+func (t *lockThread) Stats() *Stats { return t.rec.Stats() }
 
 func (t *lockThread) Atomic(body func(Context)) {
+	t0 := t.rec.Begin()
 	t.lock.Acquire()
 	start := time.Now()
 	body(lockPathCtx(t.m, t.pacer))
-	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.rec.LockHold(time.Since(start).Nanoseconds())
 	t.lock.Release()
-	t.stats.LockRuns++
-	t.stats.Ops++
+	t.rec.LockCommit(t0)
 }

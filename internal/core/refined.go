@@ -27,19 +27,19 @@ type refinedThread struct {
 	tx       *htm.Tx
 	pacer    *Pacer
 	attempts AttemptPolicy
-	stats    Stats
+	rec      Recorder
 
 	// slowAttempt runs one instrumented HTM attempt of body on tx and
 	// returns htm.None on commit.
 	slowAttempt func(body func(Context)) htm.AbortReason
 	// lockRun acquires the lock, runs body on the instrumented
-	// pessimistic path, releases, and maintains LockRuns/LockHoldNanos.
+	// pessimistic path, releases, and maintains LockHoldNanos.
 	lockRun func(body func(Context))
 
 	lockBusy bool
 }
 
-func (r *refinedThread) Stats() *Stats { return &r.stats }
+func (r *refinedThread) Stats() *Stats { return r.rec.Stats() }
 
 func (r *refinedThread) subscribe(tx *htm.Tx) {
 	if tx.Read(r.lock.Addr()) != 0 {
@@ -58,19 +58,19 @@ func (r *refinedThread) lazySubscribe(tx *htm.Tx) {
 }
 
 func (r *refinedThread) Atomic(body func(Context)) {
+	t0 := r.rec.Begin()
 	attempts := 0
 	budget := r.attempts.Budget()
 	backoff := 1
 	for {
 		if r.lock.Held() {
-			r.stats.SlowAttempts++
+			r.rec.SlowAttempt()
 			reason := r.slowAttempt(body)
 			if reason == htm.None {
-				r.stats.SlowCommits++
-				r.stats.Ops++
+				r.rec.SlowCommit(t0)
 				return
 			}
-			r.stats.SlowAborts[reason]++
+			r.rec.SlowAbort(reason)
 			// A slow-path abort usually means a conflict with the
 			// lock holder that persists until its critical section
 			// retires; back off politely instead of spinning hot.
@@ -80,26 +80,22 @@ func (r *refinedThread) Atomic(body func(Context)) {
 		backoff = 1
 		if attempts >= budget {
 			r.lockRun(body)
-			r.stats.Ops++
+			r.rec.LockCommit(t0)
 			r.attempts.Record(attempts, false)
 			return
 		}
 		r.lockBusy = false
-		r.stats.FastAttempts++
+		r.rec.FastAttempt()
 		reason := r.tx.Run(func(tx *htm.Tx) {
 			r.subscribe(tx)
 			body(htmCtx{tx})
 		})
 		if reason == htm.None {
-			r.stats.FastCommits++
-			r.stats.Ops++
+			r.rec.FastCommit(t0)
 			r.attempts.Record(attempts, true)
 			return
 		}
-		r.stats.FastAborts[reason]++
-		if r.lockBusy {
-			r.stats.SubscriptionAborts++
-		}
+		r.rec.FastAbort(reason, r.lockBusy)
 		attempts++
 	}
 }

@@ -59,6 +59,7 @@ func (r *RWTLEMethod) NewThread() Thread {
 		pacer:    &Pacer{Every: r.policy.HTM.InterleaveEvery},
 		attempts: attemptPolicyFor(r.policy),
 		tx:       htm.NewTx(r.m, r.policy.HTM),
+		rec:      NewRecorder(r.policy, r.Name()),
 	}
 	t.slowAttempt = t.runSlow
 	t.lockRun = t.runUnderLock
@@ -95,9 +96,8 @@ func (t *rwtleThread) runUnderLock(body func(Context)) {
 	if t.wrote {
 		t.m.Store(t.method.flagAddr, 0)
 	}
-	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.rec.LockHold(time.Since(start).Nanoseconds())
 	t.lock.Release()
-	t.stats.LockRuns++
 }
 
 // rwSlowCtx is the instrumented slow path: reads are plain transactional

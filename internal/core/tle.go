@@ -39,6 +39,7 @@ func (t *TLEMethod) NewThread() Thread {
 		tx:       htm.NewTx(t.m, t.policy.HTM),
 		pacer:    &Pacer{Every: t.policy.HTM.InterleaveEvery},
 		attempts: attemptPolicyFor(t.policy),
+		rec:      NewRecorder(t.policy, t.Name()),
 	}
 }
 
@@ -49,12 +50,12 @@ type tleThread struct {
 	tx       *htm.Tx
 	pacer    *Pacer
 	attempts AttemptPolicy
-	stats    Stats
+	rec      Recorder
 
 	lockBusy bool // set when the subscription check sees the lock held
 }
 
-func (t *tleThread) Stats() *Stats { return &t.stats }
+func (t *tleThread) Stats() *Stats { return t.rec.Stats() }
 
 // subscribe reads the lock word inside the transaction, adding it to the
 // read set so that a later acquisition aborts this transaction; if the lock
@@ -67,6 +68,7 @@ func (t *tleThread) subscribe(tx *htm.Tx) {
 }
 
 func (t *tleThread) Atomic(body func(Context)) {
+	t0 := t.rec.Begin()
 	attempts := 0
 	budget := t.attempts.Budget()
 	for {
@@ -77,25 +79,22 @@ func (t *tleThread) Atomic(body func(Context)) {
 		}
 		if attempts >= budget {
 			t.runUnderLock(body)
+			t.rec.LockCommit(t0)
 			t.attempts.Record(attempts, false)
 			return
 		}
 		t.lockBusy = false
-		t.stats.FastAttempts++
+		t.rec.FastAttempt()
 		reason := t.tx.Run(func(tx *htm.Tx) {
 			t.subscribe(tx)
 			body(htmCtx{tx})
 		})
 		if reason == htm.None {
-			t.stats.FastCommits++
-			t.stats.Ops++
+			t.rec.FastCommit(t0)
 			t.attempts.Record(attempts, true)
 			return
 		}
-		t.stats.FastAborts[reason]++
-		if t.lockBusy {
-			t.stats.SubscriptionAborts++
-		}
+		t.rec.FastAbort(reason, t.lockBusy)
 		attempts++
 	}
 }
@@ -106,8 +105,6 @@ func (t *tleThread) runUnderLock(body func(Context)) {
 	t.lock.Acquire()
 	start := time.Now()
 	body(lockPathCtx(t.m, t.pacer))
-	t.stats.LockHoldNanos += time.Since(start).Nanoseconds()
+	t.rec.LockHold(time.Since(start).Nanoseconds())
 	t.lock.Release()
-	t.stats.LockRuns++
-	t.stats.Ops++
 }

@@ -30,6 +30,9 @@ type Config struct {
 	OpsPerThread int
 	// Seed derives each thread's PRNG stream.
 	Seed uint64
+	// Sample, when enabled, emits periodic live-metrics rows from an
+	// obs.Registry for the duration of the run (see SampleConfig).
+	Sample SampleConfig
 }
 
 // Worker performs one operation of a workload using the per-thread PRNG.
@@ -84,6 +87,7 @@ func Run(method core.Method, cfg Config, factory WorkerFactory) *Result {
 		}(i)
 	}
 
+	sampler := StartSampler(cfg.Sample)
 	start := time.Now()
 	close(startGate)
 	if cfg.Duration > 0 {
@@ -92,6 +96,7 @@ func Run(method core.Method, cfg Config, factory WorkerFactory) *Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	sampler.Stop()
 
 	res := &Result{
 		Method:    method.Name(),

@@ -7,6 +7,14 @@ import "sort"
 // throughput. The paper reports the median of 5 runs and presents the
 // auxiliary statistics from the median run (§6.2); this helper gives
 // drivers the same discipline.
+//
+// For odd n this is the middle run. For even n there is no middle run, and
+// a Result must still carry self-consistent auxiliary statistics (so the
+// two central runs cannot be averaged); Median instead returns the run
+// whose throughput is closest to the median value — the mean of the two
+// central runs — picking the slower run when equidistant. (The previous
+// behaviour, silently returning the upper-central run, overstated the
+// median of every even-length sample.)
 func Median(n int, run func() *Result) *Result {
 	if n <= 0 {
 		n = 1
@@ -18,5 +26,23 @@ func Median(n int, run func() *Result) *Result {
 	sort.Slice(results, func(i, j int) bool {
 		return results[i].Throughput() < results[j].Throughput()
 	})
-	return results[n/2]
+	if n%2 == 1 {
+		return results[n/2]
+	}
+	target := (results[n/2-1].Throughput() + results[n/2].Throughput()) / 2
+	best := results[0]
+	bestDist := abs(best.Throughput() - target)
+	for _, r := range results[1:] {
+		if d := abs(r.Throughput() - target); d < bestDist {
+			best, bestDist = r, d
+		}
+	}
+	return best
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }

@@ -45,6 +45,7 @@ func (n *Method) NewThread() core.Thread {
 		method:    n,
 		writeVals: make(map[mem.Addr]uint64, 64),
 		pacer:     &core.Pacer{Every: n.policy.HTM.InterleaveEvery},
+		rec:       core.NewRecorder(n.policy, n.Name()),
 	}
 }
 
@@ -55,26 +56,28 @@ type stmAbort struct{}
 type thread struct {
 	method *Method
 	pacer  *core.Pacer
-	stats  core.Stats
+	rec    core.Recorder
 
 	snapshot   uint64
 	readAddrs  []mem.Addr
 	readVals   []uint64
 	writeVals  map[mem.Addr]uint64
 	writeOrder []mem.Addr
+
+	committed core.CommitKind // bucket of the last successful commit
 }
 
-func (t *thread) Stats() *core.Stats { return &t.stats }
+func (t *thread) Stats() *core.Stats { return t.rec.Stats() }
 
 // Atomic implements core.Thread: retry the software transaction until it
 // commits.
 func (t *thread) Atomic(body func(core.Context)) {
+	t0 := t.rec.Begin()
 	start := time.Now()
 	for !t.attempt(body) {
-		t.stats.STMAborts++
+		t.rec.STMAbort()
 	}
-	t.stats.STMTimeNanos += time.Since(start).Nanoseconds()
-	t.stats.Ops++
+	t.rec.STMDone(t.committed, t0, time.Since(start).Nanoseconds())
 }
 
 // attempt runs one software transaction attempt; false means validation
@@ -97,7 +100,7 @@ func (t *thread) attempt(body func(core.Context)) (ok bool) {
 }
 
 func (t *thread) begin() {
-	t.stats.STMStarts++
+	t.rec.STMStart()
 	t.snapshot = t.waitEven()
 }
 
@@ -130,7 +133,7 @@ func (t *thread) validate() uint64 {
 	m := t.method.m
 	for {
 		s := t.waitEven()
-		t.stats.Validations++
+		t.rec.Validation()
 		consistent := true
 		for i, a := range t.readAddrs {
 			if m.Load(a) != t.readVals[i] {
@@ -178,7 +181,7 @@ func (t *thread) write(a mem.Addr, v uint64) {
 // transactions are already consistent at snapshot time and commit for free.
 func (t *thread) commit() {
 	if len(t.writeVals) == 0 {
-		t.stats.STMCommitsRO++
+		t.committed = core.CommitSTMRO
 		return
 	}
 	m := t.method.m
@@ -191,7 +194,7 @@ func (t *thread) commit() {
 	m.Store(t.method.seqAddr, t.snapshot+2)
 	// Plain NOrec serializes every writer commit on the sequence lock;
 	// report those in the "slow" software-commit bucket.
-	t.stats.STMCommitsLock++
+	t.committed = core.CommitSTMLock
 }
 
 // ctx adapts a thread to core.Context.

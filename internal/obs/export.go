@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rtle/internal/core"
+	"rtle/internal/htm"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counter values are cumulative since the registry
+// was created; pass a Delta snapshot to export interval values instead.
+func (snap *Snapshot) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP rtle_ops_total Completed atomic blocks.\n")
+	p("# TYPE rtle_ops_total counter\n")
+	p("rtle_ops_total %d\n", snap.Stats.Ops)
+
+	p("# HELP rtle_commits_total Committed atomic blocks by execution path.\n")
+	p("# TYPE rtle_commits_total counter\n")
+	commits := [core.NumCommitKinds]uint64{
+		snap.Stats.FastCommits, snap.Stats.SlowCommits, snap.Stats.LockRuns,
+		snap.Stats.STMCommitsHTM, snap.Stats.STMCommitsLock, snap.Stats.STMCommitsRO,
+	}
+	for k := 0; k < core.NumCommitKinds; k++ {
+		p("rtle_commits_total{kind=%q} %d\n", core.CommitKind(k).String(), commits[k])
+	}
+
+	p("# HELP rtle_attempts_total Transaction attempts by path.\n")
+	p("# TYPE rtle_attempts_total counter\n")
+	p("rtle_attempts_total{path=\"fast\"} %d\n", snap.Stats.FastAttempts)
+	p("rtle_attempts_total{path=\"slow\"} %d\n", snap.Stats.SlowAttempts)
+	p("rtle_attempts_total{path=\"stm\"} %d\n", snap.Stats.STMStarts)
+
+	p("# HELP rtle_aborts_total Failed hardware attempts by path and reason.\n")
+	p("# TYPE rtle_aborts_total counter\n")
+	for i := 1; i < htm.NumReasons; i++ {
+		reason := htm.AbortReason(i).String()
+		p("rtle_aborts_total{path=\"fast\",reason=%q} %d\n", reason, snap.Stats.FastAborts[i])
+		p("rtle_aborts_total{path=\"slow\",reason=%q} %d\n", reason, snap.Stats.SlowAborts[i])
+	}
+
+	p("# HELP rtle_subscription_aborts_total Fast-path aborts caused by lock subscription.\n")
+	p("# TYPE rtle_subscription_aborts_total counter\n")
+	p("rtle_subscription_aborts_total %d\n", snap.Stats.SubscriptionAborts)
+
+	p("# HELP rtle_stm_aborts_total Software-transaction validation failures.\n")
+	p("# TYPE rtle_stm_aborts_total counter\n")
+	p("rtle_stm_aborts_total %d\n", snap.Stats.STMAborts)
+
+	p("# HELP rtle_validations_total Value-based read-set validations.\n")
+	p("# TYPE rtle_validations_total counter\n")
+	p("rtle_validations_total %d\n", snap.Stats.Validations)
+
+	p("# HELP rtle_lock_hold_seconds_total Time spent holding the fallback lock.\n")
+	p("# TYPE rtle_lock_hold_seconds_total counter\n")
+	p("rtle_lock_hold_seconds_total %g\n", float64(snap.Stats.LockHoldNanos)/1e9)
+
+	p("# HELP rtle_stm_seconds_total Time spent inside software transactions.\n")
+	p("# TYPE rtle_stm_seconds_total counter\n")
+	p("rtle_stm_seconds_total %g\n", float64(snap.Stats.STMTimeNanos)/1e9)
+
+	p("# HELP rtle_resizes_total Adaptive FG-TLE orec-array resizes.\n")
+	p("# TYPE rtle_resizes_total counter\n")
+	p("rtle_resizes_total %d\n", snap.Stats.Resizes)
+
+	p("# HELP rtle_mode_switches_total Adaptive FG-TLE mode changes.\n")
+	p("# TYPE rtle_mode_switches_total counter\n")
+	p("rtle_mode_switches_total %d\n", snap.Stats.ModeSwitches)
+
+	p("# HELP rtle_threads Observed worker threads.\n")
+	p("# TYPE rtle_threads gauge\n")
+	p("rtle_threads %d\n", snap.Threads)
+
+	p("# HELP rtle_atomic_latency_seconds Whole-Atomic-call latency by execution path.\n")
+	p("# TYPE rtle_atomic_latency_seconds histogram\n")
+	for path := 0; path < core.NumPaths; path++ {
+		l := &snap.Latency[path]
+		if l.Count == 0 {
+			continue
+		}
+		name := core.Path(path).String()
+		var cum uint64
+		for b := 0; b < NumLatencyBuckets; b++ {
+			if l.Counts[b] == 0 {
+				continue
+			}
+			cum += l.Counts[b]
+			// Bucket b covers [2^b, 2^(b+1)) ns: upper bound 2^(b+1) ns.
+			le := float64(uint64(1)<<uint(b+1)) / 1e9
+			p("rtle_atomic_latency_seconds_bucket{path=%q,le=\"%g\"} %d\n", name, le, cum)
+		}
+		p("rtle_atomic_latency_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", name, l.Count)
+		p("rtle_atomic_latency_seconds_sum{path=%q} %g\n", name, float64(l.SumNanos)/1e9)
+		p("rtle_atomic_latency_seconds_count{path=%q} %d\n", name, l.Count)
+	}
+
+	p("# HELP rtle_trace_dropped_total Path transitions lost to trace-ring overwrites.\n")
+	p("# TYPE rtle_trace_dropped_total counter\n")
+	p("rtle_trace_dropped_total %d\n", snap.TraceDropped)
+	return err
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (snap *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

@@ -1,0 +1,268 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rtle/internal/avl"
+	"rtle/internal/core"
+	"rtle/internal/harness"
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/obs"
+)
+
+// allMethods covers every synchronization method in the repository.
+var allMethods = []string{
+	"Lock", "TLE", "HLE", "RW-TLE", "FG-TLE(64)", "FG-TLE(adaptive)",
+	"ALE(64)", "NOrec", "RHNOrec",
+}
+
+// runSet drives a small AVL-set workload on the named method with reg
+// attached and returns the harness result (merged quiescent stats).
+func runSet(t testing.TB, method string, reg *obs.Registry, threads, ops int) *harness.Result {
+	t.Helper()
+	const keyRange = 512
+	m := mem.New(harness.DefaultSetHeapWords(keyRange, threads) + 1<<18)
+	set := avl.New(m)
+	harness.SeedSet(set, keyRange)
+	policy := core.Policy{Observer: reg, HTM: htm.Config{InterleaveEvery: 8}}
+	meth, err := harness.BuildMethod(method, m, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return harness.Run(meth, harness.Config{
+		Threads: threads, OpsPerThread: ops, Seed: 42,
+	}, harness.SetWorkerFactory(set, harness.SetMix{InsertPct: 30, RemovePct: 30}, keyRange))
+}
+
+// TestSnapshotMatchesMergedStats checks, for every method, that the
+// registry's aggregated snapshot agrees field-for-field with the quiescent
+// core.Stats merge the harness computes — i.e. that the live layer and the
+// classic counters can never drift.
+func TestSnapshotMatchesMergedStats(t *testing.T) {
+	for _, method := range allMethods {
+		t.Run(method, func(t *testing.T) {
+			reg := obs.NewRegistry(obs.Config{})
+			res := runSet(t, method, reg, 4, 2000)
+			snap := reg.Snapshot()
+
+			if !reflect.DeepEqual(snap.Stats, res.Total) {
+				t.Errorf("snapshot stats diverge from merged quiescent stats:\nsnapshot: %+v\nmerged:   %+v",
+					snap.Stats, res.Total)
+			}
+			if snap.Threads != res.Threads {
+				t.Errorf("snapshot saw %d threads, harness ran %d", snap.Threads, res.Threads)
+			}
+			for i, ts := range snap.PerThread {
+				if !reflect.DeepEqual(ts.Stats, res.PerThread[ts.Thread]) {
+					t.Errorf("thread %d shard diverges from its quiescent stats", i)
+				}
+			}
+			// Latency histograms must count exactly the completed ops
+			// (ALE's extra STM bookings don't observe latency twice).
+			var histTotal uint64
+			for p := 0; p < core.NumPaths; p++ {
+				histTotal += snap.Latency[p].Count
+			}
+			if histTotal != snap.Stats.Ops {
+				t.Errorf("latency histograms count %d observations, want Ops=%d", histTotal, snap.Stats.Ops)
+			}
+		})
+	}
+}
+
+// TestSnapshotCoherentMidRun hammers Snapshot concurrently with running
+// workers (this is the test the race detector exercises) and checks the
+// ordering invariants on every mid-run view: TotalCommits <= Ops, and per
+// hardware path attempts >= commits + aborts. ALE is excluded: its Stats
+// dual-book software sections by design, so TotalCommits > Ops even at
+// rest.
+func TestSnapshotCoherentMidRun(t *testing.T) {
+	methods := []string{"TLE", "RW-TLE", "FG-TLE(64)", "FG-TLE(adaptive)", "HLE", "NOrec", "RHNOrec"}
+	for _, method := range methods {
+		t.Run(method, func(t *testing.T) {
+			t.Parallel()
+			reg := obs.NewRegistry(obs.Config{TraceCapacity: 256})
+			var stop atomic.Bool
+			var snaps int
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var prev *obs.Snapshot
+				for !stop.Load() {
+					snap := reg.Snapshot()
+					snaps++
+					checkCoherent(t, method, snap)
+					if prev != nil {
+						d := snap.Delta(prev)
+						if d.Stats.Ops > snap.Stats.Ops {
+							t.Errorf("delta ops %d exceed cumulative ops %d", d.Stats.Ops, snap.Stats.Ops)
+						}
+					}
+					prev = snap
+					time.Sleep(time.Millisecond)
+				}
+			}()
+			runSet(t, method, reg, 4, 3000)
+			stop.Store(true)
+			wg.Wait()
+			if snaps == 0 {
+				t.Fatal("snapshot goroutine never ran")
+			}
+			// The final view must also be coherent and non-empty.
+			final := reg.Snapshot()
+			checkCoherent(t, method, final)
+			if final.Stats.Ops == 0 {
+				t.Fatal("no ops observed")
+			}
+		})
+	}
+}
+
+func checkCoherent(t *testing.T, method string, snap *obs.Snapshot) {
+	t.Helper()
+	st := &snap.Stats
+	if st.TotalCommits() > st.Ops {
+		t.Errorf("%s: incoherent snapshot: TotalCommits %d > Ops %d", method, st.TotalCommits(), st.Ops)
+	}
+	var fastAborts, slowAborts uint64
+	for i := 0; i < htm.NumReasons; i++ {
+		fastAborts += st.FastAborts[i]
+		slowAborts += st.SlowAborts[i]
+	}
+	if st.FastCommits+fastAborts > st.FastAttempts {
+		t.Errorf("%s: fast commits %d + aborts %d exceed attempts %d",
+			method, st.FastCommits, fastAborts, st.FastAttempts)
+	}
+	if st.SlowCommits+slowAborts > st.SlowAttempts {
+		t.Errorf("%s: slow commits %d + aborts %d exceed attempts %d",
+			method, st.SlowCommits, slowAborts, st.SlowAttempts)
+	}
+}
+
+// TestDelta checks that consecutive snapshots subtract to the activity in
+// between, field for field.
+func TestDelta(t *testing.T) {
+	reg := obs.NewRegistry(obs.Config{})
+	runSet(t, "TLE", reg, 2, 500)
+	first := reg.Snapshot()
+	runSet(t, "TLE", reg, 2, 500)
+	second := reg.Snapshot()
+
+	d := second.Delta(first)
+	var want core.Stats = second.Stats
+	sub := first.Stats
+	// Reconstruct via Merge: d + first == second.
+	got := d.Stats
+	got.Merge(&sub)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("delta + first != second:\ndelta+first: %+v\nsecond:      %+v", got, want)
+	}
+	if d.Stats.Ops == 0 {
+		t.Error("delta shows no activity between snapshots")
+	}
+	if d.ElapsedNanos <= 0 {
+		t.Errorf("delta elapsed %d, want positive", d.ElapsedNanos)
+	}
+}
+
+// TestDeltaSince checks the registry's built-in baseline tracking.
+func TestDeltaSince(t *testing.T) {
+	reg := obs.NewRegistry(obs.Config{})
+	runSet(t, "TLE", reg, 1, 300)
+	d1 := reg.DeltaSince()
+	if d1.Stats.Ops == 0 {
+		t.Fatal("first delta empty")
+	}
+	d2 := reg.DeltaSince()
+	if d2.Stats.Ops != 0 {
+		t.Errorf("second delta with no activity shows %d ops", d2.Stats.Ops)
+	}
+}
+
+// TestTraceRing checks capacity bounding and drop accounting.
+func TestTraceRing(t *testing.T) {
+	reg := obs.NewRegistry(obs.Config{TraceCapacity: 8})
+	// HLE on a contended workload transitions between fast and lock paths.
+	runSet(t, "HLE", reg, 4, 2000)
+	snap := reg.Snapshot()
+	if len(snap.Trace) > 8 {
+		t.Errorf("trace holds %d events, capacity 8", len(snap.Trace))
+	}
+	for i := 1; i < len(snap.Trace); i++ {
+		if snap.Trace[i].UnixNanos < snap.Trace[i-1].UnixNanos {
+			t.Errorf("trace not in time order at %d", i)
+		}
+	}
+	for _, ev := range snap.Trace {
+		if ev.From == ev.To {
+			t.Errorf("self-transition recorded: %+v", ev)
+		}
+	}
+}
+
+// TestExporters smoke-tests the Prometheus and JSON renderings.
+func TestExporters(t *testing.T) {
+	reg := obs.NewRegistry(obs.Config{})
+	runSet(t, "FG-TLE(64)", reg, 2, 1000)
+	snap := reg.Snapshot()
+
+	var prom bytes.Buffer
+	if err := snap.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	for _, want := range []string{
+		"rtle_ops_total", "rtle_commits_total{kind=\"fast\"}",
+		"rtle_attempts_total{path=\"fast\"}", "rtle_atomic_latency_seconds_bucket",
+		"le=\"+Inf\"", "rtle_threads 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := snap.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("json output does not parse: %v", err)
+	}
+	if _, ok := decoded["stats"]; !ok {
+		t.Error("json output missing stats")
+	}
+}
+
+// TestLatencyBuckets pins the log2 bucketing.
+func TestLatencyBuckets(t *testing.T) {
+	reg := obs.NewRegistry(obs.Config{TraceCapacity: -1})
+	sh := reg.ObserveThread("test")
+	for _, nanos := range []int64{0, 1, 2, 3, 1000, 1 << 40} {
+		sh.Op(core.CommitFast, nanos)
+	}
+	snap := reg.Snapshot()
+	l := snap.Latency[core.PathFast]
+	if l.Count != 6 {
+		t.Fatalf("count %d, want 6", l.Count)
+	}
+	// 0 and 1 land in bucket 0; 2 and 3 in bucket 1; 1000 in bucket 9
+	// ([512, 1024)); 1<<40 in bucket 40.
+	for b, want := range map[int]uint64{0: 2, 1: 2, 9: 1, 40: 1} {
+		if l.Counts[b] != want {
+			t.Errorf("bucket %d holds %d, want %d", b, l.Counts[b], want)
+		}
+	}
+	if l.SumNanos != 0+1+2+3+1000+1<<40 {
+		t.Errorf("sum %d wrong", l.SumNanos)
+	}
+}

@@ -67,6 +67,7 @@ func (r *Method) NewThread() core.Thread {
 		tx:        htm.NewTx(r.m, r.policy.HTM),
 		writeVals: make(map[mem.Addr]uint64, 64),
 		pacer:     &core.Pacer{Every: r.policy.HTM.InterleaveEvery},
+		rec:       core.NewRecorder(r.policy, r.Name()),
 	}
 }
 
@@ -76,7 +77,7 @@ type thread struct {
 	method *Method
 	tx     *htm.Tx
 	pacer  *core.Pacer
-	stats  core.Stats
+	rec    core.Recorder
 
 	// Software-transaction state.
 	snapshot   uint64
@@ -85,16 +86,18 @@ type thread struct {
 	writeVals  map[mem.Addr]uint64
 	writeOrder []mem.Addr
 
-	bumped bool // current HTM fast attempt had to bump the timestamp
+	bumped    bool            // current HTM fast attempt had to bump the timestamp
+	committed core.CommitKind // bucket of the last successful software commit
 }
 
-func (t *thread) Stats() *core.Stats { return &t.stats }
+func (t *thread) Stats() *core.Stats { return t.rec.Stats() }
 
 // Atomic implements core.Thread.
 func (t *thread) Atomic(body func(core.Context)) {
+	t0 := t.rec.Begin()
 	r := t.method
 	for i := 0; i < r.attempts(); i++ {
-		t.stats.FastAttempts++
+		t.rec.FastAttempt()
 		t.bumped = false
 		reason := t.tx.Run(func(tx *htm.Tx) {
 			// Subscribe to the fallback lock: a pessimistic commit
@@ -121,33 +124,31 @@ func (t *thread) Atomic(body func(core.Context)) {
 		})
 		if reason == htm.None {
 			if t.bumped {
-				t.stats.SlowCommits++ // HTMSlow in Fig. 9
+				t.rec.SlowCommit(t0) // HTMSlow in Fig. 9
 			} else {
-				t.stats.FastCommits++ // HTMFast in Fig. 9
+				t.rec.FastCommit(t0) // HTMFast in Fig. 9
 			}
-			t.stats.Ops++
 			return
 		}
-		t.stats.FastAborts[reason]++
+		t.rec.FastAbort(reason, false)
 	}
-	t.software(body)
+	t.software(body, t0)
 }
 
 // software runs the NOrec-style software path until it commits.
-func (t *thread) software(body func(core.Context)) {
+func (t *thread) software(body func(core.Context), t0 int64) {
 	start := time.Now()
 	r := t.method
 	r.m.FetchAdd(r.swAddr, 1)
 	for !t.attempt(body) {
-		t.stats.STMAborts++
+		t.rec.STMAbort()
 	}
 	r.m.FetchAdd(r.swAddr, ^uint64(0)) // decrement
-	t.stats.STMTimeNanos += time.Since(start).Nanoseconds()
-	t.stats.Ops++
+	t.rec.STMDone(t.committed, t0, time.Since(start).Nanoseconds())
 }
 
 func (t *thread) attempt(body func(core.Context)) (ok bool) {
-	t.stats.STMStarts++
+	t.rec.STMStart()
 	t.snapshot = t.waitEven()
 	defer func() {
 		t.reset()
@@ -189,7 +190,7 @@ func (t *thread) validate() uint64 {
 	m := t.method.m
 	for {
 		s := t.waitEven()
-		t.stats.Validations++
+		t.rec.Validation()
 		for i, a := range t.readAddrs {
 			if m.Load(a) != t.readVals[i] {
 				panic(stmAbort{})
@@ -233,7 +234,7 @@ func (t *thread) write(a mem.Addr, v uint64) {
 // hardware transaction, then under the fallback lock.
 func (t *thread) commit() {
 	if len(t.writeVals) == 0 {
-		t.stats.STMCommitsRO++
+		t.committed = core.CommitSTMRO
 		return
 	}
 	r := t.method
@@ -257,7 +258,7 @@ func (t *thread) commit() {
 			tx.Write(r.seqAddr, s+2)
 		})
 		if reason == htm.None {
-			t.stats.STMCommitsHTM++
+			t.committed = core.CommitSTMHTM
 			return
 		}
 		if seqChanged {
@@ -274,7 +275,7 @@ func (t *thread) commit() {
 	}
 	m.Store(r.seqAddr, t.snapshot+2)
 	r.fallback.Release()
-	t.stats.STMCommitsLock++
+	t.committed = core.CommitSTMLock
 }
 
 // validateUnderLock revalidates while holding the fallback lock; on a
@@ -283,7 +284,7 @@ func (t *thread) validateUnderLock() uint64 {
 	m := t.method.m
 	for {
 		s := t.waitEven()
-		t.stats.Validations++
+		t.rec.Validation()
 		for i, a := range t.readAddrs {
 			if m.Load(a) != t.readVals[i] {
 				t.method.fallback.Release()

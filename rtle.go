@@ -1,0 +1,289 @@
+package rtle
+
+import (
+	"fmt"
+
+	"rtle/internal/core"
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/norec"
+	"rtle/internal/obs"
+	"rtle/internal/rhnorec"
+)
+
+// This file is the public face of the library: aliases for the execution
+// types the internal packages define, an Algorithm enum covering every
+// synchronization method in the paper's evaluation, and a functional-options
+// constructor that assembles heap + policy + method in one call:
+//
+//	tm, err := rtle.New(rtle.FGTLE,
+//		rtle.WithOrecs(256),
+//		rtle.WithAttempts(5),
+//		rtle.WithObserver(rtle.NewRegistry()))
+//
+// The internal packages stay importable for code that needs the full
+// surface (custom adaptive configs, the harness, the benchmarks); the root
+// package is the stable entry point examples and downstream code build on.
+
+// Aliases for the core execution types, so user code can stay entirely
+// within the rtle package.
+type (
+	// Context is the access interface critical-section bodies run against.
+	Context = core.Context
+	// Method is a synchronization algorithm bound to a heap and a lock.
+	Method = core.Method
+	// Thread executes atomic blocks on behalf of one goroutine.
+	Thread = core.Thread
+	// Stats holds one thread's quiescent counters (Merge aggregates).
+	Stats = core.Stats
+	// Policy holds the speculation knobs (assembled by New's options).
+	Policy = core.Policy
+	// Observer receives live execution events (see WithObserver).
+	Observer = core.Observer
+	// ThreadObserver is the per-thread half of Observer.
+	ThreadObserver = core.ThreadObserver
+	// Path identifies an execution path (fast, slow, lock, stm).
+	Path = core.Path
+	// CommitKind identifies the commit bucket of a completed block.
+	CommitKind = core.CommitKind
+	// Memory is the simulated word-addressable shared heap.
+	Memory = mem.Memory
+	// Addr addresses a word of simulated memory.
+	Addr = mem.Addr
+	// HTMConfig configures the simulated hardware (see WithHTM).
+	HTMConfig = htm.Config
+	// AdaptiveConfig tunes the adaptive FG-TLE variant (see WithAdaptive).
+	AdaptiveConfig = core.AdaptiveConfig
+	// AdaptiveMethod is the concrete adaptive FG-TLE method; obtain it by
+	// type-asserting TM.Method after New(AdaptiveFGTLE, ...) to reach
+	// CurrentOrecs and InTLEMode.
+	AdaptiveMethod = core.AdaptiveFGTLE
+	// Registry is the live-metrics registry (see WithObserver and
+	// NewRegistry).
+	Registry = obs.Registry
+	// RegistryConfig tunes a Registry's trace ring.
+	RegistryConfig = obs.Config
+	// Snapshot is a coherent point-in-time aggregate of a Registry.
+	Snapshot = obs.Snapshot
+)
+
+// Execution-path values (Path axis of latency histograms and traces).
+const (
+	PathFast = core.PathFast
+	PathSlow = core.PathSlow
+	PathLock = core.PathLock
+	PathSTM  = core.PathSTM
+)
+
+// NewMemory allocates a simulated heap of the given word count.
+func NewMemory(words int) *Memory { return mem.New(words) }
+
+// NewRegistry returns a live-metrics Registry with default configuration;
+// use NewRegistryWith for custom trace sizing.
+func NewRegistry() *Registry { return obs.NewRegistry(obs.Config{}) }
+
+// NewRegistryWith returns a Registry with the given trace configuration.
+func NewRegistryWith(cfg RegistryConfig) *Registry { return obs.NewRegistry(cfg) }
+
+// Direct returns a Context that accesses m without synchronization, for
+// setup and verification code running while no threads are active.
+func Direct(m *Memory) Context { return core.Direct(m) }
+
+// Algorithm selects a synchronization method.
+type Algorithm int
+
+const (
+	// Lock runs every critical section under the spin lock.
+	Lock Algorithm = iota
+	// TLE is standard transactional lock elision (§2).
+	TLE
+	// HLE models hardware lock elision: transactional lock acquisition
+	// with the lock word inside the read set.
+	HLE
+	// RWTLE is the read-write refinement (§3): lock holders announce a
+	// writing phase, slow-path transactions run read-only sections.
+	RWTLE
+	// FGTLE is the fine-grained refinement (§4): lock holders acquire
+	// ownership records, slow-path transactions subscribe to them.
+	FGTLE
+	// AdaptiveFGTLE is FG-TLE with a self-tuning orec array (§4.2.1).
+	AdaptiveFGTLE
+	// ALE is all-levels elision: FG-TLE whose lock path is replaced by
+	// buffered software sections.
+	ALE
+	// NOrec is the software-only NOrec STM baseline (§6.2.2).
+	NOrec
+	// RHNOrec is the reduced-hardware NOrec hybrid TM baseline.
+	RHNOrec
+)
+
+// String returns the algorithm's evaluation-legend name.
+func (a Algorithm) String() string {
+	switch a {
+	case Lock:
+		return "Lock"
+	case TLE:
+		return "TLE"
+	case HLE:
+		return "HLE"
+	case RWTLE:
+		return "RW-TLE"
+	case FGTLE:
+		return "FG-TLE"
+	case AdaptiveFGTLE:
+		return "FG-TLE(adaptive)"
+	case ALE:
+		return "ALE"
+	case NOrec:
+		return "NOrec"
+	case RHNOrec:
+		return "RHNOrec"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// config collects what the options assemble.
+type config struct {
+	memory   *Memory
+	words    int
+	policy   Policy
+	orecs    int
+	adaptive AdaptiveConfig
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithMemory runs the method over an existing heap (so several methods or
+// data structures can share one address space). Default: a fresh heap.
+func WithMemory(m *Memory) Option { return func(c *config) { c.memory = m } }
+
+// WithMemoryWords sizes the heap New allocates when WithMemory is not
+// given. Default 1<<20 words (8 MB).
+func WithMemoryWords(words int) Option { return func(c *config) { c.words = words } }
+
+// WithAttempts sets the fast-path HTM retry budget (paper default 5).
+func WithAttempts(n int) Option { return func(c *config) { c.policy.Attempts = n } }
+
+// WithLazySubscription makes slow-path transactions subscribe to the lock
+// just before committing (§5).
+func WithLazySubscription() Option {
+	return func(c *config) { c.policy.LazySubscription = true }
+}
+
+// WithAdaptiveAttempts replaces the static retry budget with a per-thread
+// AIMD policy seeded by the WithAttempts value.
+func WithAdaptiveAttempts() Option {
+	return func(c *config) { c.policy.AdaptiveAttempts = true }
+}
+
+// WithObserver streams every thread's execution events into obs (commits
+// per path, aborts per reason, latencies, lock-hold time), readable while
+// the workload runs. Pass a *Registry from NewRegistry, then call its
+// Snapshot or DeltaSince at any time.
+func WithObserver(o Observer) Option { return func(c *config) { c.policy.Observer = o } }
+
+// WithHTM replaces the simulated-HTM configuration wholesale.
+func WithHTM(cfg HTMConfig) Option { return func(c *config) { c.policy.HTM = cfg } }
+
+// WithInterleave sets only the concurrency-virtualization knob: yield every
+// n transactional accesses so speculation windows open on hosts with fewer
+// cores than threads (see HTMConfig.InterleaveEvery).
+func WithInterleave(n int) Option {
+	return func(c *config) { c.policy.HTM.InterleaveEvery = n }
+}
+
+// WithOrecs sets the ownership-record count for FGTLE and ALE (a power of
+// two in [1, 1<<20]; default 256).
+func WithOrecs(n int) Option { return func(c *config) { c.orecs = n } }
+
+// WithAdaptive tunes the AdaptiveFGTLE variant.
+func WithAdaptive(cfg AdaptiveConfig) Option { return func(c *config) { c.adaptive = cfg } }
+
+// DefaultOrecs is the orec-array size New uses for FGTLE and ALE when
+// WithOrecs is not given (the paper's middle-of-the-sweep configuration).
+const DefaultOrecs = 256
+
+// TM is an assembled transactional-memory instance: a heap plus a
+// synchronization method over it.
+type TM struct {
+	m      *Memory
+	method Method
+}
+
+// New assembles a heap (unless WithMemory supplies one) and a
+// synchronization method of the chosen algorithm over it.
+func New(alg Algorithm, opts ...Option) (*TM, error) {
+	c := config{words: 1 << 20, orecs: DefaultOrecs}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	m := c.memory
+	if m == nil {
+		if c.words <= 0 {
+			return nil, fmt.Errorf("rtle: memory size %d words is not positive", c.words)
+		}
+		m = mem.New(c.words)
+	}
+
+	var method Method
+	switch alg {
+	case Lock:
+		method = core.NewLockWithPolicy(m, c.policy)
+	case TLE:
+		method = core.NewTLE(m, c.policy)
+	case HLE:
+		method = core.NewHLE(m, c.policy)
+	case RWTLE:
+		method = core.NewRWTLE(m, c.policy)
+	case FGTLE:
+		if err := checkOrecs(c.orecs); err != nil {
+			return nil, err
+		}
+		method = core.NewFGTLE(m, c.orecs, c.policy)
+	case AdaptiveFGTLE:
+		method = core.NewAdaptiveFGTLE(m, c.policy, c.adaptive)
+	case ALE:
+		if err := checkOrecs(c.orecs); err != nil {
+			return nil, err
+		}
+		method = core.NewALE(m, c.orecs, c.policy)
+	case NOrec:
+		method = norec.New(m, c.policy)
+	case RHNOrec:
+		method = rhnorec.New(m, c.policy)
+	default:
+		return nil, fmt.Errorf("rtle: unknown algorithm %v", alg)
+	}
+	return &TM{m: m, method: method}, nil
+}
+
+func checkOrecs(n int) error {
+	if n < 1 || n > 1<<20 || n&(n-1) != 0 {
+		return fmt.Errorf("rtle: orec count %d is not a power of two in [1, 2^20]", n)
+	}
+	return nil
+}
+
+// MustNew is New for statically-known configurations; it panics on error.
+func MustNew(alg Algorithm, opts ...Option) *TM {
+	tm, err := New(alg, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}
+
+// Memory returns the simulated heap (allocate shared data here).
+func (tm *TM) Memory() *Memory { return tm.m }
+
+// Method returns the underlying synchronization method; type-assert to the
+// concrete type (e.g. *AdaptiveMethod) for algorithm-specific probes.
+func (tm *TM) Method() Method { return tm.method }
+
+// Name returns the method's evaluation-legend name (e.g. "FG-TLE(256)").
+func (tm *TM) Name() string { return tm.method.Name() }
+
+// NewThread returns a per-goroutine execution handle. Threads must not be
+// shared between goroutines.
+func (tm *TM) NewThread() Thread { return tm.method.NewThread() }
