@@ -1,0 +1,210 @@
+// Command rtlebench sweeps a method x thread-count grid over the AVL-set
+// micro-benchmark (the paper's §6.2 axes) and reports throughput and abort
+// rate per cell. With -json it also writes the grid to BENCH_<n>.json —
+// picking the first unused index in the output directory — so successive
+// runs accumulate a machine-readable performance trajectory.
+//
+// The JSON schema is documented in README.md ("Benchmark JSON schema").
+//
+// Example:
+//
+//	rtlebench -methods TLE,RW-TLE,FG-TLE(256) -threads 1,2,4,8 -dur 500ms -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"rtle/internal/avl"
+	"rtle/internal/core"
+	"rtle/internal/harness"
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+)
+
+// benchFile is the top-level structure of a BENCH_<n>.json file.
+type benchFile struct {
+	Schema    string        `json:"schema"` // "rtle-bench/v1"
+	WrittenAt string        `json:"written_at"`
+	Config    benchConfig   `json:"config"`
+	Results   []benchResult `json:"results"`
+}
+
+type benchConfig struct {
+	Workload   string `json:"workload"` // "avl-set"
+	KeyRange   uint64 `json:"key_range"`
+	InsertPct  int    `json:"insert_pct"`
+	RemovePct  int    `json:"remove_pct"`
+	DurationMS int64  `json:"duration_ms"`
+	Attempts   int    `json:"attempts"`
+	Seed       uint64 `json:"seed"`
+}
+
+type benchResult struct {
+	Method  string `json:"method"`
+	Threads int    `json:"threads"`
+	// Ops is completed atomic blocks; ElapsedNS the measured wall time.
+	Ops       uint64 `json:"ops"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	// ThroughputOpsPerMS matches the unit of the paper's figures.
+	ThroughputOpsPerMS float64 `json:"throughput_ops_per_ms"`
+	// AbortRate is hardware aborts per hardware attempt (0 when the
+	// method made no hardware attempts).
+	AbortRate float64 `json:"abort_rate"`
+	// Path and abort breakdowns for deeper dashboards.
+	FastCommits uint64 `json:"fast_commits"`
+	SlowCommits uint64 `json:"slow_commits"`
+	LockRuns    uint64 `json:"lock_runs"`
+	STMCommits  uint64 `json:"stm_commits"`
+	Aborts      uint64 `json:"aborts"`
+}
+
+func main() {
+	methods := flag.String("methods", "Lock,TLE,RW-TLE,FG-TLE(256),NOrec,RHNOrec",
+		"comma-separated method names")
+	threadList := flag.String("threads", "1,2,4", "comma-separated thread counts")
+	keyRange := flag.Uint64("range", 8192, "key range (set size is ~half)")
+	insert := flag.Int("insert", 20, "insert percentage")
+	remove := flag.Int("remove", 20, "remove percentage")
+	dur := flag.Duration("dur", 500*time.Millisecond, "duration per cell")
+	attempts := flag.Int("attempts", core.DefaultAttempts, "HTM attempts before lock fallback")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	jsonOut := flag.Bool("json", false, "write the grid to BENCH_<n>.json")
+	outDir := flag.String("outdir", ".", "directory for BENCH_<n>.json files")
+	flag.Parse()
+
+	if *insert+*remove > 100 {
+		fatalf("insert + remove must be at most 100")
+	}
+	threads, err := parseInts(*threadList)
+	if err != nil {
+		fatalf("bad -threads: %v", err)
+	}
+
+	out := benchFile{
+		Schema:    "rtle-bench/v1",
+		WrittenAt: time.Now().UTC().Format(time.RFC3339),
+		Config: benchConfig{
+			Workload: "avl-set", KeyRange: *keyRange,
+			InsertPct: *insert, RemovePct: *remove,
+			DurationMS: dur.Milliseconds(), Attempts: *attempts, Seed: *seed,
+		},
+	}
+
+	fmt.Printf("%-18s %8s %14s %12s\n", "method", "threads", "ops/ms", "abort rate")
+	for _, name := range splitList(*methods) {
+		for _, n := range threads {
+			res := runCell(name, n, *keyRange, *insert, *remove, *dur, *attempts, *seed)
+			fmt.Printf("%-18s %8d %14.0f %12.4f\n",
+				res.Method, res.Threads, res.ThroughputOpsPerMS, res.AbortRate)
+			out.Results = append(out.Results, res)
+		}
+	}
+
+	if *jsonOut {
+		path, err := nextBenchPath(*outDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&out); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// runCell measures one (method, threads) grid cell.
+func runCell(name string, threads int, keyRange uint64, insert, remove int,
+	dur time.Duration, attempts int, seed uint64) benchResult {
+	policy := core.Policy{Attempts: attempts}
+	m := mem.New(harness.DefaultSetHeapWords(keyRange, threads) + 1<<18)
+	set := avl.New(m)
+	harness.SeedSet(set, keyRange)
+	meth, err := harness.BuildMethod(name, m, policy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res := harness.Run(meth, harness.Config{
+		Threads: threads, Duration: dur, Seed: seed,
+	}, harness.SetWorkerFactory(set, harness.SetMix{InsertPct: insert, RemovePct: remove}, keyRange))
+	if err := set.CheckInvariants(core.Direct(m)); err != nil {
+		fatalf("%s @%d threads: TREE CORRUPTED: %v", name, threads, err)
+	}
+
+	st := res.Total
+	var aborts uint64
+	for i := 0; i < htm.NumReasons; i++ {
+		aborts += st.FastAborts[i] + st.SlowAborts[i]
+	}
+	hwAttempts := st.FastAttempts + st.SlowAttempts
+	abortRate := 0.0
+	if hwAttempts > 0 {
+		abortRate = float64(aborts) / float64(hwAttempts)
+	}
+	return benchResult{
+		Method: res.Method, Threads: res.Threads,
+		Ops: st.Ops, ElapsedNS: res.Elapsed.Nanoseconds(),
+		ThroughputOpsPerMS: res.Throughput(), AbortRate: abortRate,
+		FastCommits: st.FastCommits, SlowCommits: st.SlowCommits,
+		LockRuns:   st.LockRuns,
+		STMCommits: st.STMCommitsHTM + st.STMCommitsLock + st.STMCommitsRO,
+		Aborts:     aborts,
+	}
+}
+
+// nextBenchPath returns dir/BENCH_<n>.json for the smallest n not yet used.
+func nextBenchPath(dir string) (string, error) {
+	for n := 0; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rtlebench: "+format+"\n", args...)
+	os.Exit(1)
+}

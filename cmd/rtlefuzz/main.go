@@ -1,0 +1,256 @@
+// Command rtlefuzz fuzzes the synchronization methods with random fault
+// plans: each round derives a fault.Plan from the master seed, runs every
+// selected method over every selected ADT workload under that plan, and
+// checks the recorded history for linearizability (internal/check). A
+// failing combination is shrunk to a minimal reproducing plan by zeroing
+// and halving plan fields while the failure persists.
+//
+// Determinism: all plans are generated up front, purely from -seed, before
+// any workload executes — rerunning with the same -seed replays
+// byte-identical plans (compare the "plan" lines of two runs). Individual
+// trial outcomes still depend on goroutine scheduling, which is exactly
+// what the shrinker's repeated trials account for.
+//
+// Usage:
+//
+//	rtlefuzz -seed 1 -rounds 8                  # fuzz 8 random plans
+//	rtlefuzz -plan '{"seed":7,"begin_prob":0.5}' # replay one plan
+//	rtlefuzz -methods TLE,NOrec -adts bank       # restrict the matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rtle/internal/check"
+	"rtle/internal/core"
+	"rtle/internal/fault"
+	"rtle/internal/harness"
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/rng"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "master seed; all fault plans derive from it")
+		rounds  = flag.Int("rounds", 8, "number of random plans to fuzz")
+		threads = flag.Int("threads", 4, "worker threads per trial")
+		ops     = flag.Int("ops", 120, "operations per thread per trial")
+		methods = flag.String("methods", strings.Join(check.ChaosMethods, ","),
+			"comma-separated method names to fuzz")
+		adts    = flag.String("adts", strings.Join(check.Workloads, ","), "comma-separated ADT workloads")
+		planStr = flag.String("plan", "", "replay this single plan (JSON) instead of fuzzing")
+		shrink  = flag.Bool("shrink", true, "shrink failing plans to minimal reproducers")
+		retries = flag.Int("retries", 3, "trials per plan when confirming a shrink step")
+	)
+	flag.Parse()
+
+	f := &fuzzer{
+		threads: *threads,
+		ops:     *ops,
+		methods: splitList(*methods),
+		adts:    splitList(*adts),
+		retries: *retries,
+	}
+	for _, kind := range f.adts {
+		found := false
+		for _, w := range check.Workloads {
+			found = found || w == kind
+		}
+		if !found {
+			fatalf("unknown ADT %q (have %s)", kind, strings.Join(check.Workloads, ", "))
+		}
+	}
+
+	var plans []fault.Plan
+	if *planStr != "" {
+		p, err := fault.ParsePlan(*planStr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		plans = []fault.Plan{p}
+	} else {
+		// Generate every plan before running anything: the plan
+		// sequence is a pure function of -seed.
+		sm := rng.NewSplitMix64(*seed)
+		for i := 0; i < *rounds; i++ {
+			plans = append(plans, randomPlan(sm.Next()))
+		}
+	}
+
+	failures := 0
+	for i, plan := range plans {
+		fmt.Printf("round %d/%d plan %s\n", i+1, len(plans), plan)
+		for _, methodName := range f.methods {
+			for _, kind := range f.adts {
+				if err := f.trial(plan, methodName, kind, 0); err == nil {
+					continue
+				}
+				failures++
+				fmt.Printf("FAIL %s over %s\n", methodName, kind)
+				minimal := plan
+				if *shrink {
+					minimal = f.shrink(plan, methodName, kind)
+				}
+				fmt.Printf("reproduce with:\n  rtlefuzz -threads %d -ops %d -methods %q -adts %q -plan '%s'\n",
+					f.threads, f.ops, methodName, kind, minimal)
+			}
+		}
+	}
+	if failures > 0 {
+		fatalf("%d failing method/ADT combinations", failures)
+	}
+	fmt.Printf("ok: %d plans x %d methods x %d ADTs linearizable\n",
+		len(plans), len(f.methods), len(f.adts))
+}
+
+type fuzzer struct {
+	threads, ops int
+	methods      []string
+	adts         []string
+	retries      int
+}
+
+// trial runs one (plan, method, ADT) combination and returns an error if
+// the recorded history is not linearizable. run salts the workload seed so
+// shrink confirmation retries explore different schedules.
+func (f *fuzzer) trial(plan fault.Plan, methodName, kind string, run int) error {
+	d := fault.NewDirector(plan)
+	policy := core.Policy{Attempts: 5, HTM: htm.Config{InterleaveEvery: 8}}
+	d.Configure(&policy)
+	m := mem.New(1 << 18)
+	method, err := harness.BuildMethod(methodName, m, policy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	h, model, err := check.RunWorkload(kind, method, m, check.RunConfig{
+		Threads: f.threads, OpsPerThread: f.ops,
+		Seed: plan.Seed + uint64(run)*0x9e3779b97f4a7c15,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !check.CheckLinearizable(model, h.Events()) {
+		return fmt.Errorf("history not linearizable")
+	}
+	return nil
+}
+
+// reproduces reports whether plan still triggers the failure within the
+// configured number of trials.
+func (f *fuzzer) reproduces(plan fault.Plan, methodName, kind string) bool {
+	for r := 0; r < f.retries; r++ {
+		if f.trial(plan, methodName, kind, r) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// shrink greedily minimizes a failing plan: for each field it tries
+// removing the fault entirely, then halving its magnitude, keeping any
+// candidate that still reproduces. It loops until a full pass changes
+// nothing.
+func (f *fuzzer) shrink(plan fault.Plan, methodName, kind string) fault.Plan {
+	fmt.Printf("shrinking %s ...\n", plan)
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range shrinkCandidates(plan) {
+			if cand == plan {
+				continue
+			}
+			if f.reproduces(cand, methodName, kind) {
+				plan = cand
+				changed = true
+				fmt.Printf("  -> %s\n", plan)
+				break
+			}
+		}
+	}
+	return plan
+}
+
+// shrinkCandidates yields one-step simplifications of plan, most aggressive
+// first.
+func shrinkCandidates(p fault.Plan) []fault.Plan {
+	var out []fault.Plan
+	add := func(mut func(*fault.Plan)) {
+		c := p
+		mut(&c)
+		out = append(out, c)
+	}
+	// Drop whole fault families.
+	add(func(c *fault.Plan) { c.BeginProb, c.AccessProb, c.CommitProb = 0, 0, 0 })
+	add(func(c *fault.Plan) { c.NthAccess, c.NthEvery = 0, 0 })
+	add(func(c *fault.Plan) {
+		c.SqueezeEvery, c.SqueezeLen, c.SqueezeReadLines, c.SqueezeWriteLines = 0, 0, 0, 0
+	})
+	add(func(c *fault.Plan) { c.StormEvery, c.StormLen = 0, 0 })
+	add(func(c *fault.Plan) { c.LockSpikeEvery, c.LockSpikeSpins = 0, 0 })
+	// Halve individual magnitudes.
+	add(func(c *fault.Plan) { c.BeginProb /= 2 })
+	add(func(c *fault.Plan) { c.AccessProb /= 2 })
+	add(func(c *fault.Plan) { c.CommitProb /= 2 })
+	add(func(c *fault.Plan) { c.StormLen /= 2 })
+	add(func(c *fault.Plan) { c.SqueezeLen /= 2 })
+	add(func(c *fault.Plan) { c.LockSpikeSpins /= 2 })
+	// Relax frequencies (rarer windows are simpler schedules).
+	add(func(c *fault.Plan) { c.StormEvery *= 2 })
+	add(func(c *fault.Plan) { c.SqueezeEvery *= 2 })
+	add(func(c *fault.Plan) { c.NthEvery *= 2 })
+	return out
+}
+
+// randomPlan derives one fuzz plan from a per-round seed. Roughly half the
+// fault families are active in any given plan.
+func randomPlan(seed uint64) fault.Plan {
+	sm := rng.NewSplitMix64(seed)
+	coin := func() bool { return sm.Next()%2 == 0 }
+	p := fault.Plan{Seed: sm.Next(), Reason: htm.Spurious}
+	if coin() {
+		p.BeginProb = float64(1+sm.Next()%8) / 100
+	}
+	if coin() {
+		p.AccessProb = float64(1+sm.Next()%10) / 1000
+	}
+	if coin() {
+		p.CommitProb = float64(1+sm.Next()%6) / 100
+	}
+	if coin() {
+		p.NthAccess = int(2 + sm.Next()%10)
+		p.NthEvery = int(3 + sm.Next()%6)
+	}
+	if coin() {
+		p.SqueezeEvery = int(20 + sm.Next()%60)
+		p.SqueezeLen = int(1 + sm.Next()%6)
+		p.SqueezeReadLines = int(2 + sm.Next()%6)
+		p.SqueezeWriteLines = int(1 + sm.Next()%4)
+	}
+	if coin() {
+		p.StormEvery = int(20 + sm.Next()%60)
+		p.StormLen = int(1 + sm.Next()%5)
+	}
+	if coin() {
+		p.LockSpikeEvery = int(4 + sm.Next()%12)
+		p.LockSpikeSpins = int(100 + sm.Next()%400)
+	}
+	return p
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rtlefuzz: "+format+"\n", args...)
+	os.Exit(1)
+}

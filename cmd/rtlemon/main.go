@@ -62,15 +62,7 @@ func main() {
 	}
 
 	if *httpAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			_ = reg.Snapshot().WritePrometheus(w)
-		})
-		mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			_ = reg.Snapshot().WriteJSON(w)
-		})
+		mux := newMux(reg)
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "rtlemon: http:", err)
@@ -111,6 +103,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// newMux builds the live-scrape HTTP handler: /metrics serves the current
+// registry snapshot in Prometheus text format, /snapshot as JSON.
+func newMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	return mux
 }
 
 func fatal(v any) {

@@ -1,0 +1,184 @@
+package check
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"rtle/internal/core"
+	"rtle/internal/fault"
+	"rtle/internal/harness"
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/rng"
+)
+
+// chaosSeeds returns the bounded seed list: CHAOS_SEEDS (a count) from the
+// environment, else 1 under -short, else 2.
+func chaosSeeds(t *testing.T) []uint64 {
+	n := 2
+	if testing.Short() {
+		n = 1
+	}
+	if s := os.Getenv("CHAOS_SEEDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad CHAOS_SEEDS %q", s)
+		}
+		n = v
+	}
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = 0xC0FFEE + uint64(i)*7919
+	}
+	return seeds
+}
+
+// chaosPlan derives a fault plan exercising every fault type from one seed.
+func chaosPlan(seed uint64) fault.Plan {
+	sm := rng.NewSplitMix64(seed)
+	return fault.Plan{
+		Seed:              sm.Next(),
+		BeginProb:         0.02 + float64(sm.Next()%4)/100,
+		AccessProb:        0.004,
+		CommitProb:        0.02,
+		Reason:            htm.Spurious,
+		NthAccess:         int(3 + sm.Next()%8),
+		NthEvery:          int(5 + sm.Next()%5),
+		SqueezeEvery:      40,
+		SqueezeLen:        4,
+		SqueezeReadLines:  3,
+		SqueezeWriteLines: 2,
+		StormEvery:        int(30 + sm.Next()%30),
+		StormLen:          3,
+		LockSpikeEvery:    8,
+		LockSpikeSpins:    200,
+	}
+}
+
+// TestChaosLinearizableUnderFaults runs every method over every ADT
+// workload under seeded fault plans and checks each recorded history for
+// linearizability. This is the end-to-end claim of the paper's algorithms:
+// the critical sections stay atomic no matter how the hardware misbehaves.
+func TestChaosLinearizableUnderFaults(t *testing.T) {
+	seeds := chaosSeeds(t)
+	var injectedTotal uint64
+	for _, methodName := range ChaosMethods {
+		for _, kind := range Workloads {
+			for _, seed := range seeds {
+				plan := chaosPlan(seed)
+				d := fault.NewDirector(plan)
+				policy := core.Policy{
+					Attempts: 5,
+					HTM:      htm.Config{InterleaveEvery: 8},
+				}
+				d.Configure(&policy)
+				m := mem.New(1 << 18)
+				method, err := harness.BuildMethod(methodName, m, policy)
+				if err != nil {
+					t.Fatalf("%s: %v", methodName, err)
+				}
+				h, model, err := RunWorkload(kind, method, m, RunConfig{
+					Threads: 4, OpsPerThread: 120, Seed: seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !CheckLinearizable(model, h.Events()) {
+					t.Errorf("%s over %s with plan %s: history NOT linearizable",
+						methodName, kind, plan)
+				}
+				injectedTotal += d.TotalInjected()
+			}
+		}
+	}
+	if injectedTotal == 0 {
+		t.Fatal("chaos sweep injected no faults at all")
+	}
+	t.Logf("chaos sweep injected %d faults across %d runs",
+		injectedTotal, len(ChaosMethods)*len(Workloads)*len(seeds))
+}
+
+// TestChaosOpacityUnderFaults validates the raw HTM engine itself: under
+// seeded fault plans, committed and aborted attempts alike must observe
+// consistent states.
+func TestChaosOpacityUnderFaults(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		plan := chaosPlan(seed)
+		d := fault.NewDirector(plan)
+		base, initial, recs := RunRawHTM(RawConfig{
+			Threads: 4, Attempts: 400, Lines: 4, AccessesPerAttempt: 5, Seed: seed,
+		}, htm.Config{NewInjector: d.NewInjector})
+		if err := CheckOpacity(base, initial, recs); err != nil {
+			t.Errorf("seed %d plan %s: opacity violated: %v", seed, plan, err)
+		}
+		if d.TotalInjected() == 0 {
+			t.Errorf("seed %d: plan injected nothing over 1600 attempts", seed)
+		}
+	}
+}
+
+// --- Mutant detection -------------------------------------------------------
+
+// lossyMethod is an intentionally broken test-only method: every Nth atomic
+// block silently discards its writes. It exists to prove the checker has
+// teeth — a recorder plus checker that cannot catch a method that lies
+// about its commits would be worthless.
+type lossyMethod struct {
+	inner core.Method
+	every int
+}
+
+func (m *lossyMethod) Name() string { return "Lossy(" + m.inner.Name() + ")" }
+func (m *lossyMethod) NewThread() core.Thread {
+	return &lossyThread{inner: m.inner.NewThread(), every: m.every}
+}
+
+type lossyThread struct {
+	inner core.Thread
+	every int
+	n     int
+}
+
+func (t *lossyThread) Stats() *core.Stats { return t.inner.Stats() }
+
+func (t *lossyThread) Atomic(body func(core.Context)) {
+	t.n++
+	if t.n%t.every != 0 {
+		t.inner.Atomic(body)
+		return
+	}
+	t.inner.Atomic(func(c core.Context) { body(dropWrites{c}) })
+}
+
+// dropWrites forwards reads and swallows writes.
+type dropWrites struct{ core.Context }
+
+func (d dropWrites) Write(mem.Addr, uint64) {}
+
+// TestMutantLossyMethodCaught runs the bank workload single-threaded over
+// the lossy mutant — fully deterministic — and requires the checker to
+// reject the history, while the unbroken method over the identical workload
+// passes.
+func TestMutantLossyMethodCaught(t *testing.T) {
+	run := func(mutate bool) bool {
+		m := mem.New(1 << 16)
+		var method core.Method = core.NewTLE(m, core.Policy{Attempts: 5})
+		if mutate {
+			method = &lossyMethod{inner: method, every: 3}
+		}
+		h, model, err := RunWorkload("bank", method, m, RunConfig{
+			Threads: 1, OpsPerThread: 60, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return CheckLinearizable(model, h.Events())
+	}
+	if !run(false) {
+		t.Fatal("unbroken method's history rejected")
+	}
+	if run(true) {
+		t.Fatal("lossy mutant's history accepted: the checker has no teeth")
+	}
+}

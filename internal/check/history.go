@@ -1,0 +1,148 @@
+// Package check verifies that the synchronization methods actually provide
+// the semantics they claim, under adversity: a per-thread history recorder,
+// a WGL-style linearizability checker for the repository's data-structure
+// workloads (set, map, bank), and an opacity validator for raw HTM
+// histories. Together with internal/fault it closes the loop the paper
+// leaves implicit — TLE and its refinements are only interesting if they
+// stay correct precisely when the hardware misbehaves, and a simulation can
+// force the hardware to misbehave on demand.
+//
+// The recorder stamps invocation and response events with tickets from one
+// shared atomic counter. Ticket order is consistent with real time (an
+// operation that returned before another was invoked has a smaller return
+// ticket than the other's invoke ticket), which is exactly the partial
+// order linearizability is defined over; using tickets instead of
+// nanosecond clocks removes timer-resolution ties.
+package check
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Op identifies the abstract operation an Event performed.
+type Op uint8
+
+const (
+	// Set operations (internal/avl).
+	OpContains Op = iota // Arg1 = key; Ok = present
+	OpInsert             // Arg1 = key; Ok = newly inserted
+	OpRemove             // Arg1 = key; Ok = removed
+	// Map operations (internal/tmap).
+	OpGet    // Arg1 = key; Ret, Ok = value, present
+	OpPut    // Arg1 = key, Arg2 = value; Ok = newly inserted
+	OpDelete // Arg1 = key; Ok = deleted
+	OpAdd    // Arg1 = key, Arg2 = delta; Ret = new value
+	// Bank operations (internal/bank).
+	OpTransfer // Arg1 = from, Arg2 = to, Arg3 = amount; Ret = amount moved
+	OpBalance  // Arg1 = account; Ret = balance
+)
+
+// String returns the operation's name.
+func (o Op) String() string {
+	switch o {
+	case OpContains:
+		return "contains"
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpAdd:
+		return "add"
+	case OpTransfer:
+		return "transfer"
+	case OpBalance:
+		return "balance"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Event is one completed operation: its invocation arguments, its observed
+// response, and the ticket interval during which it was pending.
+type Event struct {
+	Thread           int
+	Op               Op
+	Arg1, Arg2, Arg3 uint64
+	Ret              uint64
+	Ok               bool
+	Invoke, Return   int64 // tickets from the history's shared counter
+}
+
+// String renders the event for failure reports.
+func (e Event) String() string {
+	return fmt.Sprintf("t%d %s(%d,%d,%d) -> (%d,%v) @[%d,%d]",
+		e.Thread, e.Op, e.Arg1, e.Arg2, e.Arg3, e.Ret, e.Ok, e.Invoke, e.Return)
+}
+
+// History collects per-thread operation recordings. Create one per run,
+// hand each worker its Recorder, and read Events after the workers quiesce.
+type History struct {
+	clock atomic.Int64
+	recs  []*ThreadRecorder
+}
+
+// NewHistory returns a History with one recorder per thread.
+func NewHistory(threads int) *History {
+	h := &History{}
+	h.recs = make([]*ThreadRecorder, threads)
+	for i := range h.recs {
+		h.recs[i] = &ThreadRecorder{h: h, thread: i}
+	}
+	return h
+}
+
+// Recorder returns thread i's recorder. Each recorder must be used by
+// exactly one goroutine.
+func (h *History) Recorder(i int) *ThreadRecorder { return h.recs[i] }
+
+// Events concatenates all threads' events. Call only after every recording
+// goroutine has quiesced.
+func (h *History) Events() []Event {
+	var out []Event
+	for _, r := range h.recs {
+		if r.pending {
+			panic("check: Events with an operation still pending")
+		}
+		out = append(out, r.events...)
+	}
+	return out
+}
+
+// ThreadRecorder records one thread's operations. Not safe for concurrent
+// use; each operation must complete (Return) before the next Invoke.
+type ThreadRecorder struct {
+	h       *History
+	thread  int
+	events  []Event
+	pending bool
+}
+
+// Invoke records the start of an operation. Unused arguments pass zero.
+func (r *ThreadRecorder) Invoke(op Op, a1, a2, a3 uint64) {
+	if r.pending {
+		panic("check: Invoke while a previous operation is pending")
+	}
+	r.pending = true
+	r.events = append(r.events, Event{
+		Thread: r.thread, Op: op, Arg1: a1, Arg2: a2, Arg3: a3,
+		Invoke: r.h.clock.Add(1),
+	})
+}
+
+// Return records the pending operation's response.
+func (r *ThreadRecorder) Return(ret uint64, ok bool) {
+	if !r.pending {
+		panic("check: Return without a pending Invoke")
+	}
+	e := &r.events[len(r.events)-1]
+	e.Ret, e.Ok = ret, ok
+	e.Return = r.h.clock.Add(1)
+	r.pending = false
+}

@@ -1,0 +1,173 @@
+package check
+
+import "sort"
+
+// Model is a sequential specification for the linearizability checker.
+// States are immutable from the checker's point of view: Step must return a
+// fresh value (or the unchanged input) rather than mutating in place,
+// because the checker keeps superseded states on its undo stack.
+type Model struct {
+	// Init returns the initial state.
+	Init func() any
+	// Step applies e to state. It returns the successor state and whether
+	// e's recorded response (Ret, Ok) is legal from state.
+	Step func(state any, e Event) (any, bool)
+	// Hash returns a value equal for equal states (used to bucket the
+	// memoization cache).
+	Hash func(state any) uint64
+	// Equal reports state equality (resolves Hash collisions).
+	Equal func(a, b any) bool
+}
+
+// CheckLinearizable reports whether events — a complete history from a
+// History — is linearizable with respect to model: whether there exists a
+// total order of the operations, consistent with the ticket-interval
+// partial order, under which every recorded response is legal.
+//
+// The checker is the Wing & Gong tree search with Lowe's memoization
+// (the algorithm behind porcupine/knossos): entries sorted by ticket, a
+// linked list of pending operations, an undo stack, and a cache of
+// (linearized-set, state) configurations already proven fruitless.
+func CheckLinearizable(model Model, events []Event) bool {
+	n := len(events)
+	if n == 0 {
+		return true
+	}
+
+	type stamp struct {
+		id     int
+		invoke bool
+		time   int64
+	}
+	stamps := make([]stamp, 0, 2*n)
+	for i, e := range events {
+		stamps = append(stamps,
+			stamp{i, true, e.Invoke}, stamp{i, false, e.Return})
+	}
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i].time < stamps[j].time })
+
+	// Linked list of entries. Invoke nodes carry match = their return
+	// node; return nodes have match == nil.
+	type node struct {
+		id         int
+		match      *node
+		prev, next *node
+	}
+	head := &node{id: -1}
+	tail := head
+	invokes := make([]*node, n)
+	for _, s := range stamps {
+		nd := &node{id: s.id, prev: tail}
+		tail.next = nd
+		tail = nd
+		if s.invoke {
+			invokes[s.id] = nd
+		} else {
+			invokes[s.id].match = nd
+		}
+	}
+
+	lift := func(e *node) {
+		e.prev.next = e.next
+		e.next.prev = e.prev
+		m := e.match
+		m.prev.next = m.next
+		if m.next != nil {
+			m.next.prev = m.prev
+		}
+	}
+	unlift := func(e *node) {
+		m := e.match
+		m.prev.next = m
+		if m.next != nil {
+			m.next.prev = m
+		}
+		e.prev.next = e
+		e.next.prev = e
+	}
+
+	linearized := newBitset(n)
+	type cacheEntry struct {
+		bits  bitset
+		state any
+	}
+	cache := make(map[uint64][]cacheEntry)
+	cacheHas := func(key uint64, state any) bool {
+		for _, ce := range cache[key] {
+			if ce.bits.equal(linearized) && model.Equal(ce.state, state) {
+				return true
+			}
+		}
+		return false
+	}
+
+	type frame struct {
+		entry *node
+		state any
+	}
+	var calls []frame
+	state := model.Init()
+	entry := head.next
+	for head.next != nil {
+		if entry.match != nil { // invoke: try to linearize this op next
+			newState, legal := model.Step(state, events[entry.id])
+			if legal {
+				linearized.set(entry.id)
+				key := linearized.hash() ^ model.Hash(newState)
+				if !cacheHas(key, newState) {
+					cache[key] = append(cache[key],
+						cacheEntry{linearized.clone(), newState})
+					calls = append(calls, frame{entry, state})
+					state = newState
+					lift(entry)
+					entry = head.next
+					continue
+				}
+				linearized.clear(entry.id)
+			}
+			entry = entry.next
+		} else { // return: every op pending before it failed — backtrack
+			if len(calls) == 0 {
+				return false
+			}
+			f := calls[len(calls)-1]
+			calls = calls[:len(calls)-1]
+			entry, state = f.entry, f.state
+			linearized.clear(entry.id)
+			unlift(entry)
+			entry = entry.next
+		}
+	}
+	return true
+}
+
+// bitset is a fixed-size bit vector over operation ids.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (i % 64) }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) hash() uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, w := range b {
+		h = (h ^ w) * 1099511628211
+	}
+	return h
+}

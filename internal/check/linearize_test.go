@@ -1,0 +1,129 @@
+package check
+
+import (
+	"sync"
+	"testing"
+)
+
+// ev builds an event with explicit tickets.
+func ev(thread int, op Op, a1, ret uint64, ok bool, inv, ret2 int64) Event {
+	return Event{Thread: thread, Op: op, Arg1: a1, Ret: ret, Ok: ok, Invoke: inv, Return: ret2}
+}
+
+func TestLinearizableEmptyAndSequential(t *testing.T) {
+	m := SetModel()
+	if !CheckLinearizable(m, nil) {
+		t.Fatal("empty history rejected")
+	}
+	h := []Event{
+		ev(0, OpInsert, 5, 0, true, 1, 2),
+		ev(0, OpContains, 5, 0, true, 3, 4),
+		ev(0, OpRemove, 5, 0, true, 5, 6),
+		ev(0, OpContains, 5, 0, false, 7, 8),
+	}
+	if !CheckLinearizable(m, h) {
+		t.Fatal("legal sequential set history rejected")
+	}
+}
+
+func TestSequentialIllegalRejected(t *testing.T) {
+	m := SetModel()
+	h := []Event{
+		ev(0, OpInsert, 5, 0, true, 1, 2),
+		ev(0, OpContains, 5, 0, false, 3, 4), // lost insert
+	}
+	if CheckLinearizable(m, h) {
+		t.Fatal("lost-insert history accepted")
+	}
+}
+
+func TestConcurrentOverlapUsesFreedom(t *testing.T) {
+	m := SetModel()
+	// contains(5)=true overlaps insert(5): legal only because the insert
+	// may linearize first.
+	h := []Event{
+		ev(0, OpInsert, 5, 0, true, 1, 4),
+		ev(1, OpContains, 5, 0, true, 2, 3),
+	}
+	if !CheckLinearizable(m, h) {
+		t.Fatal("overlapping insert/contains rejected")
+	}
+	// The same responses without overlap are illegal: contains returned
+	// true strictly before the insert was invoked.
+	h2 := []Event{
+		ev(1, OpContains, 5, 0, true, 1, 2),
+		ev(0, OpInsert, 5, 0, true, 3, 4),
+	}
+	if CheckLinearizable(m, h2) {
+		t.Fatal("contains-before-insert history accepted")
+	}
+}
+
+func TestBankModelChecks(t *testing.T) {
+	m := BankModel(2, 100)
+	h := []Event{
+		{Thread: 0, Op: OpTransfer, Arg1: 0, Arg2: 1, Arg3: 30, Ret: 30, Ok: true, Invoke: 1, Return: 2},
+		{Thread: 0, Op: OpBalance, Arg1: 0, Ret: 70, Ok: true, Invoke: 3, Return: 4},
+		{Thread: 0, Op: OpTransfer, Arg1: 0, Arg2: 1, Arg3: 200, Ret: 70, Ok: true, Invoke: 5, Return: 6}, // clamped
+		{Thread: 0, Op: OpBalance, Arg1: 1, Ret: 200, Ok: true, Invoke: 7, Return: 8},
+	}
+	if !CheckLinearizable(m, h) {
+		t.Fatal("legal bank history rejected")
+	}
+	bad := append(h[:3:3], Event{Thread: 0, Op: OpBalance, Arg1: 1, Ret: 130, Ok: true, Invoke: 7, Return: 8})
+	if CheckLinearizable(m, bad) {
+		t.Fatal("bank history with wrong balance accepted")
+	}
+}
+
+func TestMapModelChecks(t *testing.T) {
+	m := MapModel()
+	h := []Event{
+		{Op: OpPut, Arg1: 1, Arg2: 10, Ok: true, Invoke: 1, Return: 2},
+		{Op: OpAdd, Arg1: 1, Arg2: 5, Ret: 15, Invoke: 3, Return: 4},
+		{Op: OpGet, Arg1: 1, Ret: 15, Ok: true, Invoke: 5, Return: 6},
+		{Op: OpDelete, Arg1: 1, Ok: true, Invoke: 7, Return: 8},
+		{Op: OpGet, Arg1: 1, Ret: 0, Ok: false, Invoke: 9, Return: 10},
+	}
+	if !CheckLinearizable(m, h) {
+		t.Fatal("legal map history rejected")
+	}
+	h[2].Ret = 10 // stale read after add
+	if CheckLinearizable(m, h) {
+		t.Fatal("stale-read map history accepted")
+	}
+}
+
+// TestRecorderTicketOrder exercises the recorder concurrently under -race
+// and verifies ticket intervals are well-formed and real-time consistent.
+func TestRecorderTicketOrder(t *testing.T) {
+	const threads, ops = 4, 100
+	h := NewHistory(threads)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := h.Recorder(i)
+			for k := 0; k < ops; k++ {
+				rec.Invoke(OpInsert, uint64(k), 0, 0)
+				rec.Return(0, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	events := h.Events()
+	if len(events) != threads*ops {
+		t.Fatalf("recorded %d events, want %d", len(events), threads*ops)
+	}
+	seen := make(map[int64]bool)
+	for _, e := range events {
+		if e.Invoke >= e.Return {
+			t.Fatalf("event %v has Invoke >= Return", e)
+		}
+		if seen[e.Invoke] || seen[e.Return] {
+			t.Fatalf("duplicate ticket in %v", e)
+		}
+		seen[e.Invoke], seen[e.Return] = true, true
+	}
+}

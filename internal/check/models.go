@@ -1,0 +1,157 @@
+package check
+
+import (
+	"maps"
+	"slices"
+
+	"rtle/internal/wanghash"
+)
+
+// SetModel is the sequential specification of a set of uint64 keys
+// (internal/avl's operations: OpContains, OpInsert, OpRemove).
+func SetModel() Model {
+	return Model{
+		Init: func() any { return map[uint64]bool{} },
+		Step: func(state any, e Event) (any, bool) {
+			s := state.(map[uint64]bool)
+			present := s[e.Arg1]
+			switch e.Op {
+			case OpContains:
+				return state, e.Ok == present
+			case OpInsert:
+				if e.Ok != !present {
+					return state, false
+				}
+				if !e.Ok {
+					return state, true
+				}
+				ns := maps.Clone(s)
+				ns[e.Arg1] = true
+				return ns, true
+			case OpRemove:
+				if e.Ok != present {
+					return state, false
+				}
+				if !e.Ok {
+					return state, true
+				}
+				ns := maps.Clone(s)
+				delete(ns, e.Arg1)
+				return ns, true
+			}
+			return state, false
+		},
+		Hash: func(state any) uint64 {
+			var h uint64
+			for k := range state.(map[uint64]bool) {
+				h ^= wanghash.Mix(k) // commutative: iteration order free
+			}
+			return h
+		},
+		Equal: func(a, b any) bool {
+			return maps.Equal(a.(map[uint64]bool), b.(map[uint64]bool))
+		},
+	}
+}
+
+// MapModel is the sequential specification of a uint64->uint64 map
+// (internal/tmap's operations: OpGet, OpPut, OpDelete, OpAdd).
+func MapModel() Model {
+	return Model{
+		Init: func() any { return map[uint64]uint64{} },
+		Step: func(state any, e Event) (any, bool) {
+			s := state.(map[uint64]uint64)
+			cur, present := s[e.Arg1]
+			switch e.Op {
+			case OpGet:
+				if e.Ok != present {
+					return state, false
+				}
+				return state, !present || e.Ret == cur
+			case OpPut:
+				// Ok reports "newly inserted".
+				if e.Ok != !present {
+					return state, false
+				}
+				ns := maps.Clone(s)
+				ns[e.Arg1] = e.Arg2
+				return ns, true
+			case OpDelete:
+				if e.Ok != present {
+					return state, false
+				}
+				if !e.Ok {
+					return state, true
+				}
+				ns := maps.Clone(s)
+				delete(ns, e.Arg1)
+				return ns, true
+			case OpAdd:
+				nv := cur + e.Arg2
+				if e.Ret != nv {
+					return state, false
+				}
+				ns := maps.Clone(s)
+				ns[e.Arg1] = nv
+				return ns, true
+			}
+			return state, false
+		},
+		Hash: func(state any) uint64 {
+			var h uint64
+			for k, v := range state.(map[uint64]uint64) {
+				h ^= wanghash.Mix(k ^ wanghash.Mix(v))
+			}
+			return h
+		},
+		Equal: func(a, b any) bool {
+			return maps.Equal(a.(map[uint64]uint64), b.(map[uint64]uint64))
+		},
+	}
+}
+
+// BankModel is the sequential specification of internal/bank: accounts
+// balances with the given initial value, clamped transfers (OpTransfer's
+// Ret is the amount actually moved) and balance reads.
+func BankModel(accounts int, initial uint64) Model {
+	return Model{
+		Init: func() any {
+			s := make([]uint64, accounts)
+			for i := range s {
+				s[i] = initial
+			}
+			return s
+		},
+		Step: func(state any, e Event) (any, bool) {
+			s := state.([]uint64)
+			switch e.Op {
+			case OpBalance:
+				return state, e.Ret == s[e.Arg1]
+			case OpTransfer:
+				from, to, amount := int(e.Arg1), int(e.Arg2), e.Arg3
+				moved := min(amount, s[from])
+				if e.Ret != moved {
+					return state, false
+				}
+				if moved == 0 || from == to {
+					return state, true
+				}
+				ns := slices.Clone(s)
+				ns[from] -= moved
+				ns[to] += moved
+				return ns, true
+			}
+			return state, false
+		},
+		Hash: func(state any) uint64 {
+			var h uint64
+			for i, v := range state.([]uint64) {
+				h ^= wanghash.Mix(uint64(i+1)*0x9e3779b97f4a7c15 + v)
+			}
+			return h
+		},
+		Equal: func(a, b any) bool {
+			return slices.Equal(a.([]uint64), b.([]uint64))
+		},
+	}
+}

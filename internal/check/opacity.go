@@ -1,0 +1,205 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rtle/internal/mem"
+)
+
+// ReadObs is one transactional read observed from memory (reads satisfied
+// from the transaction's own write buffer are excluded — they say nothing
+// about the shared state).
+type ReadObs struct {
+	Addr mem.Addr
+	Val  uint64
+}
+
+// WriteObs is one address's final buffered value at the end of an attempt.
+type WriteObs struct {
+	Addr mem.Addr
+	Val  uint64
+}
+
+// TxRecord is the observable footprint of one hardware-transaction attempt,
+// committed or aborted.
+type TxRecord struct {
+	Thread  int
+	Attempt int
+	// Reads are the memory reads in order, excluding read-your-writes.
+	// For aborted attempts they cover the prefix executed before the
+	// abort.
+	Reads []ReadObs
+	// Writes hold each written address's final value (committed attempts
+	// only; aborted writes never become visible and are not checked).
+	Writes    []WriteObs
+	Committed bool
+	// CommitVersion is htm.Tx.CommitVersion() of a committed attempt:
+	// the global-clock value at which its writes were published, or the
+	// snapshot for a read-only attempt.
+	CommitVersion uint64
+}
+
+// CheckOpacity validates a set of attempt records against TL2-style
+// versioned semantics:
+//
+//   - Committed writers, ordered by CommitVersion, form the serial history;
+//     each one's reads must match the state immediately before its own
+//     writes are applied at its serial position.
+//   - A committed read-only attempt serializes at its snapshot: its reads
+//     must match the state at version CommitVersion.
+//   - An aborted attempt must still have observed a consistent prefix
+//     (opacity's whole point: even doomed transactions never see torn
+//     state): there must exist a single version at which every one of its
+//     reads is simultaneously correct.
+//
+// baseVersion is the global clock value after initialization; initial maps
+// every address the attempts may touch to its value at baseVersion.
+func CheckOpacity(baseVersion uint64, initial map[mem.Addr]uint64, recs []TxRecord) error {
+	// The committed writers in serial (publication) order.
+	var writers []*TxRecord
+	for i := range recs {
+		r := &recs[i]
+		if r.Committed && len(r.Writes) > 0 {
+			writers = append(writers, r)
+		}
+	}
+	sort.Slice(writers, func(i, j int) bool {
+		return writers[i].CommitVersion < writers[j].CommitVersion
+	})
+
+	// Replay the serial history, validating each writer's reads against
+	// the state at its own serial position and building per-address value
+	// timelines for the interval checks below.
+	state := make(map[mem.Addr]uint64, len(initial))
+	timeline := make(map[mem.Addr][]verVal, len(initial))
+	for a, v := range initial {
+		state[a] = v
+		timeline[a] = []verVal{{baseVersion, v}}
+	}
+	lookup := func(a mem.Addr) (uint64, error) {
+		v, ok := state[a]
+		if !ok {
+			return 0, fmt.Errorf("read of address %d outside the tracked initial state", a)
+		}
+		return v, nil
+	}
+	var prevVer uint64
+	for _, w := range writers {
+		if w.CommitVersion <= baseVersion {
+			return fmt.Errorf("writer (thread %d attempt %d) commit version %d not after base %d",
+				w.Thread, w.Attempt, w.CommitVersion, baseVersion)
+		}
+		if w.CommitVersion == prevVer {
+			return fmt.Errorf("two committed writers share commit version %d", w.CommitVersion)
+		}
+		prevVer = w.CommitVersion
+		for _, r := range w.Reads {
+			cur, err := lookup(r.Addr)
+			if err != nil {
+				return err
+			}
+			if cur != r.Val {
+				return fmt.Errorf(
+					"committed writer (thread %d attempt %d, version %d) read addr %d = %d, serial state has %d",
+					w.Thread, w.Attempt, w.CommitVersion, r.Addr, r.Val, cur)
+			}
+		}
+		for _, wr := range w.Writes {
+			if _, err := lookup(wr.Addr); err != nil {
+				return err
+			}
+			state[wr.Addr] = wr.Val
+			timeline[wr.Addr] = append(timeline[wr.Addr], verVal{w.CommitVersion, wr.Val})
+		}
+	}
+
+	// valueAt returns addr's value at version v (the last change <= v).
+	valueAt := func(addr mem.Addr, v uint64) (uint64, bool) {
+		tl := timeline[addr]
+		for i := len(tl) - 1; i >= 0; i-- {
+			if tl[i].ver <= v {
+				return tl[i].val, true
+			}
+		}
+		return 0, false
+	}
+
+	for i := range recs {
+		r := &recs[i]
+		switch {
+		case r.Committed && len(r.Writes) == 0:
+			// Read-only committed: exact point check at its snapshot.
+			if r.CommitVersion < baseVersion {
+				return fmt.Errorf("read-only attempt (thread %d attempt %d) snapshot %d before base %d",
+					r.Thread, r.Attempt, r.CommitVersion, baseVersion)
+			}
+			for _, rd := range r.Reads {
+				want, ok := valueAt(rd.Addr, r.CommitVersion)
+				if !ok {
+					return fmt.Errorf("read of address %d outside the tracked initial state", rd.Addr)
+				}
+				if want != rd.Val {
+					return fmt.Errorf(
+						"read-only attempt (thread %d attempt %d, snapshot %d) read addr %d = %d, state at snapshot has %d",
+						r.Thread, r.Attempt, r.CommitVersion, rd.Addr, rd.Val, want)
+				}
+			}
+		case !r.Committed:
+			// Aborted: some single version must explain every read.
+			if err := consistentPrefix(timeline, baseVersion, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// verVal is one entry of an address's value timeline: the address held val
+// from version ver until the next entry's version.
+type verVal struct {
+	ver uint64
+	val uint64
+}
+
+// consistentPrefix verifies an aborted attempt's reads are simultaneously
+// explainable at one version: it intersects, across reads, the version
+// intervals during which each address held the observed value.
+func consistentPrefix(timeline map[mem.Addr][]verVal, baseVersion uint64, r *TxRecord) error {
+	type iv struct{ lo, hi uint64 } // [lo, hi)
+	acc := []iv{{baseVersion, math.MaxUint64}}
+	for _, rd := range r.Reads {
+		tl, ok := timeline[rd.Addr]
+		if !ok {
+			return fmt.Errorf("read of address %d outside the tracked initial state", rd.Addr)
+		}
+		var valid []iv
+		for i, e := range tl {
+			if e.val != rd.Val {
+				continue
+			}
+			hi := uint64(math.MaxUint64)
+			if i+1 < len(tl) {
+				hi = tl[i+1].ver
+			}
+			valid = append(valid, iv{e.ver, hi})
+		}
+		var next []iv
+		for _, a := range acc {
+			for _, b := range valid {
+				lo, hi := max(a.lo, b.lo), min(a.hi, b.hi)
+				if lo < hi {
+					next = append(next, iv{lo, hi})
+				}
+			}
+		}
+		if len(next) == 0 {
+			return fmt.Errorf(
+				"aborted attempt (thread %d attempt %d) observed torn state: no single version explains its %d reads (first failing read: addr %d = %d)",
+				r.Thread, r.Attempt, len(r.Reads), rd.Addr, rd.Val)
+		}
+		acc = next
+	}
+	return nil
+}

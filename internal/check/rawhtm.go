@@ -1,0 +1,120 @@
+package check
+
+import (
+	"sync"
+
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+	"rtle/internal/rng"
+)
+
+// RawConfig configures RunRawHTM.
+type RawConfig struct {
+	// Threads and Attempts: each of Threads goroutines runs Attempts
+	// transaction attempts (committed or not, each yields one TxRecord).
+	Threads  int
+	Attempts int
+	// Lines is the shared-region size; attempts touch the first word of
+	// random lines.
+	Lines int
+	// AccessesPerAttempt is how many reads/writes each attempt performs.
+	AccessesPerAttempt int
+	// Seed derives per-thread operation streams.
+	Seed uint64
+}
+
+func (c RawConfig) lines() int {
+	if c.Lines > 0 {
+		return c.Lines
+	}
+	return 8
+}
+
+func (c RawConfig) accesses() int {
+	if c.AccessesPerAttempt > 0 {
+		return c.AccessesPerAttempt
+	}
+	return 6
+}
+
+// RunRawHTM hammers a shared region with raw htm.Tx attempts (random reads
+// and writes, no retry discipline, no fallback) and records every attempt's
+// observable footprint. It returns the inputs CheckOpacity needs: the
+// post-initialization clock value, the region's initial values, and the
+// attempt records. htmCfg carries the capacity bounds and — the point of
+// the exercise — the fault injector.
+//
+// Written values are made globally unique (thread, sequence) so an
+// observed read pins down exactly which committed write produced it.
+func RunRawHTM(cfg RawConfig, htmCfg htm.Config) (uint64, map[mem.Addr]uint64, []TxRecord) {
+	m := mem.New((cfg.lines() + 8) * mem.WordsPerLine)
+	region := m.AllocLines(cfg.lines())
+	addrs := make([]mem.Addr, cfg.lines())
+	for i := range addrs {
+		addrs[i] = region + mem.Addr(i*mem.WordsPerLine)
+		m.Store(addrs[i], uint64(i)) // distinct initial values
+	}
+	base := m.ClockLoad()
+	initial := make(map[mem.Addr]uint64, len(addrs))
+	for _, a := range addrs {
+		initial[a] = m.Load(a)
+	}
+
+	perThread := make([][]TxRecord, cfg.Threads)
+	var wg sync.WaitGroup
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			r := rng.NewXoshiro256(cfg.Seed + uint64(th)*0x9e3779b97f4a7c15 + 1)
+			tx := htm.NewTx(m, htmCfg)
+			recs := make([]TxRecord, 0, cfg.Attempts)
+			var seq uint64
+			for at := 0; at < cfg.Attempts; at++ {
+				rec := TxRecord{Thread: th, Attempt: at}
+				written := make(map[mem.Addr]uint64)
+				var order []mem.Addr
+				reason := tx.Run(func(tx *htm.Tx) {
+					for k := 0; k < cfg.accesses(); k++ {
+						a := addrs[r.Intn(len(addrs))]
+						if r.Intn(2) == 0 {
+							v := tx.Read(a)
+							if _, own := written[a]; !own {
+								rec.Reads = append(rec.Reads, ReadObs{a, v})
+							}
+						} else {
+							seq++
+							v := uint64(th+1)<<32 | seq
+							tx.Write(a, v)
+							if _, dup := written[a]; !dup {
+								order = append(order, a)
+							}
+							written[a] = v
+						}
+					}
+				})
+				if reason == htm.None {
+					rec.Committed = true
+					rec.CommitVersion = tx.CommitVersion()
+					for _, a := range order {
+						rec.Writes = append(rec.Writes, WriteObs{a, written[a]})
+					}
+				} else {
+					// An abort unwinds mid-body: Reads holds the
+					// prefix observed before the abort, which is
+					// exactly what opacity constrains.
+					rec.Writes = nil
+				}
+				recs = append(recs, rec)
+			}
+			perThread[th] = recs
+		}(th)
+	}
+	wg.Wait()
+
+	var all []TxRecord
+	for _, recs := range perThread {
+		all = append(all, recs...)
+	}
+	return base, initial, all
+}

@@ -1,0 +1,141 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+
+	"rtle/internal/avl"
+	"rtle/internal/bank"
+	"rtle/internal/core"
+	"rtle/internal/mem"
+	"rtle/internal/rng"
+	"rtle/internal/tmap"
+)
+
+// Workloads names the checked ADT workloads, in the order the fuzzer
+// cycles through them.
+var Workloads = []string{"set", "map", "bank"}
+
+// ChaosMethods is the method roster the chaos suite and cmd/rtlefuzz
+// cover: every synchronization scheme in the repository.
+var ChaosMethods = []string{
+	"Lock", "TLE", "HLE", "RW-TLE", "FG-TLE(256)", "FG-TLE(adaptive)",
+	"ALE(256)", "NOrec", "RHNOrec",
+}
+
+// RunConfig configures one recorded workload run.
+type RunConfig struct {
+	Threads      int
+	OpsPerThread int
+	Seed         uint64
+	// Keys is the key-space size for set/map and the account count for
+	// bank (default 16 / 8).
+	Keys int
+}
+
+func (c RunConfig) keys(def int) int {
+	if c.Keys > 0 {
+		return c.Keys
+	}
+	return def
+}
+
+// BankInitial is the per-account starting balance of the bank workload.
+const BankInitial = 1000
+
+// RunWorkload executes the named ADT workload ("set", "map", or "bank")
+// over method — which must have been built over m, where the structure is
+// allocated too — recording every operation. It returns the history and
+// the sequential model to check it against.
+func RunWorkload(kind string, method core.Method, m *mem.Memory, cfg RunConfig) (*History, Model, error) {
+	switch kind {
+	case "set":
+		s := avl.New(m)
+		return runThreads(cfg, method, func(t core.Thread, rec *ThreadRecorder, r *rng.Xoshiro256) {
+			h := s.NewHandle()
+			keys := uint64(cfg.keys(16))
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				key := r.Uint64n(keys)
+				switch p := r.Intn(100); {
+				case p < 40:
+					rec.Invoke(OpContains, key, 0, 0)
+					rec.Return(0, h.Contains(t, key))
+				case p < 70:
+					rec.Invoke(OpInsert, key, 0, 0)
+					rec.Return(0, h.Insert(t, key))
+				default:
+					rec.Invoke(OpRemove, key, 0, 0)
+					rec.Return(0, h.Remove(t, key))
+				}
+			}
+		}), SetModel(), nil
+	case "map":
+		mp := tmap.New(m, cfg.keys(16))
+		return runThreads(cfg, method, func(t core.Thread, rec *ThreadRecorder, r *rng.Xoshiro256) {
+			h := mp.NewHandle()
+			keys := uint64(cfg.keys(16))
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				key := r.Uint64n(keys)
+				switch p := r.Intn(100); {
+				case p < 30:
+					rec.Invoke(OpGet, key, 0, 0)
+					v, ok := h.Get(t, key)
+					rec.Return(v, ok)
+				case p < 55:
+					val := r.Uint64n(1 << 20)
+					rec.Invoke(OpPut, key, val, 0)
+					rec.Return(0, h.Put(t, key, val))
+				case p < 80:
+					delta := 1 + r.Uint64n(9)
+					rec.Invoke(OpAdd, key, delta, 0)
+					rec.Return(h.Add(t, key, delta), true)
+				default:
+					rec.Invoke(OpDelete, key, 0, 0)
+					rec.Return(0, h.Delete(t, key))
+				}
+			}
+		}), MapModel(), nil
+	case "bank":
+		accounts := cfg.keys(8)
+		b := bank.New(m, accounts, BankInitial)
+		return runThreads(cfg, method, func(t core.Thread, rec *ThreadRecorder, r *rng.Xoshiro256) {
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				if r.Intn(100) < 70 {
+					from := r.Intn(accounts)
+					to := (from + 1 + r.Intn(accounts-1)) % accounts
+					amount := 1 + r.Uint64n(100)
+					rec.Invoke(OpTransfer, uint64(from), uint64(to), amount)
+					rec.Return(b.Transfer(t, from, to, amount), true)
+				} else {
+					acct := r.Intn(accounts)
+					rec.Invoke(OpBalance, uint64(acct), 0, 0)
+					var v uint64
+					t.Atomic(func(c core.Context) { v = b.BalanceCS(c, acct) })
+					rec.Return(v, true)
+				}
+			}
+		}), BankModel(accounts, BankInitial), nil
+	}
+	return nil, Model{}, fmt.Errorf("check: unknown workload %q", kind)
+}
+
+// runThreads spawns cfg.Threads goroutines, each with its own method
+// thread, recorder, and PRNG stream, and waits for them.
+func runThreads(cfg RunConfig, method core.Method, worker func(core.Thread, *ThreadRecorder, *rng.Xoshiro256)) *History {
+	n := cfg.Threads
+	if n <= 0 {
+		n = 1
+	}
+	h := NewHistory(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			worker(method.NewThread(), h.Recorder(i),
+				rng.NewXoshiro256(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1))
+		}(i)
+	}
+	wg.Wait()
+	return h
+}

@@ -215,6 +215,7 @@ func (t *adaptiveThread) runSlow(body func(Context)) htm.AbortReason {
 func (t *adaptiveThread) runUnderLock(body func(Context)) {
 	a := t.method
 	t.lock.Acquire()
+	t.rec.LockAcquired()
 	start := time.Now()
 	m := t.m
 

@@ -124,7 +124,7 @@ func (t *aleThread) Atomic(body func(Context)) {
 			t.attempts.Record(attempts, true)
 			return
 		}
-		t.rec.FastAbort(reason, false)
+		t.rec.FastAbort(reason, false, t.tx.LastAbortInjected())
 		attempts++
 	}
 	t.attempts.Record(attempts, false)
@@ -137,6 +137,7 @@ func (t *aleThread) Atomic(body func(Context)) {
 func (t *aleThread) software(body func(Context)) {
 	a := t.method
 	a.lock.Acquire()
+	t.rec.LockAcquired()
 	start := time.Now()
 	for {
 		if t.attemptSoftware(body) {

@@ -99,6 +99,12 @@ type Policy struct {
 	// HTM configures the simulated hardware (capacities, fault
 	// injection).
 	HTM htm.Config
+	// LockFault, when non-nil, is invoked by every method's pessimistic
+	// path right after the fallback lock is acquired, letting a fault
+	// injector (internal/fault) stretch lock-holder critical sections —
+	// latency spikes the transactional paths must survive. Nil disables
+	// the hook at the cost of one nil check per lock acquisition.
+	LockFault LockFaultHook
 }
 
 // DefaultAttempts is the paper's retry budget.
@@ -137,6 +143,10 @@ type Stats struct {
 	// FastAborts and SlowAborts break down failed attempts by reason.
 	FastAborts [htm.NumReasons]uint64
 	SlowAborts [htm.NumReasons]uint64
+	// InjectedAborts breaks down, by reason, the subset of hardware
+	// aborts (either path) that were forced by a fault injector rather
+	// than arising organically.
+	InjectedAborts [htm.NumReasons]uint64
 	// SubscriptionAborts counts fast-path attempts that aborted because
 	// the lock was observed held after transaction begin.
 	SubscriptionAborts uint64
@@ -169,6 +179,7 @@ func (s *Stats) Merge(other *Stats) {
 	for i := range s.FastAborts {
 		s.FastAborts[i] += other.FastAborts[i]
 		s.SlowAborts[i] += other.SlowAborts[i]
+		s.InjectedAborts[i] += other.InjectedAborts[i]
 	}
 	s.SubscriptionAborts += other.SubscriptionAborts
 	s.LockHoldNanos += other.LockHoldNanos

@@ -113,6 +113,7 @@ func (t *fgtleThread) runSlow(body func(Context)) htm.AbortReason {
 // again to release all orecs at once.
 func (t *fgtleThread) runUnderLock(body func(Context)) {
 	t.lock.Acquire()
+	t.rec.LockAcquired()
 	start := time.Now()
 	m := t.m
 	t.seq = m.Load(t.method.epochAddr) + 1

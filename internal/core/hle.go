@@ -73,9 +73,10 @@ func (t *hleThread) Atomic(body func(Context)) {
 		t.rec.FastCommit(t0)
 		return
 	}
-	t.rec.FastAbort(reason, t.lockBusy)
+	t.rec.FastAbort(reason, t.lockBusy, t.tx.LastAbortInjected())
 	// Hardware re-execution without elision: take the lock for real.
 	t.lock.Acquire()
+	t.rec.LockAcquired()
 	start := time.Now()
 	body(lockPathCtx(t.m, t.pacer))
 	t.rec.LockHold(time.Since(start).Nanoseconds())

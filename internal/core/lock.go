@@ -56,6 +56,7 @@ func (t *lockThread) Stats() *Stats { return t.rec.Stats() }
 func (t *lockThread) Atomic(body func(Context)) {
 	t0 := t.rec.Begin()
 	t.lock.Acquire()
+	t.rec.LockAcquired()
 	start := time.Now()
 	body(lockPathCtx(t.m, t.pacer))
 	t.rec.LockHold(time.Since(start).Nanoseconds())

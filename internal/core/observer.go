@@ -123,8 +123,10 @@ type ThreadObserver interface {
 	Attempt(p Path)
 	// Abort records a failed hardware attempt on p (PathFast or
 	// PathSlow). subscription is true when a fast-path attempt aborted
-	// because the lock was observed held after transaction begin.
-	Abort(p Path, reason htm.AbortReason, subscription bool)
+	// because the lock was observed held after transaction begin;
+	// injected is true when the abort was forced by a fault injector
+	// (htm.Injector) rather than arising organically.
+	Abort(p Path, reason htm.AbortReason, subscription, injected bool)
 	// STMAbort records a software-transaction validation failure.
 	STMAbort()
 	// Validation records one value-based read-set validation (Fig. 10).
@@ -146,4 +148,15 @@ type Observer interface {
 	// ObserveThread returns the observer for a newly created thread of
 	// the named method.
 	ObserveThread(method string) ThreadObserver
+}
+
+// LockFaultHook is the pessimistic-path half of fault injection: every
+// method's lock path invokes OnLockAcquired immediately after acquiring
+// the fallback lock (or, for the NOrec family, the sequence/fallback lock
+// of a pessimistic commit), before touching shared data. internal/fault's
+// Director implements it to inject lock-holder latency spikes — the
+// adversarial regime the refined-TLE slow paths exist for. Implementations
+// must be safe for concurrent use (one hook instance serves all threads).
+type LockFaultHook interface {
+	OnLockAcquired()
 }

@@ -16,8 +16,9 @@ import (
 // It is exported because the STM and hybrid methods outside this package
 // (internal/norec, internal/rhnorec) account through it too.
 type Recorder struct {
-	stats Stats
-	obs   ThreadObserver // nil when Policy.Observer is unset
+	stats     Stats
+	obs       ThreadObserver // nil when Policy.Observer is unset
+	lockFault LockFaultHook  // nil when Policy.LockFault is unset
 }
 
 // NewRecorder builds the recorder for one thread of the named method.
@@ -26,7 +27,17 @@ func NewRecorder(p Policy, method string) Recorder {
 	if p.Observer != nil {
 		r.obs = p.Observer.ObserveThread(method)
 	}
+	r.lockFault = p.LockFault
 	return r
+}
+
+// LockAcquired reports that the thread just acquired the fallback lock
+// (before running the critical section), firing the configured fault hook —
+// the injection point for lock-holder latency spikes.
+func (r *Recorder) LockAcquired() {
+	if r.lockFault != nil {
+		r.lockFault.OnLockAcquired()
+	}
 }
 
 // Stats exposes the quiescent counters (Thread.Stats).
@@ -66,22 +77,29 @@ func (r *Recorder) STMStart() {
 }
 
 // FastAbort records a failed fast-path attempt; subscription marks aborts
-// caused by observing the lock held after transaction begin.
-func (r *Recorder) FastAbort(reason htm.AbortReason, subscription bool) {
+// caused by observing the lock held after transaction begin, injected ones
+// forced by a fault injector (htm.Tx.LastAbortInjected).
+func (r *Recorder) FastAbort(reason htm.AbortReason, subscription, injected bool) {
 	r.stats.FastAborts[reason]++
 	if subscription {
 		r.stats.SubscriptionAborts++
 	}
+	if injected {
+		r.stats.InjectedAborts[reason]++
+	}
 	if r.obs != nil {
-		r.obs.Abort(PathFast, reason, subscription)
+		r.obs.Abort(PathFast, reason, subscription, injected)
 	}
 }
 
 // SlowAbort records a failed slow-path attempt.
-func (r *Recorder) SlowAbort(reason htm.AbortReason) {
+func (r *Recorder) SlowAbort(reason htm.AbortReason, injected bool) {
 	r.stats.SlowAborts[reason]++
+	if injected {
+		r.stats.InjectedAborts[reason]++
+	}
 	if r.obs != nil {
-		r.obs.Abort(PathSlow, reason, false)
+		r.obs.Abort(PathSlow, reason, false, injected)
 	}
 }
 

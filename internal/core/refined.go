@@ -70,7 +70,7 @@ func (r *refinedThread) Atomic(body func(Context)) {
 				r.rec.SlowCommit(t0)
 				return
 			}
-			r.rec.SlowAbort(reason)
+			r.rec.SlowAbort(reason, r.tx.LastAbortInjected())
 			// A slow-path abort usually means a conflict with the
 			// lock holder that persists until its critical section
 			// retires; back off politely instead of spinning hot.
@@ -95,7 +95,7 @@ func (r *refinedThread) Atomic(body func(Context)) {
 			r.attempts.Record(attempts, true)
 			return
 		}
-		r.rec.FastAbort(reason, r.lockBusy)
+		r.rec.FastAbort(reason, r.lockBusy, r.tx.LastAbortInjected())
 		attempts++
 	}
 }

@@ -90,6 +90,7 @@ func (t *rwtleThread) runSlow(body func(Context)) htm.AbortReason {
 // needs the barrier).
 func (t *rwtleThread) runUnderLock(body func(Context)) {
 	t.lock.Acquire()
+	t.rec.LockAcquired()
 	start := time.Now()
 	t.wrote = false
 	body(rwLockCtx{t})

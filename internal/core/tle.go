@@ -94,7 +94,7 @@ func (t *tleThread) Atomic(body func(Context)) {
 			t.attempts.Record(attempts, true)
 			return
 		}
-		t.rec.FastAbort(reason, t.lockBusy)
+		t.rec.FastAbort(reason, t.lockBusy, t.tx.LastAbortInjected())
 		attempts++
 	}
 }
@@ -103,6 +103,7 @@ func (t *tleThread) Atomic(body func(Context)) {
 // unmodified (uninstrumented) critical section.
 func (t *tleThread) runUnderLock(body func(Context)) {
 	t.lock.Acquire()
+	t.rec.LockAcquired()
 	start := time.Now()
 	body(lockPathCtx(t.m, t.pacer))
 	t.rec.LockHold(time.Since(start).Nanoseconds())

@@ -79,6 +79,34 @@ func (r AbortReason) String() string {
 	}
 }
 
+// Injector is the deterministic fault-injection hook a Tx consults at the
+// points where real HTM faults manifest: transaction begin, each
+// transactional access, and just before commit processing. This is the
+// simulation's edge over real RTM — Haswell decides for itself when to
+// abort spuriously or overflow, while a simulated Tx can be told, making
+// the rarest interleavings reproducible on demand. internal/fault provides
+// the standard plan-driven implementation.
+//
+// Each Tx owns a private Injector instance (built by Config.NewInjector),
+// so implementations need no synchronization for per-thread state; shared
+// coordination (conflict storms) happens behind the implementation's own
+// atomics.
+type Injector interface {
+	// TxBegin is consulted once per attempt, after the clock snapshot.
+	// A reason other than None aborts the attempt immediately (before
+	// the body runs). Positive readLines/writeLines shrink the
+	// attempt's effective capacity limits below the configured ones —
+	// the "capacity squeeze" fault; zero keeps the configured limit.
+	TxBegin() (readLines, writeLines int, reason AbortReason)
+	// TxAccess is consulted before the nth (1-based) transactional
+	// access of the attempt; write marks stores. A reason other than
+	// None aborts the attempt.
+	TxAccess(nth int, write bool) AbortReason
+	// TxPreCommit is consulted after the body returns, before commit
+	// locking and validation. A reason other than None aborts.
+	TxPreCommit() AbortReason
+}
+
 // Config bounds a simulated transaction. The zero value selects defaults.
 type Config struct {
 	// ReadLines is the maximum number of distinct cache lines a
@@ -92,6 +120,11 @@ type Config struct {
 	SpuriousProb float64
 	// SpuriousSeed seeds the fault-injection generator.
 	SpuriousSeed uint64
+	// NewInjector, if non-nil, builds the fault injector for each Tx
+	// created with this Config (one private instance per Tx, so
+	// per-thread injector state needs no locking). internal/fault's
+	// Director.NewInjector is the standard factory.
+	NewInjector func() Injector
 	// InterleaveEvery, if positive, yields the goroutine every N
 	// transactional accesses. This is concurrency virtualization for
 	// hosts with fewer cores than worker threads: on real parallel
@@ -129,6 +162,9 @@ type Stats struct {
 	Starts  uint64
 	Commits uint64
 	Aborts  [NumReasons]uint64
+	// Injected breaks down, by reason, the subset of Aborts that were
+	// forced by the configured Injector rather than arising organically.
+	Injected [NumReasons]uint64
 }
 
 // TotalAborts sums aborts across reasons.
@@ -140,12 +176,22 @@ func (s *Stats) TotalAborts() uint64 {
 	return t
 }
 
+// TotalInjected sums injected aborts across reasons.
+func (s *Stats) TotalInjected() uint64 {
+	var t uint64
+	for _, v := range s.Injected {
+		t += v
+	}
+	return t
+}
+
 // Merge adds other into s.
 func (s *Stats) Merge(other *Stats) {
 	s.Starts += other.Starts
 	s.Commits += other.Commits
 	for i := range s.Aborts {
 		s.Aborts[i] += other.Aborts[i]
+		s.Injected[i] += other.Injected[i]
 	}
 }
 
@@ -175,6 +221,19 @@ type Tx struct {
 	locked     []lineVer
 
 	fault *rng.Xoshiro256
+	inj   Injector
+
+	// Per-attempt effective capacity limits (the injector may squeeze
+	// them below the configured ones at begin).
+	effReadLines  int
+	effWriteLines int
+	// injecting marks that the abort currently unwinding was forced by
+	// the injector; lastInjected publishes it for the finished attempt.
+	injecting    bool
+	lastInjected bool
+	// lastCommitVer is the serialization version of the last committed
+	// attempt (see CommitVersion).
+	lastCommitVer uint64
 
 	// Stats accumulates outcomes across all Run calls on this Tx.
 	Stats Stats
@@ -192,6 +251,9 @@ func NewTx(m *mem.Memory, cfg Config) *Tx {
 	if cfg.SpuriousProb > 0 {
 		t.fault = rng.NewXoshiro256(cfg.SpuriousSeed | 1)
 	}
+	if cfg.NewInjector != nil {
+		t.inj = cfg.NewInjector()
+	}
 	return t
 }
 
@@ -204,6 +266,20 @@ func (t *Tx) Active() bool { return t.active }
 // Snapshot returns the clock snapshot of the current attempt. It is only
 // meaningful while Active.
 func (t *Tx) Snapshot() uint64 { return t.snapshot }
+
+// LastAbortInjected reports whether the most recent Run's abort was forced
+// by the configured Injector (false after a commit or an organic abort).
+func (t *Tx) LastAbortInjected() bool { return t.lastInjected }
+
+// CommitVersion returns the serialization version of the most recent
+// committed Run: the global-clock value at which its writes were published,
+// or — for a read-only transaction — its snapshot (a read-only transaction
+// serializes at snapshot time). It orders committed transactions for
+// opacity checking (package check): sorting write transactions by
+// CommitVersion reproduces their publication order, and a read-only
+// transaction serializes after exactly the writers whose version is <= its
+// own. Only meaningful after Run returned None.
+func (t *Tx) CommitVersion() uint64 { return t.lastCommitVer }
 
 // Run executes body as one hardware-transaction attempt and returns None on
 // commit or the abort reason. Speculative writes are discarded on abort.
@@ -223,12 +299,22 @@ func (t *Tx) Run(body func(*Tx)) (reason AbortReason) {
 			if sig, ok := r.(abortSignal); ok {
 				reason = sig.reason
 				t.Stats.Aborts[sig.reason]++
+				if t.injecting {
+					t.Stats.Injected[sig.reason]++
+					t.lastInjected = true
+				}
 				return
 			}
 			panic(r)
 		}
 	}()
+	t.injectBegin()
 	body(t)
+	if t.inj != nil {
+		if r := t.inj.TxPreCommit(); r != None {
+			t.injectAbort(r)
+		}
+	}
 	reason = t.commit()
 	if reason == None {
 		t.Stats.Commits++
@@ -242,7 +328,40 @@ func (t *Tx) begin() {
 	t.active = true
 	t.accesses = 0
 	t.snapshot = t.m.ClockLoad()
+	t.effReadLines = t.cfg.readLines()
+	t.effWriteLines = t.cfg.writeLines()
+	t.injecting = false
+	t.lastInjected = false
 	t.Stats.Starts++
+}
+
+// injectBegin consults the injector's begin hook: capacity squeezes shrink
+// the attempt's effective limits (never past the configured caps — the
+// line-set arenas are sized for those), and a returned reason aborts. It
+// runs after Run's recovery handler is installed, so an injected begin
+// abort is accounted like any other abort.
+func (t *Tx) injectBegin() {
+	if t.inj == nil {
+		return
+	}
+	rl, wl, reason := t.inj.TxBegin()
+	if rl > 0 && rl < t.effReadLines {
+		t.effReadLines = rl
+	}
+	if wl > 0 && wl < t.effWriteLines {
+		t.effWriteLines = wl
+	}
+	if reason != None {
+		t.injectAbort(reason)
+	}
+}
+
+// injectAbort unwinds the attempt with an injector-forced reason, marking
+// it so Stats.Injected and LastAbortInjected can distinguish it from an
+// organic abort of the same reason.
+func (t *Tx) injectAbort(reason AbortReason) {
+	t.injecting = true
+	t.abort(reason)
 }
 
 func (t *Tx) reset() {
@@ -278,17 +397,20 @@ func (t *Tx) mustBeActive(op string) {
 	}
 }
 
-// onAccess runs the per-access hooks: fault injection and single-core
-// concurrency virtualization (InterleaveEvery).
-func (t *Tx) onAccess() {
+// onAccess runs the per-access hooks: fault injection (probabilistic and
+// plan-driven) and single-core concurrency virtualization (InterleaveEvery).
+func (t *Tx) onAccess(write bool) {
 	if t.fault != nil && t.fault.Float64() < t.cfg.SpuriousProb {
 		t.abort(Spurious)
 	}
-	if n := t.cfg.InterleaveEvery; n > 0 {
-		t.accesses++
-		if t.accesses%n == 0 {
-			runtime.Gosched()
+	t.accesses++
+	if t.inj != nil {
+		if r := t.inj.TxAccess(t.accesses, write); r != None {
+			t.injectAbort(r)
 		}
+	}
+	if n := t.cfg.InterleaveEvery; n > 0 && t.accesses%n == 0 {
+		runtime.Gosched()
 	}
 }
 
@@ -298,7 +420,7 @@ func (t *Tx) onAccess() {
 // overflow aborts the attempt.
 func (t *Tx) Read(a mem.Addr) uint64 {
 	t.mustBeActive("Read")
-	t.onAccess()
+	t.onAccess(false)
 	if t.writes.len() > 0 {
 		if v, ok := t.writes.get(a); ok {
 			return v
@@ -311,7 +433,12 @@ func (t *Tx) Read(a mem.Addr) uint64 {
 	if m1 != m2 || mem.Locked(m1) || mem.VersionOf(m1) > t.snapshot {
 		t.abort(Conflict)
 	}
-	if t.readLines.len() >= t.cfg.readLines() && !t.readLines.contains(line) {
+	if t.readLines.len() >= t.effReadLines && !t.readLines.contains(line) {
+		if t.readLines.len() < t.cfg.readLines() {
+			// The set fits the configured limit: only the injector's
+			// squeeze made this an overflow.
+			t.injectAbort(Capacity)
+		}
 		t.abort(Capacity)
 	}
 	t.readLines.add(line)
@@ -322,9 +449,12 @@ func (t *Tx) Read(a mem.Addr) uint64 {
 // until commit; write-set overflow aborts the attempt.
 func (t *Tx) Write(a mem.Addr, v uint64) {
 	t.mustBeActive("Write")
-	t.onAccess()
+	t.onAccess(true)
 	line := mem.LineOf(a)
-	if t.writeLines.len() >= t.cfg.writeLines() && !t.writeLines.contains(line) {
+	if t.writeLines.len() >= t.effWriteLines && !t.writeLines.contains(line) {
+		if t.writeLines.len() < t.cfg.writeLines() {
+			t.injectAbort(Capacity)
+		}
 		t.abort(Capacity)
 	}
 	t.writeLines.add(line)
@@ -341,6 +471,7 @@ func (t *Tx) commit() AbortReason {
 	if t.writes.len() == 0 {
 		// Read-only transactions were validated read-by-read against
 		// the snapshot; they serialize at snapshot time.
+		t.lastCommitVer = t.snapshot
 		return None
 	}
 	// Lock the write set. Pure try-lock: any contention aborts, so there
@@ -389,6 +520,7 @@ func (t *Tx) commit() AbortReason {
 	for _, lv := range t.locked {
 		t.m.UnlockLine(lv.line, wv)
 	}
+	t.lastCommitVer = wv
 	return None
 }
 

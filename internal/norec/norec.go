@@ -188,6 +188,9 @@ func (t *thread) commit() {
 	for !m.CAS(t.method.seqAddr, t.snapshot, t.snapshot+1) {
 		t.snapshot = t.validate()
 	}
+	// The odd sequence number is NOrec's writer lock: fire the
+	// lock-holder fault hook while every other commit is excluded.
+	t.rec.LockAcquired()
 	for _, a := range t.writeOrder {
 		m.Store(a, t.writeVals[a])
 	}

@@ -48,6 +48,12 @@ func (snap *Snapshot) WritePrometheus(w io.Writer) error {
 		p("rtle_aborts_total{path=\"slow\",reason=%q} %d\n", reason, snap.Stats.SlowAborts[i])
 	}
 
+	p("# HELP rtle_injected_faults_total Hardware aborts forced by the fault injector, by reason.\n")
+	p("# TYPE rtle_injected_faults_total counter\n")
+	for i := 1; i < htm.NumReasons; i++ {
+		p("rtle_injected_faults_total{reason=%q} %d\n", htm.AbortReason(i).String(), snap.Stats.InjectedAborts[i])
+	}
+
 	p("# HELP rtle_subscription_aborts_total Fast-path aborts caused by lock subscription.\n")
 	p("# TYPE rtle_subscription_aborts_total counter\n")
 	p("rtle_subscription_aborts_total %d\n", snap.Stats.SubscriptionAborts)

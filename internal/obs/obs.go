@@ -166,6 +166,7 @@ type Shard struct {
 
 	fastAborts         [htm.NumReasons]atomic.Uint64
 	slowAborts         [htm.NumReasons]atomic.Uint64
+	injectedAborts     [htm.NumReasons]atomic.Uint64
 	subscriptionAborts atomic.Uint64
 	stmAborts          atomic.Uint64
 	validations        atomic.Uint64
@@ -232,9 +233,12 @@ func (s *Shard) ExtraCommit(k core.CommitKind) { s.extras[k].Add(1) }
 func (s *Shard) Attempt(p core.Path) { s.attempts[p].Add(1) }
 
 // Abort implements core.ThreadObserver.
-func (s *Shard) Abort(p core.Path, reason htm.AbortReason, subscription bool) {
+func (s *Shard) Abort(p core.Path, reason htm.AbortReason, subscription, injected bool) {
 	if subscription {
 		s.subscriptionAborts.Add(1)
+	}
+	if injected {
+		s.injectedAborts[reason].Add(1)
 	}
 	if p == core.PathSlow {
 		s.slowAborts[reason].Add(1)

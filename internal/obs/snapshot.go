@@ -78,6 +78,7 @@ func (s *Shard) readStats() core.Stats {
 	for i := 0; i < htm.NumReasons; i++ {
 		st.FastAborts[i] = s.fastAborts[i].Load()
 		st.SlowAborts[i] = s.slowAborts[i].Load()
+		st.InjectedAborts[i] = s.injectedAborts[i].Load()
 	}
 	st.SubscriptionAborts = s.subscriptionAborts.Load()
 	st.STMAborts = s.stmAborts.Load()

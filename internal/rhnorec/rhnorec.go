@@ -130,7 +130,7 @@ func (t *thread) Atomic(body func(core.Context)) {
 			}
 			return
 		}
-		t.rec.FastAbort(reason, false)
+		t.rec.FastAbort(reason, false, t.tx.LastAbortInjected())
 	}
 	t.software(body, t0)
 }
@@ -267,6 +267,7 @@ func (t *thread) commit() {
 	}
 	// Pessimistic commit: halt all speculation with the fallback lock.
 	r.fallback.Acquire()
+	t.rec.LockAcquired()
 	for !m.CAS(r.seqAddr, t.snapshot, t.snapshot+1) {
 		t.snapshot = t.validateUnderLock()
 	}
