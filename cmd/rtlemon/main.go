@@ -111,10 +111,12 @@ func newMux(reg *obs.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		// A write error here means the scraper hung up; nothing to do.
 		_ = reg.Snapshot().WritePrometheus(w)
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		// A write error here means the client hung up; nothing to do.
 		_ = reg.Snapshot().WriteJSON(w)
 	})
 	return mux

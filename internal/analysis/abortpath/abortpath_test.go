@@ -1,0 +1,15 @@
+package abortpath_test
+
+import (
+	"testing"
+
+	"rtle/internal/analysis/abortpath"
+	"rtle/internal/analysis/analysistest"
+)
+
+// TestGolden runs the analyzer over its golden package: every seeded
+// violation must be reported (so the test fails if the pass is disabled)
+// and the justified discards must stay silent.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, abortpath.Analyzer, "abortpath")
+}

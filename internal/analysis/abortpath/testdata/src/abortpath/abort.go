@@ -1,0 +1,40 @@
+// Package abortpath is the golden input for the abortpath analyzer: each
+// expectation comment seeds a true positive; the commented discard and the
+// //rtle:ignore site prove the two suppression shapes.
+package abortpath
+
+import (
+	"fmt"
+
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+)
+
+func doWork() error { return nil }
+
+func dropped(m *mem.Memory, tx *htm.Tx) {
+	tx.Run(func(tx *htm.Tx) {}) // want `abort code from Tx\.Run discarded`
+	doWork()                    // want `error from abortpath\.doWork discarded`
+
+	_ = tx.Run(func(tx *htm.Tx) {}) // want `abort code from Tx\.Run explicitly discarded without a justifying comment`
+}
+
+func handled(m *mem.Memory, tx *htm.Tx, a mem.Addr) {
+	// A kept result is a reachable abort handler: ok.
+	if reason := tx.Run(func(tx *htm.Tx) { tx.Write(a, 1) }); reason != htm.None {
+		m.Store(a, 1)
+	}
+	if err := doWork(); err != nil {
+		panic(err)
+	}
+
+	// Warm-up attempt: an abort here is fine, the caller re-runs anyway.
+	_ = tx.Run(func(tx *htm.Tx) {})
+
+	//rtle:ignore abortpath best-effort warm-up attempt
+	tx.Run(func(tx *htm.Tx) {})
+
+	// Discarded errors from outside this module are vet's business, not
+	// ours: no diagnostic.
+	fmt.Println("done")
+}

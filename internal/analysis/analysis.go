@@ -1,0 +1,19 @@
+package analysis
+
+import (
+	"rtle/internal/analysis/abortpath"
+	"rtle/internal/analysis/barrierdiscipline"
+	"rtle/internal/analysis/framework"
+	"rtle/internal/analysis/statsatomic"
+	"rtle/internal/analysis/txbody"
+)
+
+// Analyzers returns the full rtlevet suite in its canonical order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		txbody.Analyzer,
+		abortpath.Analyzer,
+		barrierdiscipline.Analyzer,
+		statsatomic.Analyzer,
+	}
+}

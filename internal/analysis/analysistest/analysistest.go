@@ -1,0 +1,163 @@
+// Package analysistest runs framework analyzers over golden packages and
+// checks their diagnostics against `// want "regexp"` expectations, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A golden package lives in testdata/src/<name>/ next to the analyzer's
+// test. Its files may import the real rtle packages (imports resolve
+// against the enclosing module). Every line that should trigger a
+// diagnostic carries a trailing comment:
+//
+//	t.m.Load(a) // want `raw heap access`
+//
+// Multiple expectations may follow one want: `// want "a" "b"`. Each
+// expectation is a regular expression matched against the diagnostic
+// message; diagnostics and expectations must match one-to-one per line.
+// Lines suppressed with //rtle:ignore carry no want comment — that a
+// suppressed site yields no diagnostic is exactly what the golden test
+// then proves.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rtle/internal/analysis/framework"
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads testdata/src/<pkg> for each named golden package and applies
+// the analyzer, reporting any mismatch between diagnostics and want
+// comments as test errors.
+func Run(t *testing.T, analyzer *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	moduleRoot, err := framework.ModuleRoot("")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	for _, name := range pkgs {
+		dir := filepath.Join("testdata", "src", name)
+		loader := framework.NewLoader(moduleRoot)
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: golden package does not type-check: %v", dir, terr)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			continue
+		}
+		diags, err := framework.RunAnalyzer(analyzer, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", analyzer.Name, dir, err)
+		}
+		expects, err := parseExpectations(pkg.Fset, pkg.Files)
+		if err != nil {
+			t.Fatalf("parsing want comments in %s: %v", dir, err)
+		}
+		match(t, diags, expects)
+	}
+}
+
+func match(t *testing.T, diags []framework.Diagnostic, expects []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, e := range expects {
+			if e.met || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.met = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// wantRe requires the pattern to start with a quote so that the word
+// "want" in ordinary prose comments is never mistaken for an expectation.
+var wantRe = regexp.MustCompile("(?:^|\\s)want\\s+([\"`].*)")
+
+func parseExpectations(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				m := wantRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := parsePatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					out = append(out, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  p,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parsePatterns splits `"a" "b"` or backquoted equivalents into their
+// unquoted pattern strings.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			return nil, fmt.Errorf("want pattern must be a quoted string, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		lit := s[:end+2]
+		unquoted, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %s: %v", lit, err)
+		}
+		out = append(out, unquoted)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+// Package barrierdiscipline defines the rtlevet pass that statically
+// enforces the RW-TLE/FG-TLE barrier protocol:
+//
+//  1. Slow-path code — functions marked //rtle:slowpath, plus every
+//     same-package function statically reachable from one of them or from
+//     a (*htm.Tx).Run closure — must route all simulated-heap access
+//     through the htm.Tx barriers. A raw mem.Memory call there escapes
+//     transactional conflict tracking, which is precisely the one
+//     un-instrumented access that breaks opacity. (Raw access directly
+//     inside a Run closure is txbody's report; this pass owns the code
+//     *reachable* from those closures.)
+//
+//  2. Writer metadata — struct fields marked //rtle:meta (the RW-TLE
+//     write flag, FG-TLE orec arrays and epoch, per-section counters) —
+//     may only be mutated on the lock-holder path, i.e. inside functions
+//     marked //rtle:lockpath (or //rtle:init for single-threaded
+//     constructors). For fields of type mem.Addr the guarded operation is
+//     a mem.Memory.Store/CAS/FetchAdd whose address derives from the
+//     field (a simple local taint follows the address through local
+//     variables); for ordinary Go fields it is direct assignment.
+//
+// Packages marked //rtle:engine are exempt (they *are* the raw layer).
+package barrierdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rtle/internal/analysis/framework"
+)
+
+// Analyzer is the barrierdiscipline pass.
+var Analyzer = &framework.Analyzer{
+	Name: "barrierdiscipline",
+	Doc:  "enforce instrumented barriers on slow paths and lock-holder-only metadata writes",
+	Run:  run,
+}
+
+var rawMemMethods = []string{
+	"Load", "Store", "CAS", "FetchAdd",
+	"WordLoad", "WordStore", "MetaLoad", "TryLockLine", "UnlockLine",
+	"ClockLoad", "ClockTick", "Alloc", "AllocAligned", "AllocLines",
+}
+
+var mutatingMemMethods = []string{"Store", "CAS", "FetchAdd"}
+
+func run(pass *framework.Pass) error {
+	if pass.Ann.Engine {
+		return nil
+	}
+	decls := funcDecls(pass)
+	checkSlowReachable(pass, decls)
+	if pass.Ann.HasMeta() {
+		checkMetaDiscipline(pass, decls)
+	}
+	return nil
+}
+
+// funcDecls maps every package function object to its declaration.
+func funcDecls(pass *framework.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// checkSlowReachable flags raw mem.Memory access in every function
+// reachable from the instrumented slow path.
+func checkSlowReachable(pass *framework.Pass, decls map[*types.Func]*ast.FuncDecl) {
+	// Seed with //rtle:slowpath functions and with same-package
+	// functions called directly from (*htm.Tx).Run closures.
+	work := []*types.Func{}
+	seen := map[*types.Func]bool{}
+	add := func(fn *types.Func) {
+		if fn == nil || seen[fn] || decls[fn] == nil {
+			return
+		}
+		marks := pass.Ann.FuncMarks(fn)
+		if marks.Has(framework.MarkLockpath) || marks.Has(framework.MarkInit) {
+			return // a different execution path; the meta check covers it
+		}
+		seen[fn] = true
+		work = append(work, fn)
+	}
+	for _, fn := range pass.Ann.MarkedFuncs(framework.MarkSlowpath) {
+		add(fn)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !framework.IsTxMethod(framework.CalleeFunc(pass.TypesInfo, call), "Run") {
+				return true
+			}
+			if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+				for _, callee := range packageCallees(pass, lit.Body) {
+					add(callee)
+				}
+			}
+			return true
+		})
+	}
+
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		body := decls[fn].Body
+		for _, callee := range packageCallees(pass, body) {
+			add(callee)
+		}
+		// Run-closure bodies inside a slow-path function are txbody's
+		// scope; do not double-report them.
+		skipLits := map[*ast.FuncLit]bool{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && len(call.Args) > 0 &&
+				framework.IsTxMethod(framework.CalleeFunc(pass.TypesInfo, call), "Run") {
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+					skipLits[lit] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && skipLits[lit] {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := framework.CalleeFunc(pass.TypesInfo, call); framework.IsMemoryMethod(callee, rawMemMethods...) {
+				pass.Report(call.Pos(),
+					"raw heap access Memory.%s in %s, which is reachable from the instrumented slow path; slow-path code must use the htm.Tx barriers",
+					callee.Name(), fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// packageCallees returns the distinct same-package functions the body
+// calls statically, in source order.
+func packageCallees(pass *framework.Pass, body *ast.BlockStmt) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := framework.CalleeFunc(pass.TypesInfo, call)
+		if fn != nil && fn.Pkg() == pass.Pkg && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// checkMetaDiscipline enforces that //rtle:meta fields are only mutated
+// inside //rtle:lockpath (or //rtle:init) functions.
+func checkMetaDiscipline(pass *framework.Pass, decls map[*types.Func]*ast.FuncDecl) {
+	for fn, fd := range decls {
+		marks := pass.Ann.FuncMarks(fn)
+		if marks.Has(framework.MarkLockpath) || marks.Has(framework.MarkInit) {
+			continue
+		}
+		taint := taintedLocals(pass, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				callee := framework.CalleeFunc(pass.TypesInfo, n)
+				if !framework.IsMemoryMethod(callee, mutatingMemMethods...) || len(n.Args) == 0 {
+					return true
+				}
+				if field := metaFieldIn(pass, taint, n.Args[0]); field != nil {
+					pass.Report(n.Pos(),
+						"writer metadata %s mutated via Memory.%s outside the lock-holder path; mark the enclosing function //rtle:lockpath if it only runs with the lock held",
+						field.Name(), callee.Name())
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportGoFieldWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				reportGoFieldWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+}
+
+// reportGoFieldWrite flags direct assignment to a non-Addr meta field
+// (Go-level lock-holder state such as RW-TLE's wrote flag).
+func reportGoFieldWrite(pass *framework.Pass, lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field := fieldVar(pass, sel)
+	if field == nil || !pass.Ann.IsMeta(field) || isMemAddr(field.Type()) {
+		return
+	}
+	pass.Report(lhs.Pos(),
+		"writer metadata %s assigned outside the lock-holder path; mark the enclosing function //rtle:lockpath if it only runs with the lock held",
+		field.Name())
+}
+
+// isMemAddr reports whether t is mem.Addr — an address-holding metadata
+// field, for which assignment of the Go value itself (in a constructor)
+// is configuration, not a metadata write.
+func isMemAddr(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Addr" && framework.PkgPathIs(named.Obj().Pkg(), "internal/mem")
+}
+
+// taintedLocals returns the local variables whose value derives from a
+// meta field's address (a forward fixed point over the body's
+// assignments, so `oa := f.orecs + idx; m.Store(oa, v)` is caught).
+func taintedLocals(pass *framework.Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	taint := map[*types.Var]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				if metaFieldIn(pass, taint, rhs) == nil {
+					continue
+				}
+				id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if v, ok := obj.(*types.Var); ok && !taint[v] {
+					taint[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return taint
+}
+
+// metaFieldIn returns a meta field referenced (directly or via a tainted
+// local) anywhere inside expr, or nil.
+func metaFieldIn(pass *framework.Pass, taint map[*types.Var]bool, expr ast.Expr) *types.Var {
+	var found *types.Var
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if field := fieldVar(pass, n); field != nil && pass.Ann.IsMeta(field) {
+				found = field
+				return false
+			}
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && (taint[v] || pass.Ann.IsMeta(v)) {
+				found = v
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// fieldVar resolves sel to the struct field it selects, or nil.
+func fieldVar(pass *framework.Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package barrierdiscipline_test
+
+import (
+	"testing"
+
+	"rtle/internal/analysis/analysistest"
+	"rtle/internal/analysis/barrierdiscipline"
+)
+
+// TestGolden runs the analyzer over its golden package: every seeded
+// violation must be reported (so the test fails if the pass is disabled)
+// and the annotated lock-holder/constructor/snapshot sites must stay
+// silent.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, barrierdiscipline.Analyzer, "barrierdiscipline")
+}

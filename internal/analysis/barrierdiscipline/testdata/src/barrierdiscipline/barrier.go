@@ -1,0 +1,77 @@
+// Package barrierdiscipline is the golden input for the barrierdiscipline
+// analyzer: a miniature FG-TLE-shaped method whose annotated paths are
+// clean and whose unannotated paths seed true positives. The //rtle:ignore
+// site proves the sanctioned pre-transaction snapshot idiom stays silent.
+package barrierdiscipline
+
+import (
+	"rtle/internal/htm"
+	"rtle/internal/mem"
+)
+
+type method struct {
+	m         *mem.Memory
+	epochAddr mem.Addr //rtle:meta
+	orecs     mem.Addr //rtle:meta
+	wrote     bool     //rtle:meta
+}
+
+// newMethod is single-threaded setup: metadata stores are allowed.
+//
+//rtle:init
+func newMethod(m *mem.Memory) *method {
+	f := &method{m: m}
+	f.epochAddr = m.AllocLines(1)
+	f.orecs = m.AllocAligned(8)
+	m.Store(f.epochAddr, 1)
+	return f
+}
+
+// runUnderLock is the lock-holder path: the only place metadata writes are
+// legal.
+//
+//rtle:lockpath
+func (f *method) runUnderLock() {
+	f.m.Store(f.epochAddr, 2)
+	oa := f.orecs + mem.Addr(1)
+	f.m.Store(oa, 2)
+	f.wrote = true
+}
+
+// sneakyBump mutates writer metadata without holding the lock.
+func (f *method) sneakyBump() {
+	f.m.Store(f.epochAddr, 3) // want `writer metadata epochAddr mutated via Memory\.Store outside the lock-holder path`
+	oa := f.orecs + mem.Addr(4)
+	f.m.Store(oa, 9) // want `writer metadata oa mutated via Memory\.Store outside the lock-holder path`
+	f.wrote = true   // want `writer metadata wrote assigned outside the lock-holder path`
+}
+
+//rtle:slowpath
+func (f *method) slowAttempt(tx *htm.Tx) htm.AbortReason {
+	return tx.Run(func(tx *htm.Tx) {
+		helper(f, tx)
+	})
+}
+
+// helper is reachable from the instrumented slow path (both via the
+// //rtle:slowpath mark above and via the Run closure), so its raw load is
+// an uninstrumented access inside speculation.
+func helper(f *method, tx *htm.Tx) {
+	f.m.Load(f.epochAddr) // want `raw heap access Memory\.Load in helper, which is reachable from the instrumented slow path`
+	_ = tx.Read(f.epochAddr)
+}
+
+// snapshotThenRun is the paper's Figure 3 idiom: the epoch is read raw
+// BEFORE the transaction begins so the epoch line stays out of the read
+// set. The waiver documents exactly that.
+//
+//rtle:slowpath
+func (f *method) snapshotThenRun(tx *htm.Tx) htm.AbortReason {
+	//rtle:ignore barrierdiscipline pre-transaction epoch snapshot
+	seq := f.m.Load(f.epochAddr)
+	return tx.Run(func(tx *htm.Tx) {
+		if tx.Read(f.epochAddr) >= seq {
+			tx.Abort()
+		}
+	})
+}

@@ -1,0 +1,88 @@
+// Package analysis bundles the rtlevet static-analysis suite: four
+// passes that enforce the HTM/TLE instrumentation discipline the paper's
+// refined algorithms depend on. One un-instrumented word access on a slow
+// path breaks opacity in a way runtime checking (internal/check) can only
+// catch probabilistically; these passes make the discipline a
+// compile-time property.
+//
+// The passes are:
+//
+//   - txbody: no HTM-unfriendly operations (raw heap access, blocking
+//     ops, Go-level synchronization, aggressive allocation) inside
+//     hardware-transaction bodies.
+//   - abortpath: abort codes from (*htm.Tx).Run — and error returns from
+//     this module's APIs — are never silently dropped; every transaction
+//     begin has a reachable abort/retry handler.
+//   - barrierdiscipline: code reachable from the instrumented slow paths
+//     goes through the htm.Tx read/write barriers, and writer metadata is
+//     only mutated on the lock-holder path.
+//   - statsatomic: no mixed atomic/plain access to Stats and observer
+//     counter fields.
+//
+// Run the suite standalone or as a vet tool:
+//
+//	go run rtle/cmd/rtlevet ./...
+//	go vet -vettool=$(which rtlevet) ./...
+//
+// # Annotation convention
+//
+// The analyzers classify function bodies by execution path through //rtle:
+// pragma comments rather than brittle name matching. The vocabulary:
+//
+//	//rtle:speculative
+//
+// On a function declaration: the body executes inside a hardware
+// transaction (fast or slow path). txbody applies in full. Func literals
+// passed to (*htm.Tx).Run are classified automatically and need no
+// pragma.
+//
+//	//rtle:slowpath
+//
+// On a function declaration: the function implements the instrumented
+// slow path (RW-TLE/FG-TLE barrier Contexts, and anything they call).
+// barrierdiscipline requires the function — and every same-package
+// function statically reachable from it — to route all simulated-heap
+// access through the htm.Tx barriers.
+//
+//	//rtle:lockpath
+//
+// On a function declaration: the function only runs while the method's
+// fallback lock is held. This is the one path allowed to mutate
+// //rtle:meta fields.
+//
+//	//rtle:init
+//
+// On a function declaration: single-threaded setup (constructors).
+// Metadata stores are allowed; no concurrent reader exists yet.
+//
+//	//rtle:meta
+//
+// On a struct field: the field is writer metadata of the barrier protocol
+// (RW-TLE's write flag and wrote bit, FG-TLE's epoch/orec addresses and
+// per-section counters). For mem.Addr fields, barrierdiscipline guards
+// Memory.Store/CAS/FetchAdd calls whose address derives from the field;
+// for ordinary Go fields it guards direct assignment. Both are only legal
+// inside //rtle:lockpath or //rtle:init functions.
+//
+//	//rtle:counters
+//
+// On a type declaration: the struct's fields are statistics counters;
+// statsatomic enforces unmixed (all-atomic or all-plain) access. Types
+// named Stats are covered automatically.
+//
+//	//rtle:engine
+//
+// Anywhere in a package's comments: the package implements the simulated
+// hardware itself (mem, htm, spinlock) and sits below the barrier layer;
+// txbody and barrierdiscipline do not apply.
+//
+//	//rtle:ignore [analyzer] [reason...]
+//
+// On the flagged line, or on the line directly above it: suppress the
+// named analyzer's diagnostics there (all analyzers when no name is
+// given). Use it to mark reviewed false positives; the golden tests under
+// testdata/ keep at least one suppressed case per analyzer honest.
+//
+// Test files (_test.go) are exempt from all passes: tests poke internals
+// on purpose.
+package analysis

@@ -1,0 +1,245 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The //rtle: pragma vocabulary. See rtle/internal/analysis's package
+// documentation for the full convention.
+const (
+	pragmaPrefix = "//rtle:"
+
+	// MarkSpeculative marks a function whose body executes inside a
+	// hardware transaction (fast or slow path).
+	MarkSpeculative Marks = 1 << iota
+	// MarkSlowpath marks a function that implements (or is called from)
+	// the instrumented slow path: all simulated-heap access must go
+	// through the htm.Tx barriers.
+	MarkSlowpath
+	// MarkLockpath marks a function that only runs while its method's
+	// fallback lock is held; it is the only place writer metadata
+	// (//rtle:meta fields) may be mutated.
+	MarkLockpath
+	// MarkInit marks single-threaded setup code (constructors): raw heap
+	// access and metadata stores are allowed because no concurrent
+	// reader exists yet.
+	MarkInit
+)
+
+// Marks is a bit set of function path annotations.
+type Marks uint8
+
+// Has reports whether all bits of m2 are set in m.
+func (m Marks) Has(m2 Marks) bool { return m&m2 == m2 }
+
+// Annotations holds one package's parsed //rtle: pragmas.
+type Annotations struct {
+	// Engine reports a package marked //rtle:engine: it implements the
+	// simulated hardware itself (mem, htm, spinlock), sits below the
+	// barrier layer, and is exempt from txbody and barrierdiscipline.
+	Engine bool
+
+	funcs    map[*types.Func]Marks
+	meta     map[*types.Var]bool
+	counters map[*types.TypeName]bool
+
+	// suppress maps filename -> line -> analyzer names (or "*") with an
+	// //rtle:ignore pragma covering that line.
+	suppress map[string]map[int][]string
+}
+
+// FuncMarks returns the path marks of fn (zero when unannotated).
+func (a *Annotations) FuncMarks(fn *types.Func) Marks { return a.funcs[fn] }
+
+// MarkedFuncs returns every annotated function carrying the given mark.
+func (a *Annotations) MarkedFuncs(m Marks) []*types.Func {
+	var out []*types.Func
+	for fn, marks := range a.funcs {
+		if marks.Has(m) {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// IsMeta reports whether field is marked //rtle:meta (writer metadata).
+func (a *Annotations) IsMeta(field *types.Var) bool { return a.meta[field] }
+
+// HasMeta reports whether any field in the package is marked //rtle:meta.
+func (a *Annotations) HasMeta() bool { return len(a.meta) > 0 }
+
+// IsCounterType reports whether tn is marked //rtle:counters.
+func (a *Annotations) IsCounterType(tn *types.TypeName) bool { return a.counters[tn] }
+
+// suppressed reports whether an //rtle:ignore pragma covers analyzer at
+// pos. A pragma suppresses its own line and the following line, so it
+// works both as a trailing comment and as a standalone comment above the
+// flagged statement.
+func (a *Annotations) suppressed(analyzer string, pos token.Position) bool {
+	lines := a.suppress[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == "*" || name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pragmaLines extracts the "verb rest" pairs of all //rtle: pragma lines
+// in a comment group.
+func pragmaLines(g *ast.CommentGroup) [][2]string {
+	if g == nil {
+		return nil
+	}
+	var out [][2]string
+	for _, c := range g.List {
+		text := strings.TrimSpace(c.Text)
+		if !strings.HasPrefix(text, pragmaPrefix) {
+			continue
+		}
+		body := strings.TrimPrefix(text, pragmaPrefix)
+		verb, rest, _ := strings.Cut(body, " ")
+		out = append(out, [2]string{verb, strings.TrimSpace(rest)})
+	}
+	return out
+}
+
+func marksOf(groups ...*ast.CommentGroup) Marks {
+	var m Marks
+	for _, g := range groups {
+		for _, p := range pragmaLines(g) {
+			switch p[0] {
+			case "speculative":
+				m |= MarkSpeculative
+			case "slowpath":
+				m |= MarkSlowpath
+			case "lockpath":
+				m |= MarkLockpath
+			case "init":
+				m |= MarkInit
+			}
+		}
+	}
+	return m
+}
+
+// ParseAnnotations scans the package syntax for //rtle: pragmas.
+func ParseAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) *Annotations {
+	a := &Annotations{
+		funcs:    map[*types.Func]Marks{},
+		meta:     map[*types.Var]bool{},
+		counters: map[*types.TypeName]bool{},
+		suppress: map[string]map[int][]string{},
+	}
+	for _, file := range files {
+		filename := fset.Position(file.Package).Filename
+
+		// Engine marker and //rtle:ignore pragmas can appear in any
+		// comment group.
+		for _, g := range file.Comments {
+			for _, p := range pragmaLines(g) {
+				switch p[0] {
+				case "engine":
+					a.Engine = true
+				case "ignore":
+					// Locate the pragma's own line.
+					for _, c := range g.List {
+						text := strings.TrimSpace(c.Text)
+						if !strings.HasPrefix(text, pragmaPrefix+"ignore") {
+							continue
+						}
+						line := fset.Position(c.Pos()).Line
+						names := strings.Fields(strings.TrimPrefix(text, pragmaPrefix+"ignore"))
+						// Reasons follow the analyzer name; only the
+						// first field selects. No name = all analyzers.
+						name := "*"
+						if len(names) > 0 {
+							name = names[0]
+						}
+						if a.suppress[filename] == nil {
+							a.suppress[filename] = map[int][]string{}
+						}
+						a.suppress[filename][line] = append(a.suppress[filename][line], name)
+					}
+				}
+			}
+		}
+
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if m := marksOf(d.Doc); m != 0 {
+					if fn, ok := info.Defs[d.Name].(*types.Func); ok {
+						a.funcs[fn] |= m
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					for _, g := range []*ast.CommentGroup{d.Doc, ts.Doc, ts.Comment} {
+						for _, p := range pragmaLines(g) {
+							if p[0] == "counters" {
+								if tn, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+									a.counters[tn] = true
+								}
+							}
+						}
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						meta := false
+						for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+							for _, p := range pragmaLines(g) {
+								if p[0] == "meta" {
+									meta = true
+								}
+							}
+						}
+						if !meta {
+							continue
+						}
+						for _, name := range field.Names {
+							if v, ok := info.Defs[name].(*types.Var); ok {
+								a.meta[v] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// HasAdjacentComment reports whether any comment in file sits on the same
+// line as pos or ends on the line directly above it — the "justifying
+// comment" test abortpath applies to explicit `_ =` discards. Analysistest
+// expectations (`// want "re"`) are markers for the golden-test harness,
+// not justifications, and never count.
+func HasAdjacentComment(fset *token.FileSet, file *ast.File, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	for _, g := range file.Comments {
+		for _, c := range g.List {
+			if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ") {
+				continue
+			}
+			cl := fset.Position(c.Pos()).Line
+			end := fset.Position(c.End()).Line
+			if cl == line || end == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+// Package statsatomic defines the rtlevet pass that flags mixed
+// atomic/plain access to statistics counters.
+//
+// The repo's counter structs (htm.Stats, core.Stats, and anything marked
+// //rtle:counters) follow a single-writer discipline: each instance is
+// written plainly by exactly one goroutine and read only after it
+// quiesces. Code that "upgrades" one access site to sync/atomic while
+// others stay plain gets the worst of both worlds — the atomic site
+// suggests concurrent access is expected, and every remaining plain
+// access is then a data race. The pass collects, per counter field, every
+// access in the package; a field with at least one atomic access and at
+// least one plain access is reported at each plain site. Fields of the
+// sync/atomic value types (atomic.Uint64 etc.) are uniform by
+// construction and ignored.
+package statsatomic
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"rtle/internal/analysis/framework"
+)
+
+// Analyzer is the statsatomic pass.
+var Analyzer = &framework.Analyzer{
+	Name: "statsatomic",
+	Doc:  "flag mixed atomic/plain access to Stats and observer counter fields",
+	Run:  run,
+}
+
+type access struct {
+	pos    token.Pos
+	atomic bool
+	write  bool
+}
+
+func run(pass *framework.Pass) error {
+	accesses := map[*types.Var][]access{}
+
+	for _, file := range pass.Files {
+		// Selector expressions consumed by a sync/atomic call operand
+		// (&s.Field) are atomic accesses; everything else is plain.
+		atomicSels := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := framework.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if addr, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && addr.Op == token.AND {
+					if sel := baseSelector(addr.X); sel != nil {
+						atomicSels[sel] = true
+					}
+				}
+			}
+			return true
+		})
+
+		writes := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel := baseSelector(lhs); sel != nil {
+						writes[sel] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel := baseSelector(n.X); sel != nil {
+					writes[sel] = true
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := counterField(pass, sel)
+			if field == nil {
+				return true
+			}
+			accesses[field] = append(accesses[field], access{
+				pos:    sel.Pos(),
+				atomic: atomicSels[sel],
+				write:  writes[sel],
+			})
+			return true
+		})
+	}
+
+	var fields []*types.Var
+	for f := range accesses {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, field := range fields {
+		var nAtomic, nPlain int
+		for _, a := range accesses[field] {
+			if a.atomic {
+				nAtomic++
+			} else {
+				nPlain++
+			}
+		}
+		if nAtomic == 0 || nPlain == 0 {
+			continue
+		}
+		for _, a := range accesses[field] {
+			if a.atomic {
+				continue
+			}
+			kind := "read"
+			if a.write {
+				kind = "write"
+			}
+			pass.Report(a.pos,
+				"counter field %s is accessed atomically elsewhere in this package; this plain %s races with it (make every access atomic, or none)",
+				field.Name(), kind)
+		}
+	}
+	return nil
+}
+
+// baseSelector strips parens and index expressions, returning the
+// underlying selector (`s.Aborts[i]` -> `s.Aborts`), or nil.
+func baseSelector(expr ast.Expr) *ast.SelectorExpr {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			return e
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// counterField resolves sel to a field of a counter struct — a named
+// struct type called Stats or marked //rtle:counters — unless the field
+// itself has a sync/atomic value type (those cannot be accessed plainly).
+func counterField(pass *framework.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if tn.Name() != "Stats" && !pass.Ann.IsCounterType(tn) {
+		return nil
+	}
+	if ft, ok := field.Type().(*types.Named); ok {
+		if pkg := ft.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return nil
+		}
+	}
+	return field
+}

@@ -1,0 +1,15 @@
+package statsatomic_test
+
+import (
+	"testing"
+
+	"rtle/internal/analysis/analysistest"
+	"rtle/internal/analysis/statsatomic"
+)
+
+// TestGolden runs the analyzer over its golden package: every seeded
+// mixed-access site must be reported (so the test fails if the pass is
+// disabled) and uniform fields plus the waived read must stay silent.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, statsatomic.Analyzer, "statsatomic")
+}

@@ -1,0 +1,49 @@
+// Package statsatomic is the golden input for the statsatomic analyzer:
+// counter fields with mixed atomic/plain access seed true positives; the
+// uniform fields, the atomic.Uint64-typed field, and the //rtle:ignore
+// site stay silent.
+package statsatomic
+
+import "sync/atomic"
+
+// Stats is a counter struct by naming convention.
+type Stats struct {
+	Commits uint64
+	Aborts  [4]uint64
+	Ops     uint64        // only ever plain: uniform, ok
+	Fast    atomic.Uint64 // atomic value type: uniform by construction
+}
+
+// PathCounters opts in by annotation rather than by name.
+//
+//rtle:counters
+type PathCounters struct {
+	Slow uint64
+}
+
+type local struct{ n uint64 }
+
+func record(s *Stats) {
+	atomic.AddUint64(&s.Commits, 1)
+	s.Commits++   // want `counter field Commits is accessed atomically elsewhere in this package; this plain write races with it`
+	_ = s.Commits // want `counter field Commits is accessed atomically elsewhere in this package; this plain read races with it`
+
+	atomic.AddUint64(&s.Aborts[1], 1)
+	s.Aborts[0]++ // want `counter field Aborts is accessed atomically elsewhere in this package; this plain write races with it`
+
+	s.Ops++ // uniform plain access: ok
+	s.Fast.Add(1)
+}
+
+func mixed(p *PathCounters) {
+	atomic.AddUint64(&p.Slow, 1)
+	p.Slow++ // want `counter field Slow is accessed atomically elsewhere in this package; this plain write races with it`
+}
+
+func bump(l *local) { l.n++ } // not a counter type: ok
+
+// quiesced reads after all writers have joined; the waiver records that.
+func quiesced(s *Stats) uint64 {
+	//rtle:ignore statsatomic read-after-quiesce in a single-threaded reporter
+	return s.Commits
+}

@@ -1,0 +1,15 @@
+package txbody_test
+
+import (
+	"testing"
+
+	"rtle/internal/analysis/analysistest"
+	"rtle/internal/analysis/txbody"
+)
+
+// TestGolden runs the analyzer over its golden package: every seeded
+// violation must be reported (so the test fails if the pass is disabled)
+// and the //rtle:ignore site must stay silent.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, txbody.Analyzer, "txbody")
+}

@@ -80,6 +80,11 @@ func RunRawHTM(cfg RawConfig, htmCfg htm.Config) (uint64, map[mem.Addr]uint64, [
 						if r.Intn(2) == 0 {
 							v := tx.Read(a)
 							if _, own := written[a]; !own {
+								// The observation log is checker state, not
+								// transaction state: recording it inside the
+								// body is the whole point (aborted attempts
+								// feed the opacity validator too).
+								//rtle:ignore txbody checker observation log
 								rec.Reads = append(rec.Reads, ReadObs{a, v})
 							}
 						} else {
@@ -87,6 +92,7 @@ func RunRawHTM(cfg RawConfig, htmCfg htm.Config) (uint64, map[mem.Addr]uint64, [
 							v := uint64(th+1)<<32 | seq
 							tx.Write(a, v)
 							if _, dup := written[a]; !dup {
+								//rtle:ignore txbody checker observation log
 								order = append(order, a)
 							}
 							written[a] = v

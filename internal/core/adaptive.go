@@ -80,17 +80,17 @@ type AdaptiveFGTLE struct {
 	policy Policy
 	cfg    AdaptiveConfig
 
-	epochAddr mem.Addr
-	sizeAddr  mem.Addr
-	modeAddr  mem.Addr
-	rOrecs    mem.Addr
-	wOrecs    mem.Addr
+	epochAddr mem.Addr //rtle:meta
+	sizeAddr  mem.Addr //rtle:meta
+	modeAddr  mem.Addr //rtle:meta
+	rOrecs    mem.Addr //rtle:meta
+	wOrecs    mem.Addr //rtle:meta
 
 	// Adaptation state, mutated only while holding the lock.
-	windowRuns  uint64
-	usageSum    uint64
-	saturations uint64
-	slowBase    uint64 // slow commits observed at window start (approximate)
+	windowRuns  uint64 //rtle:meta
+	usageSum    uint64 //rtle:meta
+	saturations uint64 //rtle:meta
+	slowBase    uint64 //rtle:meta slow commits observed at window start (approximate)
 	slowCommits *counterSet
 }
 
@@ -128,6 +128,8 @@ func (c *counterSet) sum() uint64 {
 
 // NewAdaptiveFGTLE returns an adaptive FG-TLE method over m. The orec
 // array is allocated at cfg.MaxOrecs and the live size starts there.
+//
+//rtle:init
 func NewAdaptiveFGTLE(m *mem.Memory, policy Policy, cfg AdaptiveConfig) *AdaptiveFGTLE {
 	minN, maxN := cfg.min(), cfg.max()
 	if minN&(minN-1) != 0 || maxN&(maxN-1) != 0 || minN > maxN {
@@ -187,16 +189,21 @@ type adaptiveThread struct {
 	method *AdaptiveFGTLE
 	slot   *paddedCounter
 
-	seq   uint64
-	size  uint64
-	uniqR uint64
-	uniqW uint64
+	seq   uint64 //rtle:meta
+	size  uint64 //rtle:meta
+	uniqR uint64 //rtle:meta
+	uniqW uint64 //rtle:meta
 }
 
 // runSlow mirrors fgtleThread.runSlow but additionally reads the mode flag
 // and the live orec count inside the transaction, subscribing to both.
+//
+//rtle:slowpath
 func (t *adaptiveThread) runSlow(body func(Context)) htm.AbortReason {
 	a := t.method
+	// The raw load is the algorithm: the snapshot must predate the
+	// transaction so the epoch line stays out of the read set.
+	//rtle:ignore barrierdiscipline pre-transaction epoch snapshot (Figure 3 local_seq_number)
 	localSeq := t.m.Load(a.epochAddr)
 	reason := t.tx.Run(func(tx *htm.Tx) {
 		if tx.Read(a.modeAddr) != modeFG {
@@ -212,6 +219,7 @@ func (t *adaptiveThread) runSlow(body func(Context)) htm.AbortReason {
 	return reason
 }
 
+//rtle:lockpath
 func (t *adaptiveThread) runUnderLock(body func(Context)) {
 	a := t.method
 	t.lock.Acquire()
@@ -243,6 +251,8 @@ func (t *adaptiveThread) runUnderLock(body func(Context)) {
 
 // adapt runs the adaptation policy. Called with the lock held, before the
 // critical section, so resizes and mode switches are safe (§4.2.1).
+//
+//rtle:lockpath
 func (t *adaptiveThread) adapt() {
 	a := t.method
 	if a.windowRuns < a.cfg.window() {
@@ -291,6 +301,7 @@ type adaptiveSlowCtx struct {
 	size     uint64
 }
 
+//rtle:slowpath
 func (c adaptiveSlowCtx) Read(a mem.Addr) uint64 {
 	f := c.method
 	idx := wanghash.Hash(uint64(a), c.size)
@@ -300,6 +311,7 @@ func (c adaptiveSlowCtx) Read(a mem.Addr) uint64 {
 	return c.tx.Read(a)
 }
 
+//rtle:slowpath
 func (c adaptiveSlowCtx) Write(a mem.Addr, v uint64) {
 	f := c.method
 	idx := wanghash.Hash(uint64(a), c.size)
@@ -318,6 +330,7 @@ type adaptiveLockCtx struct {
 	t *adaptiveThread
 }
 
+//rtle:lockpath
 func (c adaptiveLockCtx) Read(a mem.Addr) uint64 {
 	t := c.t
 	t.pacer.Tick()
@@ -333,6 +346,7 @@ func (c adaptiveLockCtx) Read(a mem.Addr) uint64 {
 	return t.m.Load(a)
 }
 
+//rtle:lockpath
 func (c adaptiveLockCtx) Write(a mem.Addr, v uint64) {
 	t := c.t
 	t.pacer.Tick()

@@ -40,14 +40,16 @@ type ALEMethod struct {
 	lock   *spinlock.Lock
 	policy Policy
 
-	seqAddr     mem.Addr // software-phase counter (bumped by each sw section)
-	blockedAddr mem.Addr // halts the fast path during pessimistic write-back
+	seqAddr     mem.Addr //rtle:meta software-phase counter (bumped by each sw section)
+	blockedAddr mem.Addr //rtle:meta halts the fast path during pessimistic write-back
 	orecs       mem.Addr
 	norecs      uint64
 }
 
 // NewALE returns an ALE-style method over m with the given write-orec
 // count (power of two).
+//
+//rtle:init
 func NewALE(m *mem.Memory, orecs int, policy Policy) *ALEMethod {
 	if orecs < 1 || orecs > 1<<20 || orecs&(orecs-1) != 0 {
 		panic(fmt.Sprintf("core: ALE orec count %d is not a power of two in [1, 2^20]", orecs))
@@ -92,12 +94,12 @@ type aleThread struct {
 	rec      Recorder
 
 	// Software-section state.
-	swSeq      uint64 // phase counter value of this section
-	swClock    uint64 // memory-clock snapshot at section begin
-	readAddrs  []mem.Addr
-	readVals   []uint64
-	writeMap   map[mem.Addr]uint64
-	writeOrder []mem.Addr
+	swSeq      uint64              //rtle:meta phase counter value of this section
+	swClock    uint64              //rtle:meta memory-clock snapshot at section begin
+	readAddrs  []mem.Addr          //rtle:meta
+	readVals   []uint64            //rtle:meta
+	writeMap   map[mem.Addr]uint64 //rtle:meta
+	writeOrder []mem.Addr          //rtle:meta
 }
 
 func (t *aleThread) Stats() *Stats { return t.rec.Stats() }
@@ -134,6 +136,8 @@ func (t *aleThread) Atomic(body func(Context)) {
 
 // software runs the critical section as the single software thread, under
 // the lock, with buffered writes, retrying until the write-back commits.
+//
+//rtle:lockpath
 func (t *aleThread) software(body func(Context)) {
 	a := t.method
 	a.lock.Acquire()
@@ -153,6 +157,8 @@ type aleAbort struct{}
 
 // attemptSoftware runs one buffered execution plus write-back; false means
 // interference was detected and the section must re-run.
+//
+//rtle:lockpath
 func (t *aleThread) attemptSoftware(body func(Context)) (ok bool) {
 	a := t.method
 	m := a.m
@@ -185,6 +191,8 @@ func (t *aleThread) attemptSoftware(body func(Context)) (ok bool) {
 // transaction that revalidates the read log by value (atomically with the
 // publication), then — after repeated failures — pessimistically behind
 // the blocked flag, halting the whole fast path (the §2 criticism).
+//
+//rtle:lockpath
 func (t *aleThread) writeBack() bool {
 	a := t.method
 	m := a.m
@@ -251,8 +259,10 @@ type aleFastCtx struct {
 	seq    uint64
 }
 
+//rtle:speculative
 func (c aleFastCtx) Read(a mem.Addr) uint64 { return c.tx.Read(a) }
 
+//rtle:speculative
 func (c aleFastCtx) Write(a mem.Addr, v uint64) {
 	oa := c.method.orecOf(a)
 	if c.tx.Read(oa) != c.seq {
@@ -272,6 +282,7 @@ type aleSwCtx struct {
 	t *aleThread
 }
 
+//rtle:lockpath
 func (c aleSwCtx) Read(a mem.Addr) uint64 {
 	t := c.t
 	t.pacer.Tick()
@@ -296,6 +307,7 @@ func (c aleSwCtx) Read(a mem.Addr) uint64 {
 	return v
 }
 
+//rtle:lockpath
 func (c aleSwCtx) Write(a mem.Addr, v uint64) {
 	t := c.t
 	t.pacer.Tick()

@@ -12,7 +12,10 @@ type htmCtx struct {
 	tx *htm.Tx
 }
 
-func (c htmCtx) Read(a mem.Addr) uint64     { return c.tx.Read(a) }
+//rtle:speculative
+func (c htmCtx) Read(a mem.Addr) uint64 { return c.tx.Read(a) }
+
+//rtle:speculative
 func (c htmCtx) Write(a mem.Addr, v uint64) { c.tx.Write(a, v) }
 func (c htmCtx) InHTM() bool                { return true }
 func (c htmCtx) Unsupported()               { c.tx.Unsupported() }

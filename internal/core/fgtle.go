@@ -33,14 +33,16 @@ type FGTLEMethod struct {
 	lock   *spinlock.Lock
 	policy Policy
 
-	epochAddr mem.Addr
-	rOrecs    mem.Addr
-	wOrecs    mem.Addr
+	epochAddr mem.Addr //rtle:meta
+	rOrecs    mem.Addr //rtle:meta
+	wOrecs    mem.Addr //rtle:meta
 	orecs     uint64
 }
 
 // NewFGTLE returns an FG-TLE method over m with orecs ownership records per
 // array. orecs must be a power of two between 1 and 1<<20.
+//
+//rtle:init
 func NewFGTLE(m *mem.Memory, orecs int, policy Policy) *FGTLEMethod {
 	if orecs < 1 || orecs > 1<<20 || orecs&(orecs-1) != 0 {
 		panic(fmt.Sprintf("core: FG-TLE orec count %d is not a power of two in [1, 2^20]", orecs))
@@ -91,16 +93,21 @@ type fgtleThread struct {
 	method *FGTLEMethod
 
 	// Lock-holder state for the current critical section.
-	seq   uint64 // epoch stamped into acquired orecs
-	uniqR uint64 // distinct read orecs acquired so far (Figure 3's uniq_r_orecs)
-	uniqW uint64 // distinct write orecs acquired so far
+	seq   uint64 //rtle:meta epoch stamped into acquired orecs
+	uniqR uint64 //rtle:meta distinct read orecs acquired so far (Figure 3's uniq_r_orecs)
+	uniqW uint64 //rtle:meta distinct write orecs acquired so far
 }
 
 // runSlow is one instrumented slow-path attempt. The epoch snapshot is
 // taken before the transaction begins (local_seq_number in Figure 3), so
 // the epoch line itself is not subscribed and the lock release does not
 // abort slow-path transactions.
+//
+//rtle:slowpath
 func (t *fgtleThread) runSlow(body func(Context)) htm.AbortReason {
+	// The raw load is the algorithm: the snapshot must predate the
+	// transaction so the epoch line stays out of the read set.
+	//rtle:ignore barrierdiscipline pre-transaction epoch snapshot (Figure 3 local_seq_number)
 	localSeq := t.m.Load(t.method.epochAddr)
 	return t.tx.Run(func(tx *htm.Tx) {
 		body(fgSlowCtx{method: t.method, tx: tx, localSeq: localSeq})
@@ -111,6 +118,8 @@ func (t *fgtleThread) runSlow(body func(Context)) htm.AbortReason {
 // runUnderLock is the instrumented pessimistic path of Figure 3's else
 // branches: bump the epoch, stamp orecs while executing, bump the epoch
 // again to release all orecs at once.
+//
+//rtle:lockpath
 func (t *fgtleThread) runUnderLock(body func(Context)) {
 	t.lock.Acquire()
 	t.rec.LockAcquired()
@@ -132,6 +141,7 @@ type fgSlowCtx struct {
 	localSeq uint64
 }
 
+//rtle:slowpath
 func (c fgSlowCtx) Read(a mem.Addr) uint64 {
 	f := c.method
 	idx := wanghash.Hash(uint64(a), f.orecs)
@@ -141,6 +151,7 @@ func (c fgSlowCtx) Read(a mem.Addr) uint64 {
 	return c.tx.Read(a)
 }
 
+//rtle:slowpath
 func (c fgSlowCtx) Write(a mem.Addr, v uint64) {
 	f := c.method
 	idx := wanghash.Hash(uint64(a), f.orecs)
@@ -163,6 +174,7 @@ type fgLockCtx struct {
 	t *fgtleThread
 }
 
+//rtle:lockpath
 func (c fgLockCtx) Read(a mem.Addr) uint64 {
 	t := c.t
 	t.pacer.Tick()
@@ -178,6 +190,7 @@ func (c fgLockCtx) Read(a mem.Addr) uint64 {
 	return t.m.Load(a)
 }
 
+//rtle:lockpath
 func (c fgLockCtx) Write(a mem.Addr, v uint64) {
 	t := c.t
 	t.pacer.Tick()

@@ -53,6 +53,9 @@ type lockThread struct {
 
 func (t *lockThread) Stats() *Stats { return t.rec.Stats() }
 
+// Atomic always takes the pessimistic path; the body runs uninstrumented.
+//
+//rtle:lockpath
 func (t *lockThread) Atomic(body func(Context)) {
 	t0 := t.rec.Begin()
 	t.lock.Acquire()

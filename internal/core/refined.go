@@ -41,6 +41,7 @@ type refinedThread struct {
 
 func (r *refinedThread) Stats() *Stats { return r.rec.Stats() }
 
+//rtle:speculative
 func (r *refinedThread) subscribe(tx *htm.Tx) {
 	if tx.Read(r.lock.Addr()) != 0 {
 		r.lockBusy = true
@@ -51,6 +52,8 @@ func (r *refinedThread) subscribe(tx *htm.Tx) {
 // lazySubscribe implements the §5 option: subscribe to the lock at the end
 // of a slow-path transaction, so the transaction cannot commit while the
 // lock is held. Variants call it from their slowAttempt when enabled.
+//
+//rtle:speculative
 func (r *refinedThread) lazySubscribe(tx *htm.Tx) {
 	if r.policy.LazySubscription && tx.Read(r.lock.Addr()) != 0 {
 		tx.Abort()

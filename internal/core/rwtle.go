@@ -25,7 +25,7 @@ import (
 type RWTLEMethod struct {
 	m        *mem.Memory
 	lock     *spinlock.Lock
-	flagAddr mem.Addr
+	flagAddr mem.Addr //rtle:meta
 	policy   Policy
 }
 
@@ -69,12 +69,14 @@ func (r *RWTLEMethod) NewThread() Thread {
 type rwtleThread struct {
 	refinedThread
 	method *RWTLEMethod
-	wrote  bool // write flag raised during the current lock-held CS
+	wrote  bool //rtle:meta write flag raised during the current lock-held CS
 }
 
 // runSlow is one instrumented slow-path attempt: subscribe to the write
 // flag, run the body with the aborting write barrier, optionally subscribe
 // to the lock lazily.
+//
+//rtle:slowpath
 func (t *rwtleThread) runSlow(body func(Context)) htm.AbortReason {
 	return t.tx.Run(func(tx *htm.Tx) {
 		if tx.Read(t.method.flagAddr) != 0 {
@@ -88,6 +90,8 @@ func (t *rwtleThread) runSlow(body func(Context)) htm.AbortReason {
 // runUnderLock is the instrumented pessimistic path: writes raise the flag
 // (once per critical section — Figure 2's note that only the first write
 // needs the barrier).
+//
+//rtle:lockpath
 func (t *rwtleThread) runUnderLock(body func(Context)) {
 	t.lock.Acquire()
 	t.rec.LockAcquired()
@@ -107,7 +111,10 @@ type rwSlowCtx struct {
 	tx *htm.Tx
 }
 
-func (c rwSlowCtx) Read(a mem.Addr) uint64     { return c.tx.Read(a) }
+//rtle:slowpath
+func (c rwSlowCtx) Read(a mem.Addr) uint64 { return c.tx.Read(a) }
+
+//rtle:slowpath
 func (c rwSlowCtx) Write(a mem.Addr, v uint64) { c.tx.Abort() }
 func (c rwSlowCtx) InHTM() bool                { return true }
 func (c rwSlowCtx) Unsupported()               { c.tx.Unsupported() }
@@ -119,11 +126,13 @@ type rwLockCtx struct {
 	t *rwtleThread
 }
 
+//rtle:lockpath
 func (c rwLockCtx) Read(a mem.Addr) uint64 {
 	c.t.pacer.Tick()
 	return c.t.m.Load(a)
 }
 
+//rtle:lockpath
 func (c rwLockCtx) Write(a mem.Addr, v uint64) {
 	c.t.pacer.Tick()
 	if !c.t.wrote {

@@ -60,6 +60,8 @@ func (t *tleThread) Stats() *Stats { return t.rec.Stats() }
 // subscribe reads the lock word inside the transaction, adding it to the
 // read set so that a later acquisition aborts this transaction; if the lock
 // is already held the attempt self-aborts immediately.
+//
+//rtle:speculative
 func (t *tleThread) subscribe(tx *htm.Tx) {
 	if tx.Read(t.lock.Addr()) != 0 {
 		t.lockBusy = true
@@ -101,6 +103,8 @@ func (t *tleThread) Atomic(body func(Context)) {
 
 // runUnderLock executes the pessimistic path: plain TLE runs the
 // unmodified (uninstrumented) critical section.
+//
+//rtle:lockpath
 func (t *tleThread) runUnderLock(body func(Context)) {
 	t.lock.Acquire()
 	t.rec.LockAcquired()

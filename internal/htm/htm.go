@@ -26,6 +26,11 @@
 // job of the RW-TLE and FG-TLE barriers in package core.
 package htm
 
+// The transaction engine manipulates the raw heap by definition; the
+// rtlevet txbody and barrierdiscipline passes do not apply here.
+//
+//rtle:engine
+
 import (
 	"fmt"
 	"runtime"

@@ -25,6 +25,12 @@
 // RW-TLE and FG-TLE instrumentation barriers, as in the paper.
 package mem
 
+// This package IS the raw layer the rtlevet suite protects: its accessors
+// are what everything else must route around, so the txbody and
+// barrierdiscipline passes do not apply here.
+//
+//rtle:engine
+
 import (
 	"fmt"
 	"runtime"

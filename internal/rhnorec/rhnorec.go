@@ -303,7 +303,10 @@ type hwCtx struct {
 	tx *htm.Tx
 }
 
-func (c hwCtx) Read(a mem.Addr) uint64     { return c.tx.Read(a) }
+//rtle:speculative
+func (c hwCtx) Read(a mem.Addr) uint64 { return c.tx.Read(a) }
+
+//rtle:speculative
 func (c hwCtx) Write(a mem.Addr, v uint64) { c.tx.Write(a, v) }
 func (c hwCtx) InHTM() bool                { return true }
 func (c hwCtx) Unsupported()               { c.tx.Unsupported() }

@@ -9,6 +9,11 @@
 // nor this implementation addresses fairness or anti-starvation.
 package spinlock
 
+// The lock word lives in raw simulated memory by design; the rtlevet
+// txbody and barrierdiscipline passes do not apply here.
+//
+//rtle:engine
+
 import (
 	"runtime"
 
