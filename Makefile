@@ -1,0 +1,35 @@
+# Developer entry points. CI runs the same targets.
+
+GO ?= go
+
+.PHONY: build test race vet rtlevet e2e bench-json all
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# rtlevet enforces the repository's HTM/TLE instrumentation discipline.
+rtlevet:
+	$(GO) build -o /tmp/rtlevet ./cmd/rtlevet
+	$(GO) vet -vettool=/tmp/rtlevet ./...
+
+# e2e boots rtled on loopback and validates wire-level linearizability
+# with rtleload, clean and under a fault plan.
+e2e:
+	scripts/e2e.sh
+
+# bench-json refreshes the committed benchmark grid. The file lands as
+# BENCH_<n>.json with n one past the highest committed ordinal; rename to
+# the PR's ordinal before committing.
+bench-json:
+	$(GO) run ./cmd/rtlebench -threads 1,2,4 -dur 300ms -json -outdir .

@@ -169,14 +169,22 @@ func runCell(name string, threads int, keyRange uint64, insert, remove int,
 
 // nextBenchPath returns dir/BENCH_<n>.json for the smallest n not yet used.
 func nextBenchPath(dir string) (string, error) {
-	for n := 0; ; n++ {
-		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
-		if _, err := os.Stat(path); os.IsNotExist(err) {
-			return path, nil
-		} else if err != nil {
-			return "", err
+	// One past the highest existing ordinal, not the first unused one:
+	// committed BENCH_<n>.json files may skip ordinals (each tracks the PR
+	// that produced it), and refreshing must never slot into a gap below
+	// an existing file.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 0
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err == nil && n >= next {
+			next = n + 1
 		}
 	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,0 +1,163 @@
+// Command rtled serves one elided data structure (AVL set, hash map, or
+// bank) over TCP behind any of the repository's synchronization methods,
+// speaking the rtled/1 pipelined binary protocol (see internal/server's
+// package documentation). Requests are executed by a bounded worker pool
+// that coalesces pending single operations into shared atomic blocks; a
+// full queue answers StatusBusy with a queue-depth-aware retry hint.
+// SIGINT/SIGTERM drain gracefully: accepted requests finish and flush
+// before the listener and connections close.
+//
+// With -http it serves /metrics (the obs registry's rtle_* execution
+// series concatenated with the wire-level rtled_* series) and /snapshot
+// (registry JSON) for live scraping. With -fault-plan (inline JSON or
+// @file) a fault director is wired into the method, so chaos experiments
+// run over the wire exactly as they do in-process.
+//
+// Examples:
+//
+//	rtled -workload set -method "FG-TLE(256)" -workers 8
+//	rtled -workload bank -keys 16 -method RHNOrec -http :9090
+//	rtled -addr 127.0.0.1:0 -fault-plan '{"seed":7,"begin_prob":0.1}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rtle/internal/core"
+	"rtle/internal/fault"
+	"rtle/internal/obs"
+	"rtle/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7632", "TCP listen address (port 0 picks a free port)")
+	workload := flag.String("workload", "set", "served data structure: "+strings.Join(server.Workloads, ", "))
+	method := flag.String("method", "FG-TLE(256)", "synchronization method (Lock, TLE, HLE, RW-TLE, FG-TLE(N), FG-TLE(adaptive), ALE(N), NOrec, RHNOrec)")
+	workers := flag.Int("workers", 4, "worker pool size")
+	queue := flag.Int("queue", 256, "accepted-request queue bound (backpressure beyond)")
+	coalesce := flag.Int("coalesce", 8, "max single ops coalesced into one atomic block")
+	keys := flag.Int("keys", 0, "key space (set/map) or account count (bank); 0 picks the default")
+	attempts := flag.Int("attempts", core.DefaultAttempts, "HTM attempts before lock fallback")
+	lazy := flag.Bool("lazy", false, "lazy lock subscription on the slow path")
+	planStr := flag.String("fault-plan", "", "fault plan: inline JSON or @file")
+	httpAddr := flag.String("http", "", "serve /metrics and /snapshot on this address (e.g. :9090)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	var plan *fault.Plan
+	if *planStr != "" {
+		text := *planStr
+		if strings.HasPrefix(text, "@") {
+			b, err := os.ReadFile(text[1:])
+			if err != nil {
+				fatal(err)
+			}
+			text = string(b)
+		}
+		p, err := fault.ParsePlan(text)
+		if err != nil {
+			fatal(err)
+		}
+		plan = &p
+	}
+
+	reg := obs.NewRegistry(obs.Config{})
+	srv, err := server.New(server.Config{
+		Addr:       *addr,
+		Workload:   *workload,
+		Method:     *method,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Coalesce:   *coalesce,
+		Keys:       *keys,
+		Policy:     core.Policy{Attempts: *attempts, LazySubscription: *lazy},
+		Registry:   reg,
+		Plan:       plan,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	bound, err := srv.Listen()
+	if err != nil {
+		fatal(err)
+	}
+	// The e2e harness parses this line to find the bound port.
+	fmt.Printf("rtled: listening on %s (%s over %s, %d workers)\n",
+		bound, srv.MethodName(), srv.Workload(), *workers)
+
+	var admin *server.AdminServer
+	if *httpAddr != "" {
+		admin, err = server.StartAdmin(*httpAddr, newMux(reg, srv))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rtled: serving /metrics and /snapshot on %s\n", admin.Addr())
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "rtled: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "rtled: drain:", err)
+		}
+		if admin != nil {
+			if err := admin.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "rtled: admin drain:", err)
+			}
+		}
+		<-done
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	m := srv.Metrics()
+	fmt.Fprintf(os.Stderr, "rtled: served %d sections, %d coalesced ops, %d busy rejections\n",
+		m.Sections(), m.Coalesced(), m.Responses(server.StatusBusy))
+	if d := srv.Director(); d != nil {
+		fmt.Fprintf(os.Stderr, "rtled: fault director injected %d aborts, %d lock spikes\n",
+			d.TotalInjected(), d.LockSpins())
+	}
+}
+
+// newMux builds the admin handler: /metrics concatenates the execution
+// registry's Prometheus series with the wire-level server series under one
+// scrape; /snapshot serves the registry as JSON.
+func newMux(reg *obs.Registry, srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		// A write error here means the scraper hung up; nothing to do.
+		_ = reg.Snapshot().WritePrometheus(w)
+		// Same scrape, same hung-up scraper; nothing to do.
+		_ = srv.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// A write error here means the client hung up; nothing to do.
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	return mux
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "rtled:", v)
+	os.Exit(2)
+}

@@ -1,0 +1,104 @@
+// Command rtleload drives load against a live rtled server and validates
+// what comes back over the wire: Conns×Pipeline sequential logical clients
+// multiplexed over Conns pipelined connections record a ticket-stamped
+// history of every single operation, and after the run the history is
+// checked for linearizability with internal/check's WGL checker (per-key
+// partitions for set/map, whole-history for bank). Read-only witness
+// batches additionally validate the batch atomicity contract (duplicate
+// reads inside one batch must agree; a bank batch must observe conserved
+// total money). StatusBusy rejections are absorbed by retry below the
+// recording layer.
+//
+// The process exits non-zero if the history is not linearizable, a witness
+// is violated, or the run errors — so CI can gate on it directly.
+//
+// -check is only sound against a freshly started server: the sequential
+// models assume the initial state rtled boots with (empty set/map, every
+// bank account at par). Checking a second run against a warm server
+// reports false violations — reads would observe state no operation in the
+// recorded history wrote. Load without -check has no such restriction.
+//
+// Examples:
+//
+//	rtleload -addr 127.0.0.1:7632 -workload set -conns 4 -pipeline 8 -ops 20000
+//	rtleload -workload map -read-pct 50 -batch-pct 10 -check=true
+//	rtleload -workload bank -keys 16 -conns 2 -pipeline 4 -ops 2000
+//	rtleload -workload set -rate 50000 -duration 5s -check=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rtle/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7632", "rtled server address")
+	workload := flag.String("workload", "set", "served data structure: "+strings.Join(server.Workloads, ", "))
+	conns := flag.Int("conns", 4, "TCP connections")
+	pipeline := flag.Int("pipeline", 8, "pipelined slots per connection")
+	ops := flag.Int("ops", 4000, "recorded single operations across all slots")
+	duration := flag.Duration("duration", 0, "optional deadline for the run (0 = ops-bounded only)")
+	rate := flag.Int("rate", 0, "open-loop aggregate ops/sec (0 = closed loop)")
+	readPct := flag.Int("read-pct", 90, "read percentage of single operations")
+	batchPct := flag.Int("batch-pct", 0, "percentage of issues that send a witness batch")
+	batchSize := flag.Int("batch-size", 8, "witness batch length (set/map)")
+	keys := flag.Int("keys", 0, "key space (set/map) or account count (bank); must match the server; 0 picks the default")
+	seed := flag.Uint64("seed", 1, "PRNG seed")
+	checkFlag := flag.Bool("check", true, "check the recorded history for linearizability")
+	flag.Parse()
+
+	cfg := server.LoadConfig{
+		Addr:       *addr,
+		Workload:   *workload,
+		Conns:      *conns,
+		Pipeline:   *pipeline,
+		Ops:        *ops,
+		Duration:   *duration,
+		RatePerSec: *rate,
+		ReadPct:    *readPct,
+		BatchPct:   *batchPct,
+		BatchSize:  *batchSize,
+		Keys:       *keys,
+		Seed:       *seed,
+		Check:      *checkFlag,
+	}
+	fmt.Fprintf(os.Stderr, "rtleload: %s on %s, %d conns x %d pipeline, %d ops, %d%% reads, %d%% batches\n",
+		*workload, *addr, *conns, *pipeline, *ops, *readPct, *batchPct)
+
+	res, err := server.RunLoad(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("rtleload: %d ops in %v (%.0f ops/sec), %d witness batches, %d busy retries, %d rejected\n",
+		res.Ops, res.Elapsed.Round(time.Millisecond), res.Throughput(), res.Batches, res.BusyRetries, res.Rejected)
+	fmt.Printf("rtleload: latency p50 %.3gms p99 %.3gms max-bucket %.3gms\n",
+		res.Percentile(0.50)*1e3, res.Percentile(0.99)*1e3, res.Percentile(1.0)*1e3)
+
+	exit := 0
+	if len(res.WitnessViolations) > 0 {
+		exit = 1
+		for _, v := range res.WitnessViolations {
+			fmt.Println("rtleload: WITNESS VIOLATION:", v)
+		}
+	}
+	if res.Checked {
+		if res.Linearizable {
+			fmt.Println("rtleload: history is linearizable")
+		} else {
+			exit = 1
+			fmt.Println("rtleload: NOT LINEARIZABLE:", res.CheckDetail)
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "rtleload:", v)
+	os.Exit(2)
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -24,6 +25,7 @@ import (
 	"rtle/internal/harness"
 	"rtle/internal/mem"
 	"rtle/internal/obs"
+	"rtle/internal/server"
 )
 
 func main() {
@@ -61,14 +63,13 @@ func main() {
 		fatal(err)
 	}
 
+	var admin *server.AdminServer
 	if *httpAddr != "" {
-		mux := newMux(reg)
-		go func() {
-			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "rtlemon: http:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "rtlemon: serving /metrics and /snapshot on %s\n", *httpAddr)
+		admin, err = server.StartAdmin(*httpAddr, newMux(reg))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rtlemon: serving /metrics and /snapshot on %s\n", admin.Addr())
 	}
 
 	fmt.Fprintf(os.Stderr, "rtlemon: %s, %d threads, %v, %d:%d:%d over range %d\n",
@@ -89,6 +90,15 @@ func main() {
 
 	if err := set.CheckInvariants(core.Direct(m)); err != nil {
 		fatal("TREE CORRUPTED: " + err.Error())
+	}
+
+	if admin != nil {
+		// Let a final scrape land before the process exits.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := admin.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "rtlemon: http shutdown:", err)
+		}
+		cancel()
 	}
 
 	snap := reg.Snapshot()

@@ -136,6 +136,18 @@ func (r *ThreadRecorder) Invoke(op Op, a1, a2, a3 uint64) {
 	})
 }
 
+// Abandon discards the pending operation's invocation without recording a
+// response. It is sound only when the operation is known not to have
+// executed — e.g. a server rejected the request before running it — since
+// an executed-but-unrecorded mutation would falsify the history.
+func (r *ThreadRecorder) Abandon() {
+	if !r.pending {
+		panic("check: Abandon without a pending Invoke")
+	}
+	r.events = r.events[:len(r.events)-1]
+	r.pending = false
+}
+
 // Return records the pending operation's response.
 func (r *ThreadRecorder) Return(ret uint64, ok bool) {
 	if !r.pending {

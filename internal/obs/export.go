@@ -100,9 +100,8 @@ func (snap *Snapshot) WritePrometheus(w io.Writer) error {
 				continue
 			}
 			cum += l.Counts[b]
-			// Bucket b covers [2^b, 2^(b+1)) ns: upper bound 2^(b+1) ns.
-			le := float64(uint64(1)<<uint(b+1)) / 1e9
-			p("rtle_atomic_latency_seconds_bucket{path=%q,le=\"%g\"} %d\n", name, le, cum)
+			p("rtle_atomic_latency_seconds_bucket{path=%q,le=\"%g\"} %d\n",
+				name, BucketUpperBoundSeconds(b), cum)
 		}
 		p("rtle_atomic_latency_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", name, l.Count)
 		p("rtle_atomic_latency_seconds_sum{path=%q} %g\n", name, float64(l.SumNanos)/1e9)

@@ -46,15 +46,40 @@ func bucketOf(nanos int64) int {
 	return b
 }
 
-// histogram is a lock-free log2 latency histogram.
-type histogram struct {
+// Histogram is a lock-free log2 latency histogram: Observe is wait-free and
+// safe for any number of concurrent writers. The Registry uses one per
+// (shard, path); other subsystems (internal/server's per-op wire latency
+// series) embed their own.
+type Histogram struct {
 	counts [NumLatencyBuckets]atomic.Uint64
 	sum    atomic.Int64 // total nanos, for mean latency
 }
 
-func (h *histogram) observe(nanos int64) {
+// Observe records one latency sample.
+func (h *Histogram) Observe(nanos int64) {
 	h.counts[bucketOf(nanos)].Add(1)
 	h.sum.Add(nanos)
+}
+
+// Snapshot reads the histogram into an aggregate value. Like the Registry's
+// snapshots it is safe against concurrent Observe calls: sum is loaded before
+// the counts, so the mean stays well-defined under skew.
+func (h *Histogram) Snapshot() LatencySnapshot {
+	var l LatencySnapshot
+	l.SumNanos = h.sum.Load()
+	for b := 0; b < NumLatencyBuckets; b++ {
+		n := h.counts[b].Load()
+		l.Counts[b] = n
+		l.Count += n
+	}
+	return l
+}
+
+// BucketUpperBoundSeconds returns the exclusive upper bound of histogram
+// bucket b in seconds (bucket b covers [2^b, 2^(b+1)) nanoseconds), the `le`
+// label value Prometheus exporters render.
+func BucketUpperBoundSeconds(b int) float64 {
+	return float64(uint64(1)<<uint(b+1)) / 1e9
 }
 
 // Config tunes a Registry. The zero value selects the defaults.
@@ -177,7 +202,7 @@ type Shard struct {
 	resizes      atomic.Uint64
 	modeSwitches atomic.Uint64
 
-	latency [core.NumPaths]histogram
+	latency [core.NumPaths]Histogram
 
 	// Single-writer trace state (only the owning thread touches these).
 	lastPath    int8 // -1 before the first op
@@ -193,7 +218,7 @@ func (s *Shard) Op(k core.CommitKind, latencyNanos int64) {
 	s.ops.Add(1)
 	s.commits[k].Add(1)
 	p := k.Path()
-	s.latency[p].observe(latencyNanos)
+	s.latency[p].Observe(latencyNanos)
 	s.tracePath(p, k)
 }
 

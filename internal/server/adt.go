@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+
+	"rtle/internal/avl"
+	"rtle/internal/bank"
+	"rtle/internal/check"
+	"rtle/internal/core"
+	"rtle/internal/mem"
+	"rtle/internal/tmap"
+)
+
+// Workloads lists the servable ADT kinds, matching internal/check's
+// workload names so a served history checks against the same models.
+var Workloads = check.Workloads
+
+// BankInitial is the per-account starting balance the server uses, shared
+// with the checker's bank model.
+const BankInitial = check.BankInitial
+
+// adt is the single served data-structure instance. Exactly one of set,
+// mp, bk is non-nil, per kind.
+type adt struct {
+	kind string
+	// keys bounds the key space (set/map) or is the account count (bank):
+	// it caps the simulated heap the structure can consume and is part of
+	// the serving contract (out-of-range arguments are StatusBad).
+	keys uint64
+	set  *avl.Set
+	mp   *tmap.Map
+	bk   *bank.Bank
+}
+
+// heapWords sizes the simulated heap for kind with the given key-space
+// bound and worker count: enough lines for every possible key plus
+// per-worker spare-node headroom and method metadata (orecs, lock words).
+func heapWords(kind string, keys, workers int) int {
+	switch kind {
+	case "bank":
+		return keys*mem.WordsPerLine + 1<<16
+	default:
+		return keys*2*mem.WordsPerLine + workers*64*mem.WordsPerLine + 1<<16
+	}
+}
+
+// newADT allocates the served instance on m. Structures start empty
+// (balances at BankInitial for bank): the linearizability models in
+// internal/check begin from the same state.
+func newADT(kind string, m *mem.Memory, keys int) (*adt, error) {
+	a := &adt{kind: kind, keys: uint64(keys)}
+	switch kind {
+	case "set":
+		a.set = avl.New(m)
+	case "map":
+		a.mp = tmap.New(m, keys)
+	case "bank":
+		a.bk = bank.New(m, keys, BankInitial)
+	default:
+		return nil, fmt.Errorf("server: unknown workload %q (want set, map, or bank)", kind)
+	}
+	return a, nil
+}
+
+// validate checks one operation against the serving contract before it is
+// queued: the op must belong to the served ADT and its arguments must be
+// inside the configured key/account space (unbounded keys would let a
+// client exhaust the simulated heap).
+func (a *adt) validate(op Op, a1, a2 uint64) error {
+	switch a.kind {
+	case "set":
+		switch op {
+		case check.OpContains, check.OpInsert, check.OpRemove:
+			if a1 >= a.keys {
+				return fmt.Errorf("key %d outside the served key space [0,%d)", a1, a.keys)
+			}
+			return nil
+		}
+	case "map":
+		switch op {
+		case check.OpGet, check.OpPut, check.OpDelete, check.OpAdd:
+			if a1 >= a.keys {
+				return fmt.Errorf("key %d outside the served key space [0,%d)", a1, a.keys)
+			}
+			return nil
+		}
+	case "bank":
+		switch op {
+		case check.OpBalance:
+			if a1 >= a.keys {
+				return fmt.Errorf("account %d outside [0,%d)", a1, a.keys)
+			}
+			return nil
+		case check.OpTransfer:
+			if a1 >= a.keys || a2 >= a.keys {
+				return fmt.Errorf("account pair (%d,%d) outside [0,%d)", a1, a2, a.keys)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("op %v is not served by the %s workload", op, a.kind)
+}
+
+// executor is one worker's execution state over the shared adt: a handle
+// per batch/coalesce slot, because a handle carries exactly one spare node
+// and one removed-node record, so every operation of a multi-op atomic
+// block needs its own.
+type executor struct {
+	a    *adt
+	setH []*avl.Handle
+	mapH []*tmap.Handle
+}
+
+// newExecutor returns an executor with slots independent handles.
+func (a *adt) newExecutor(slots int) *executor {
+	e := &executor{a: a}
+	switch a.kind {
+	case "set":
+		e.setH = make([]*avl.Handle, slots)
+		for i := range e.setH {
+			e.setH[i] = a.set.NewHandle()
+		}
+	case "map":
+		e.mapH = make([]*tmap.Handle, slots)
+		for i := range e.mapH {
+			e.mapH[i] = a.mp.NewHandle()
+		}
+	}
+	return e
+}
+
+// run executes one operation inside the current atomic block, using slot
+// s's handle. Bodies are re-executable: the handles reset their scratch
+// state at the top of every *CS call, and the returned Result overwrites
+// the caller's slot on every speculative retry.
+func (e *executor) run(c core.Context, s int, op Op, a1, a2, a3 uint64) Result {
+	switch op {
+	case check.OpContains:
+		return Result{0, e.setH[s].FindCS(c, a1)}
+	case check.OpInsert:
+		return Result{0, e.setH[s].InsertCS(c, a1)}
+	case check.OpRemove:
+		return Result{0, e.setH[s].RemoveCS(c, a1)}
+	case check.OpGet:
+		v, ok := e.mapH[s].GetCS(c, a1)
+		return Result{v, ok}
+	case check.OpPut:
+		return Result{0, e.mapH[s].PutCS(c, a1, a2)}
+	case check.OpDelete:
+		return Result{0, e.mapH[s].DeleteCS(c, a1)}
+	case check.OpAdd:
+		return Result{e.mapH[s].AddCS(c, a1, a2), true}
+	case check.OpTransfer:
+		return Result{e.a.bk.TransferCS(c, int(a1), int(a2), a3), true}
+	case check.OpBalance:
+		return Result{e.a.bk.BalanceCS(c, int(a1)), true}
+	}
+	return Result{}
+}
+
+// after finalizes slot s's handle bookkeeping once the atomic block that
+// ran op in it has committed (spare-node consumption, removed-node
+// recycling — the After* contract of the ADT packages).
+func (e *executor) after(s int, op Op, r Result) {
+	switch op {
+	case check.OpInsert:
+		e.setH[s].AfterInsert(r.Ok)
+	case check.OpRemove:
+		e.setH[s].AfterRemove(r.Ok)
+	case check.OpPut:
+		if r.Ok && e.mapH[s].UsedSpare() {
+			e.mapH[s].ConsumeSpare()
+		}
+	case check.OpAdd:
+		if e.mapH[s].UsedSpare() {
+			e.mapH[s].ConsumeSpare()
+		}
+	case check.OpDelete:
+		if r.Ok {
+			e.mapH[s].RecycleRemoved()
+		}
+	}
+}

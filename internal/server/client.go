@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a pipelined rtled/1 client. Any number of goroutines may issue
+// requests concurrently over the one connection; each in-flight request
+// gets a fresh id and the demultiplexer routes the id-matched response
+// back, so the connection carries as many outstanding requests as there
+// are callers.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex // one frame per Write call, serialized
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan Response
+	err     error // sticky transport error, set by the read loop
+}
+
+// ErrClosed reports a request issued after the client's connection died or
+// Close was called.
+var ErrClosed = errors.New("server: client connection closed")
+
+// Dial connects to an rtled server at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{nc: nc, pending: make(map[uint32]chan Response)}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop demultiplexes responses to their waiting callers until the
+// connection dies, then fails every pending and future request.
+func (c *Client) readLoop() {
+	fr := frameReader{r: bufio.NewReaderSize(c.nc, 1<<16)}
+	for {
+		payload, err := fr.next()
+		if err != nil {
+			c.fail(fmt.Errorf("server: client read: %w", err))
+			return
+		}
+		resp, err := DecodeResponse(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// fail marks the client dead and releases every waiting caller.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint32]chan Response)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Close tears the connection down; in-flight requests fail.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	c.fail(ErrClosed)
+	return err
+}
+
+// send registers a pending slot, encodes req with a fresh id, and writes
+// the frame.
+func (c *Client) send(req *Request) (chan Response, error) {
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	frame := AppendRequest(nil, req)
+	c.wmu.Lock()
+	_, err := c.nc.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Do issues req and blocks for its response. The request's ID field is
+// assigned by the client. Status is reported through the Response, not the
+// error: a StatusBusy rejection is a normal response here, and retrying is
+// the caller's policy.
+func (c *Client) Do(req *Request) (Response, error) {
+	ch, err := c.send(req)
+	if err != nil {
+		return Response{}, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// Op issues one single-operation request and blocks for its response.
+func (c *Client) Op(op Op, a1, a2, a3 uint64) (Response, error) {
+	return c.Do(&Request{Op: op, Arg1: a1, Arg2: a2, Arg3: a3})
+}
+
+// Batch issues one batch request and blocks for its response.
+func (c *Client) Batch(entries []BatchEntry) (Response, error) {
+	return c.Do(&Request{Op: OpBatch, Batch: entries})
+}
+
+// Ping issues a liveness probe and blocks for its response.
+func (c *Client) Ping() error {
+	resp, err := c.Do(&Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("server: ping answered %v", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// AdminServer runs an HTTP admin endpoint (metrics, snapshots) with the
+// lifecycle discipline the serving layer expects everywhere: a bound
+// listener before the caller proceeds (so ":0" addresses are observable),
+// a read-header timeout against slowloris-style stalls, and a graceful
+// Shutdown. cmd/rtled and cmd/rtlemon share it.
+type AdminServer struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// StartAdmin binds addr and serves handler in the background. It returns
+// once the listener is bound; serve errors after that surface through
+// Shutdown only if they are not the normal closed-listener exit.
+func StartAdmin(addr string, handler http.Handler) (*AdminServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &AdminServer{
+		lis: lis,
+		srv: &http.Server{
+			Handler:           handler,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() {
+		// http.ErrServerClosed is the normal Shutdown exit; anything else
+		// means the admin endpoint died, which the owning process notices
+		// by its scrapes failing.
+		_ = a.srv.Serve(lis)
+	}()
+	return a, nil
+}
+
+// Addr returns the bound listen address.
+func (a *AdminServer) Addr() net.Addr { return a.lis.Addr() }
+
+// Shutdown stops accepting and drains in-flight requests until ctx
+// expires.
+func (a *AdminServer) Shutdown(ctx context.Context) error {
+	return a.srv.Shutdown(ctx)
+}

@@ -1,0 +1,492 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtle/internal/check"
+	"rtle/internal/obs"
+	"rtle/internal/rng"
+)
+
+// LoadConfig drives RunLoad against a live rtled server. Conns × Pipeline
+// sequential logical clients ("slots") are multiplexed over Conns
+// connections: each slot issues one request at a time, so a connection
+// carries Pipeline outstanding requests and the whole run Conns×Pipeline —
+// the recording discipline check.ThreadRecorder requires (one pending
+// operation per recorder) while the wire still sees deep pipelines.
+type LoadConfig struct {
+	// Addr is the rtled server address.
+	Addr string
+	// Workload must match the server's ("set", "map", "bank").
+	Workload string
+	// Conns is the TCP connection count (default 4).
+	Conns int
+	// Pipeline is the slot count per connection (default 8).
+	Pipeline int
+	// Ops bounds the recorded single operations across all slots
+	// (default 4000).
+	Ops int
+	// Duration, when positive, additionally stops the run at a deadline.
+	Duration time.Duration
+	// RatePerSec, when positive, switches from a closed loop (every slot
+	// re-issues immediately) to an open loop: arrivals are scheduled at
+	// the aggregate rate and latency is measured from the scheduled
+	// arrival, so queueing delay under overload is visible instead of
+	// being absorbed by coordinated omission.
+	RatePerSec int
+	// ReadPct is the read percentage of single operations (default 90).
+	ReadPct int
+	// BatchPct is the percentage of issue slots that send a read-only
+	// atomicity-witness batch instead of a recorded single operation.
+	BatchPct int
+	// BatchSize is the witness batch length for set/map (default 8; bank
+	// witnesses always read every account).
+	BatchSize int
+	// Keys is the key space for set/map and the account count for bank;
+	// it must match the server's serving contract (default 1024, bank 16).
+	Keys int
+	// Seed derives every slot's PRNG stream.
+	Seed uint64
+	// Check runs the wire-level linearizability check after the run.
+	Check bool
+}
+
+func (c *LoadConfig) fill() {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 8
+	}
+	if c.Ops <= 0 {
+		c.Ops = 4000
+	}
+	if c.ReadPct < 0 || c.ReadPct > 100 {
+		c.ReadPct = 90
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.BatchSize > MaxBatchOps {
+		c.BatchSize = MaxBatchOps
+	}
+	if c.Keys <= 0 {
+		if c.Workload == "bank" {
+			c.Keys = 16
+		} else {
+			c.Keys = 1024
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// LoadResult is one RunLoad outcome.
+type LoadResult struct {
+	// Ops counts recorded single operations that completed OK.
+	Ops uint64
+	// Batches counts witness batches that completed OK.
+	Batches uint64
+	// BusyRetries counts StatusBusy rejections absorbed by retry.
+	BusyRetries uint64
+	// Rejected counts operations abandoned on StatusShutdown/StatusBad.
+	Rejected uint64
+	// Elapsed is the issuing phase's wall time.
+	Elapsed time.Duration
+	// Latency aggregates single-operation latency (closed loop: send to
+	// response; open loop: scheduled arrival to response).
+	Latency obs.LatencySnapshot
+	// WitnessViolations lists batch-atomicity violations (a batch whose
+	// duplicate reads disagreed, or a bank batch breaking conservation).
+	WitnessViolations []string
+	// Checked reports whether the linearizability check ran; Linearizable
+	// is its verdict and CheckDetail names the failing partition.
+	Checked      bool
+	Linearizable bool
+	CheckDetail  string
+}
+
+// Throughput returns completed single operations per second.
+func (r *LoadResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// Percentile returns the q-quantile (0 < q <= 1) of the latency
+// distribution in seconds, resolved to its histogram bucket's upper bound.
+func (r *LoadResult) Percentile(q float64) float64 {
+	if r.Latency.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(r.Latency.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b := 0; b < obs.NumLatencyBuckets; b++ {
+		cum += r.Latency.Counts[b]
+		if cum >= target {
+			return obs.BucketUpperBoundSeconds(b)
+		}
+	}
+	return obs.BucketUpperBoundSeconds(obs.NumLatencyBuckets - 1)
+}
+
+// loadState is the shared mutable state of one run.
+type loadState struct {
+	cfg       LoadConfig
+	remaining atomic.Int64 // the run's op budget
+	deadline  time.Time
+	hist      *check.History
+	latency   obs.Histogram
+
+	mu         sync.Mutex
+	busy       uint64
+	rejected   uint64
+	batches    uint64
+	violations []string
+	firstErr   error
+}
+
+// RunLoad drives the configured load against a live server, then (with
+// cfg.Check) validates the recorded wire-level history: set/map histories
+// are partitioned by key — single-key operations make linearizability
+// compositional per key, which keeps the WGL search tractable at high slot
+// counts — and bank histories are checked whole against the conservation
+// model. Witness batches are read-only, so they never perturb the recorded
+// history; their duplicate reads are checked for internal agreement
+// instead, which is exactly the atomicity the batch contract promises.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	cfg.fill()
+	slots := cfg.Conns * cfg.Pipeline
+
+	clients := make([]*Client, cfg.Conns)
+	for i := range clients {
+		c, err := Dial(cfg.Addr)
+		if err != nil {
+			for _, prev := range clients[:i] {
+				_ = prev.Close() // unwinding a failed dial; the dial error is the one to report
+			}
+			return nil, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			_ = c.Close() // the run is over; close errors carry no signal
+		}
+	}()
+
+	st := &loadState{cfg: cfg, hist: check.NewHistory(slots)}
+	st.remaining.Store(int64(cfg.Ops))
+	if cfg.Duration > 0 {
+		st.deadline = time.Now().Add(cfg.Duration)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			st.slot(s, clients[s%cfg.Conns], start)
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{
+		Ops:               0,
+		Batches:           st.batches,
+		BusyRetries:       st.busy,
+		Rejected:          st.rejected,
+		Elapsed:           elapsed,
+		Latency:           st.latency.Snapshot(),
+		WitnessViolations: st.violations,
+	}
+	if st.firstErr != nil {
+		return res, st.firstErr
+	}
+	events := st.hist.Events()
+	res.Ops = uint64(len(events))
+	if cfg.Check {
+		res.Checked = true
+		res.Linearizable, res.CheckDetail = checkEvents(cfg.Workload, cfg.Keys, events)
+	}
+	return res, nil
+}
+
+// slot runs one sequential logical client.
+func (st *loadState) slot(s int, c *Client, start time.Time) {
+	cfg := &st.cfg
+	rec := st.hist.Recorder(s)
+	r := rng.NewXoshiro256(cfg.Seed + uint64(s)*0x9e3779b97f4a7c15 + 1)
+	slots := cfg.Conns * cfg.Pipeline
+
+	// Open loop: this slot owns every slots'th arrival of the aggregate
+	// schedule.
+	var period time.Duration
+	next := start
+	if cfg.RatePerSec > 0 {
+		period = time.Duration(int64(time.Second) * int64(slots) / int64(cfg.RatePerSec))
+		next = start.Add(time.Duration(s) * period / time.Duration(slots))
+	}
+
+	for {
+		if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+			return
+		}
+		if st.remaining.Add(-1) < 0 {
+			return
+		}
+		issueAt := time.Now()
+		if period > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			issueAt = next
+			next = next.Add(period)
+		}
+		if cfg.BatchPct > 0 && r.Intn(100) < cfg.BatchPct {
+			st.witnessBatch(c, r)
+			continue
+		}
+		if !st.single(rec, c, r, issueAt) {
+			return
+		}
+	}
+}
+
+// single issues one recorded operation, absorbing busy rejections below
+// the recording layer: Invoke stamps before the first send and Return
+// after the final response, so retries only widen the pending interval —
+// sound, because a StatusBusy request was rejected before execution.
+func (st *loadState) single(rec *check.ThreadRecorder, c *Client, r *rng.Xoshiro256, issueAt time.Time) bool {
+	op, a1, a2, a3 := st.pick(r)
+	rec.Invoke(op, a1, a2, a3)
+	for {
+		resp, err := c.Do(&Request{Op: op, Arg1: a1, Arg2: a2, Arg3: a3})
+		if err != nil {
+			rec.Abandon() // unsound to keep: the op may have executed; the error voids the check
+			st.fail(err)
+			return false
+		}
+		switch resp.Status {
+		case StatusOK:
+			rec.Return(resp.Results[0].Ret, resp.Results[0].Ok)
+			st.latency.Observe(time.Since(issueAt).Nanoseconds())
+			return true
+		case StatusBusy:
+			st.mu.Lock()
+			st.busy++
+			st.mu.Unlock()
+			backoff := time.Duration(resp.RetryAfterMicros) * time.Microsecond
+			if backoff > 20*time.Millisecond {
+				backoff = 20 * time.Millisecond
+			}
+			time.Sleep(backoff)
+		case StatusShutdown:
+			rec.Abandon() // rejected before execution: sound to discard
+			st.mu.Lock()
+			st.rejected++
+			st.mu.Unlock()
+			return false
+		default:
+			rec.Abandon() // rejected before execution: sound to discard
+			st.mu.Lock()
+			st.rejected++
+			st.mu.Unlock()
+			st.fail(fmt.Errorf("server rejected %v(%d,%d,%d): %s", op, a1, a2, a3, resp.Message))
+			return false
+		}
+	}
+}
+
+// witnessBatch issues one read-only batch and validates the atomicity
+// witness: duplicate reads inside one batch must agree (set/map), and a
+// bank batch reading every account must observe conserved total money.
+func (st *loadState) witnessBatch(c *Client, r *rng.Xoshiro256) {
+	cfg := &st.cfg
+	var entries []BatchEntry
+	switch cfg.Workload {
+	case "set":
+		key := r.Uint64n(uint64(cfg.Keys))
+		entries = make([]BatchEntry, cfg.BatchSize)
+		for i := range entries {
+			entries[i] = BatchEntry{Op: check.OpContains, Arg1: key}
+		}
+	case "map":
+		key := r.Uint64n(uint64(cfg.Keys))
+		entries = make([]BatchEntry, cfg.BatchSize)
+		for i := range entries {
+			entries[i] = BatchEntry{Op: check.OpGet, Arg1: key}
+		}
+	case "bank":
+		n := cfg.Keys
+		if n > MaxBatchOps {
+			// A partial-coverage batch cannot witness conservation.
+			return
+		}
+		entries = make([]BatchEntry, n)
+		for i := range entries {
+			entries[i] = BatchEntry{Op: check.OpBalance, Arg1: uint64(i)}
+		}
+	}
+	for {
+		resp, err := c.Batch(entries)
+		if err != nil {
+			st.fail(err)
+			return
+		}
+		switch resp.Status {
+		case StatusOK:
+			st.mu.Lock()
+			st.batches++
+			st.mu.Unlock()
+			st.judgeWitness(entries, resp.Results)
+			return
+		case StatusBusy:
+			st.mu.Lock()
+			st.busy++
+			st.mu.Unlock()
+			time.Sleep(time.Duration(resp.RetryAfterMicros) * time.Microsecond)
+		case StatusShutdown:
+			st.mu.Lock()
+			st.rejected++
+			st.mu.Unlock()
+			return
+		default:
+			st.fail(fmt.Errorf("server rejected witness batch: %s", resp.Message))
+			return
+		}
+	}
+}
+
+// judgeWitness validates one witness batch's results.
+func (st *loadState) judgeWitness(entries []BatchEntry, results []Result) {
+	if len(results) != len(entries) {
+		st.violate(fmt.Sprintf("batch answered %d results for %d entries", len(results), len(entries)))
+		return
+	}
+	switch st.cfg.Workload {
+	case "set", "map":
+		for i := 1; i < len(results); i++ {
+			if results[i] != results[0] {
+				st.violate(fmt.Sprintf(
+					"batch atomicity: duplicate read %d of key %d saw (%d,%v), read 0 saw (%d,%v)",
+					i, entries[i].Arg1, results[i].Ret, results[i].Ok, results[0].Ret, results[0].Ok))
+				return
+			}
+		}
+	case "bank":
+		var sum uint64
+		for _, res := range results {
+			sum += res.Ret
+		}
+		want := uint64(len(entries)) * BankInitial
+		if sum != want {
+			st.violate(fmt.Sprintf("bank conservation: batch of %d balances summed to %d, want %d",
+				len(entries), sum, want))
+		}
+	}
+}
+
+// pick draws one single operation from the configured mix.
+func (st *loadState) pick(r *rng.Xoshiro256) (Op, uint64, uint64, uint64) {
+	cfg := &st.cfg
+	keys := uint64(cfg.Keys)
+	read := r.Intn(100) < cfg.ReadPct
+	switch cfg.Workload {
+	case "map":
+		key := r.Uint64n(keys)
+		if read {
+			return check.OpGet, key, 0, 0
+		}
+		switch r.Intn(3) {
+		case 0:
+			return check.OpPut, key, r.Uint64n(1 << 20), 0
+		case 1:
+			return check.OpAdd, key, 1 + r.Uint64n(9), 0
+		default:
+			return check.OpDelete, key, 0, 0
+		}
+	case "bank":
+		if read {
+			return check.OpBalance, r.Uint64n(keys), 0, 0
+		}
+		from := r.Uint64n(keys)
+		to := (from + 1 + r.Uint64n(keys-1)) % keys
+		return check.OpTransfer, from, to, 1 + r.Uint64n(100)
+	default: // set
+		key := r.Uint64n(keys)
+		if read {
+			return check.OpContains, key, 0, 0
+		}
+		if r.Intn(2) == 0 {
+			return check.OpInsert, key, 0, 0
+		}
+		return check.OpRemove, key, 0, 0
+	}
+}
+
+func (st *loadState) fail(err error) {
+	st.mu.Lock()
+	if st.firstErr == nil {
+		st.firstErr = err
+	}
+	st.mu.Unlock()
+}
+
+func (st *loadState) violate(msg string) {
+	st.mu.Lock()
+	st.violations = append(st.violations, msg)
+	st.mu.Unlock()
+}
+
+// checkEvents validates a recorded wire history. Set and map operations
+// each touch exactly one key, so the history is linearizable iff every
+// per-key subhistory is — the standard locality property — and partitioned
+// checking stays tractable where a whole-history WGL search over dozens of
+// concurrent slots would not. Bank transfers couple account pairs, so that
+// history is checked whole.
+func checkEvents(workload string, keys int, events []Event) (bool, string) {
+	switch workload {
+	case "bank":
+		if !check.CheckLinearizable(check.BankModel(keys, BankInitial), events) {
+			return false, fmt.Sprintf("bank history of %d events is not linearizable", len(events))
+		}
+		return true, ""
+	case "set", "map":
+		model := check.SetModel()
+		if workload == "map" {
+			model = check.MapModel()
+		}
+		byKey := make(map[uint64][]Event)
+		for _, e := range events {
+			byKey[e.Arg1] = append(byKey[e.Arg1], e)
+		}
+		ks := make([]uint64, 0, len(byKey))
+		for k := range byKey {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		for _, k := range ks {
+			if !check.CheckLinearizable(model, byKey[k]) {
+				return false, fmt.Sprintf("key %d subhistory (%d events) is not linearizable",
+					k, len(byKey[k]))
+			}
+		}
+		return true, ""
+	}
+	return false, fmt.Sprintf("unknown workload %q", workload)
+}
+
+// Event re-exports check.Event for checkEvents' signature.
+type Event = check.Event

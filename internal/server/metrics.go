@@ -1,0 +1,209 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"rtle/internal/check"
+	"rtle/internal/obs"
+)
+
+// numOps sizes the per-op metric arrays: the nine check.Op codes plus
+// batch and ping slots.
+const numOps = 11
+
+// opIndex maps a wire op to its metric slot.
+func opIndex(op Op) int {
+	switch op {
+	case OpBatch:
+		return 9
+	case OpPing:
+		return 10
+	default:
+		if int(op) < 9 {
+			return int(op)
+		}
+		return 10
+	}
+}
+
+// opName returns the metric label for slot i.
+func opName(i int) string {
+	switch i {
+	case 9:
+		return "batch"
+	case 10:
+		return "ping"
+	default:
+		return check.Op(i).String()
+	}
+}
+
+// Metrics is the server's wire-level metric registry, exposed next to the
+// obs.Registry series on /metrics. All fields are atomics: the hot path is
+// wait-free and a scrape never blocks a worker.
+type Metrics struct {
+	// Connections tracking.
+	connsOpen  atomic.Int64
+	connsTotal atomic.Uint64
+
+	// Request outcomes.
+	requests [numOps]atomic.Uint64
+	statuses [4]atomic.Uint64 // by Status
+	badOps   atomic.Uint64    // decode/validation failures
+
+	// Queue + execution state.
+	queueDepth atomic.Int64 // requests accepted, not yet picked up
+	inflight   atomic.Int64 // requests picked up, not yet answered
+	batchOps   atomic.Uint64
+	coalesced  atomic.Uint64 // single ops executed in a shared atomic block
+	sections   atomic.Uint64 // atomic blocks executed
+
+	// ewmaServiceNanos is the decayed mean wall time of one atomic block,
+	// the basis of the retry-after hint.
+	ewmaServiceNanos atomic.Int64
+
+	// latency is the queue-to-response service latency per op slot.
+	latency [numOps]obs.Histogram
+}
+
+// Latency returns a snapshot of op's service-latency histogram.
+func (m *Metrics) Latency(op Op) obs.LatencySnapshot {
+	return m.latency[opIndex(op)].Snapshot()
+}
+
+// QueueDepth returns the current accepted-but-not-started request count.
+func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
+
+// Requests returns the total requests recorded for op.
+func (m *Metrics) Requests(op Op) uint64 { return m.requests[opIndex(op)].Load() }
+
+// Responses returns the total responses with the given status.
+func (m *Metrics) Responses(s Status) uint64 { return m.statuses[s].Load() }
+
+// Coalesced returns the number of single operations that shared an atomic
+// block with at least one other request.
+func (m *Metrics) Coalesced() uint64 { return m.coalesced.Load() }
+
+// Sections returns the number of atomic blocks the workers executed.
+func (m *Metrics) Sections() uint64 { return m.sections.Load() }
+
+// observeService folds one atomic block's wall time into the EWMA
+// (alpha = 1/8, integer arithmetic; a racing update loses one sample,
+// which a decayed mean absorbs).
+func (m *Metrics) observeService(nanos int64) {
+	old := m.ewmaServiceNanos.Load()
+	if old == 0 {
+		m.ewmaServiceNanos.Store(nanos)
+		return
+	}
+	m.ewmaServiceNanos.Store(old + (nanos-old)/8)
+}
+
+// retryAfterMicros estimates when queue capacity frees up: the backlog
+// ahead of a rejected request (depth plus what is executing), paced by the
+// decayed per-section service time spread over the worker pool.
+func (m *Metrics) retryAfterMicros(workers int) uint32 {
+	backlog := m.queueDepth.Load() + m.inflight.Load()
+	svc := m.ewmaServiceNanos.Load()
+	if svc <= 0 {
+		svc = 50_000 // no samples yet: a conservative 50us guess
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	micros := backlog * svc / int64(workers) / 1_000
+	if micros < 100 {
+		micros = 100
+	}
+	if micros > 1_000_000 {
+		micros = 1_000_000
+	}
+	return uint32(micros)
+}
+
+// WritePrometheus renders the server series in the Prometheus text format,
+// in the style of obs.Snapshot.WritePrometheus; the rtled admin endpoint
+// concatenates both under one /metrics response.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP rtled_connections Open client connections.\n")
+	p("# TYPE rtled_connections gauge\n")
+	p("rtled_connections %d\n", m.connsOpen.Load())
+
+	p("# HELP rtled_connections_total Client connections accepted.\n")
+	p("# TYPE rtled_connections_total counter\n")
+	p("rtled_connections_total %d\n", m.connsTotal.Load())
+
+	p("# HELP rtled_requests_total Requests decoded, by operation.\n")
+	p("# TYPE rtled_requests_total counter\n")
+	for i := 0; i < numOps; i++ {
+		if n := m.requests[i].Load(); n > 0 {
+			p("rtled_requests_total{op=%q} %d\n", opName(i), n)
+		}
+	}
+
+	p("# HELP rtled_responses_total Responses sent, by status.\n")
+	p("# TYPE rtled_responses_total counter\n")
+	for s := 0; s < len(m.statuses); s++ {
+		p("rtled_responses_total{status=%q} %d\n", Status(s).String(), m.statuses[s].Load())
+	}
+
+	p("# HELP rtled_bad_requests_total Frames rejected at decode or validation.\n")
+	p("# TYPE rtled_bad_requests_total counter\n")
+	p("rtled_bad_requests_total %d\n", m.badOps.Load())
+
+	p("# HELP rtled_queue_depth Accepted requests waiting for a worker.\n")
+	p("# TYPE rtled_queue_depth gauge\n")
+	p("rtled_queue_depth %d\n", m.queueDepth.Load())
+
+	p("# HELP rtled_inflight Requests a worker is executing.\n")
+	p("# TYPE rtled_inflight gauge\n")
+	p("rtled_inflight %d\n", m.inflight.Load())
+
+	p("# HELP rtled_sections_total Atomic blocks executed by the worker pool.\n")
+	p("# TYPE rtled_sections_total counter\n")
+	p("rtled_sections_total %d\n", m.sections.Load())
+
+	p("# HELP rtled_batch_ops_total Operations executed inside client batches.\n")
+	p("# TYPE rtled_batch_ops_total counter\n")
+	p("rtled_batch_ops_total %d\n", m.batchOps.Load())
+
+	p("# HELP rtled_coalesced_ops_total Single operations coalesced into a shared atomic block.\n")
+	p("# TYPE rtled_coalesced_ops_total counter\n")
+	p("rtled_coalesced_ops_total %d\n", m.coalesced.Load())
+
+	p("# HELP rtled_service_ewma_seconds Decayed mean atomic-block service time.\n")
+	p("# TYPE rtled_service_ewma_seconds gauge\n")
+	p("rtled_service_ewma_seconds %g\n", float64(m.ewmaServiceNanos.Load())/1e9)
+
+	p("# HELP rtled_request_latency_seconds Queue-to-response service latency by operation.\n")
+	p("# TYPE rtled_request_latency_seconds histogram\n")
+	for i := 0; i < numOps; i++ {
+		l := m.latency[i].Snapshot()
+		if l.Count == 0 {
+			continue
+		}
+		name := opName(i)
+		var cum uint64
+		for b := 0; b < obs.NumLatencyBuckets; b++ {
+			if l.Counts[b] == 0 {
+				continue
+			}
+			cum += l.Counts[b]
+			p("rtled_request_latency_seconds_bucket{op=%q,le=\"%g\"} %d\n",
+				name, obs.BucketUpperBoundSeconds(b), cum)
+		}
+		p("rtled_request_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", name, l.Count)
+		p("rtled_request_latency_seconds_sum{op=%q} %g\n", name, float64(l.SumNanos)/1e9)
+		p("rtled_request_latency_seconds_count{op=%q} %d\n", name, l.Count)
+	}
+	return err
+}

@@ -1,0 +1,341 @@
+// Package server is the network serving layer over the elided data
+// structures: a TCP front end that exposes one of the repository's three
+// ADTs (AVL set, hash map, bank) behind any of the nine synchronization
+// methods, speaking a length-prefixed binary protocol with per-connection
+// request pipelining.
+//
+// # Wire protocol (rtled/1)
+//
+// Every frame is a big-endian uint32 payload length followed by the
+// payload. Request payloads are
+//
+//	u32 id | u8 op | body
+//
+// where id is an opaque token the response echoes (responses may arrive in
+// any order relative to other requests on the connection — pipelining is
+// id-matched, not FIFO), and op is either a single-operation code (the
+// values of internal/check's Op enum, so wire histories map one-to-one
+// onto the linearizability checker's events), OpBatch, or OpPing. A single
+// operation's body is three fixed uint64 arguments:
+//
+//	u64 arg1 | u64 arg2 | u64 arg3
+//
+// A batch body is a count followed by that many (op, args) entries:
+//
+//	u16 n | n x (u8 op | u64 arg1 | u64 arg2 | u64 arg3)
+//
+// The server executes all entries of a batch inside one atomic block — a
+// single elided critical section — in entry order. OpPing has an empty
+// body and answers with an empty OK; it doubles as a drain probe.
+//
+// Response payloads are
+//
+//	u32 id | u8 status | body
+//
+// StatusOK carries one `u64 ret | u8 ok` result pair for a single
+// operation, `u16 n` pairs for a batch, and nothing for a ping. StatusBusy
+// is the backpressure signal: the request was rejected before execution
+// (it had no effect) and the body is `u32 retry-after-micros | u32 queue
+// depth`, the server's own estimate of when capacity frees up. StatusBad
+// and StatusShutdown carry a `u16 len | bytes` message; StatusShutdown
+// means the server is draining and will not accept further work.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"rtle/internal/check"
+)
+
+// Op is a wire operation code. Single-operation codes share their values
+// with internal/check's Op enum; OpBatch and OpPing are wire-only.
+type Op = check.Op
+
+// Wire-only operation codes, outside the check.Op range.
+const (
+	// OpBatch wraps multiple single operations into one atomic block.
+	OpBatch Op = 100
+	// OpPing executes nothing and answers OK (liveness / drain probe).
+	OpPing Op = 101
+)
+
+// Status is a response status code.
+type Status uint8
+
+const (
+	// StatusOK carries the executed operation's results.
+	StatusOK Status = iota
+	// StatusBusy rejects a request under backpressure, before execution.
+	StatusBusy
+	// StatusBad rejects a malformed or out-of-contract request.
+	StatusBad
+	// StatusShutdown rejects a request because the server is draining.
+	StatusShutdown
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBusy:
+		return "busy"
+	case StatusBad:
+		return "bad-request"
+	case StatusShutdown:
+		return "shutdown"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// MaxBatchOps bounds the entries of one batch frame: a batch must fit one
+// critical section, and an unbounded count would let one frame monopolize
+// a worker.
+const MaxBatchOps = 1024
+
+// maxFrame bounds a frame payload; the largest legal frame is a
+// MaxBatchOps response with headroom.
+const maxFrame = 32 + MaxBatchOps*32
+
+// BatchEntry is one operation inside a batch request.
+type BatchEntry struct {
+	Op               Op
+	Arg1, Arg2, Arg3 uint64
+}
+
+// Request is a decoded request frame. Exactly one of the single-op fields
+// or Batch is meaningful, per Op.
+type Request struct {
+	ID               uint32
+	Op               Op
+	Arg1, Arg2, Arg3 uint64
+	Batch            []BatchEntry
+}
+
+// Result is one operation's outcome, mirroring check.Event's response
+// fields.
+type Result struct {
+	Ret uint64
+	Ok  bool
+}
+
+// Response is a decoded response frame.
+type Response struct {
+	ID     uint32
+	Status Status
+	// Results holds one entry for a single operation, len(Batch) entries
+	// for a batch, none for a ping (StatusOK only).
+	Results []Result
+	// RetryAfterMicros and QueueDepth accompany StatusBusy.
+	RetryAfterMicros uint32
+	QueueDepth       uint32
+	// Message accompanies StatusBad and StatusShutdown.
+	Message string
+}
+
+// AppendRequest encodes r as one frame appended to buf.
+func AppendRequest(buf []byte, r *Request) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length, patched below
+	buf = binary.BigEndian.AppendUint32(buf, r.ID)
+	buf = append(buf, byte(r.Op))
+	switch r.Op {
+	case OpPing:
+	case OpBatch:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Batch)))
+		for _, e := range r.Batch {
+			buf = append(buf, byte(e.Op))
+			buf = binary.BigEndian.AppendUint64(buf, e.Arg1)
+			buf = binary.BigEndian.AppendUint64(buf, e.Arg2)
+			buf = binary.BigEndian.AppendUint64(buf, e.Arg3)
+		}
+	default:
+		buf = binary.BigEndian.AppendUint64(buf, r.Arg1)
+		buf = binary.BigEndian.AppendUint64(buf, r.Arg2)
+		buf = binary.BigEndian.AppendUint64(buf, r.Arg3)
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// AppendResponse encodes r as one frame appended to buf.
+func AppendResponse(buf []byte, r *Response) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.BigEndian.AppendUint32(buf, r.ID)
+	buf = append(buf, byte(r.Status))
+	switch r.Status {
+	case StatusOK:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Results)))
+		for _, res := range r.Results {
+			buf = binary.BigEndian.AppendUint64(buf, res.Ret)
+			if res.Ok {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	case StatusBusy:
+		buf = binary.BigEndian.AppendUint32(buf, r.RetryAfterMicros)
+		buf = binary.BigEndian.AppendUint32(buf, r.QueueDepth)
+	default:
+		msg := r.Message
+		if len(msg) > 1<<15 {
+			msg = msg[:1<<15]
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(msg)))
+		buf = append(buf, msg...)
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// readFrame reads one length-prefixed payload from r into buf (grown as
+// needed), returning the payload slice.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds the %d-byte limit", n, maxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// frameReader decodes frames from one stream, reusing its buffer.
+type frameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// errShort is the uniform truncated-payload error.
+var errShort = fmt.Errorf("server: truncated frame payload")
+
+// next reads the next raw payload.
+func (fr *frameReader) next() ([]byte, error) {
+	p, err := readFrame(fr.r, fr.buf)
+	if err != nil {
+		return nil, err
+	}
+	fr.buf = p
+	return p, nil
+}
+
+// DecodeRequest parses a request payload. The returned request's Batch
+// aliases nothing in p.
+func DecodeRequest(p []byte) (Request, error) {
+	var r Request
+	if len(p) < 5 {
+		return r, errShort
+	}
+	r.ID = binary.BigEndian.Uint32(p)
+	r.Op = Op(p[4])
+	p = p[5:]
+	switch r.Op {
+	case OpPing:
+		return r, nil
+	case OpBatch:
+		if len(p) < 2 {
+			return r, errShort
+		}
+		n := int(binary.BigEndian.Uint16(p))
+		p = p[2:]
+		if n > MaxBatchOps {
+			return r, fmt.Errorf("server: batch of %d ops exceeds the %d-op limit", n, MaxBatchOps)
+		}
+		if len(p) != n*25 {
+			return r, errShort
+		}
+		r.Batch = make([]BatchEntry, n)
+		for i := range r.Batch {
+			e := &r.Batch[i]
+			e.Op = Op(p[0])
+			if e.Op == OpBatch || e.Op == OpPing {
+				return r, fmt.Errorf("server: nested %v inside a batch", e.Op)
+			}
+			e.Arg1 = binary.BigEndian.Uint64(p[1:])
+			e.Arg2 = binary.BigEndian.Uint64(p[9:])
+			e.Arg3 = binary.BigEndian.Uint64(p[17:])
+			p = p[25:]
+		}
+		return r, nil
+	default:
+		if len(p) != 24 {
+			return r, errShort
+		}
+		r.Arg1 = binary.BigEndian.Uint64(p)
+		r.Arg2 = binary.BigEndian.Uint64(p[8:])
+		r.Arg3 = binary.BigEndian.Uint64(p[16:])
+		return r, nil
+	}
+}
+
+// DecodeResponse parses a response payload.
+func DecodeResponse(p []byte) (Response, error) {
+	var r Response
+	if len(p) < 5 {
+		return r, errShort
+	}
+	r.ID = binary.BigEndian.Uint32(p)
+	r.Status = Status(p[4])
+	p = p[5:]
+	switch r.Status {
+	case StatusOK:
+		if len(p) < 2 {
+			return r, errShort
+		}
+		n := int(binary.BigEndian.Uint16(p))
+		p = p[2:]
+		if len(p) != n*9 {
+			return r, errShort
+		}
+		if n > 0 {
+			r.Results = make([]Result, n)
+			for i := range r.Results {
+				r.Results[i].Ret = binary.BigEndian.Uint64(p)
+				r.Results[i].Ok = p[8] != 0
+				p = p[9:]
+			}
+		}
+		return r, nil
+	case StatusBusy:
+		if len(p) != 8 {
+			return r, errShort
+		}
+		r.RetryAfterMicros = binary.BigEndian.Uint32(p)
+		r.QueueDepth = binary.BigEndian.Uint32(p[4:])
+		return r, nil
+	case StatusBad, StatusShutdown:
+		if len(p) < 2 {
+			return r, errShort
+		}
+		n := int(binary.BigEndian.Uint16(p))
+		if len(p[2:]) != n {
+			return r, errShort
+		}
+		r.Message = string(p[2 : 2+n])
+		return r, nil
+	}
+	return r, fmt.Errorf("server: unknown response status %d", uint8(r.Status))
+}
+
+// IsRead reports whether op never mutates its ADT — the classification the
+// server's read-coalescing and RW-TLE's read-only slow path care about.
+func IsRead(op Op) bool {
+	switch op {
+	case check.OpContains, check.OpGet, check.OpBalance:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rtle/internal/check"
+)
+
+// roundTripRequest encodes r, strips the frame header, and decodes it back.
+func roundTripRequest(t *testing.T, r Request) Request {
+	t.Helper()
+	frame := AppendRequest(nil, &r)
+	if got := binary.BigEndian.Uint32(frame); int(got) != len(frame)-4 {
+		t.Fatalf("frame length header %d, want %d", got, len(frame)-4)
+	}
+	dec, err := DecodeRequest(frame[4:])
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	return dec
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{ID: 1, Op: check.OpInsert, Arg1: 42},
+		{ID: 0xfffffffe, Op: check.OpTransfer, Arg1: 3, Arg2: 9, Arg3: 100},
+		{ID: 7, Op: OpPing},
+		{ID: 9, Op: OpBatch, Batch: []BatchEntry{
+			{Op: check.OpContains, Arg1: 5},
+			{Op: check.OpGet, Arg1: 6},
+			{Op: check.OpBalance, Arg1: 0},
+		}},
+	}
+	for _, want := range cases {
+		got := roundTripRequest(t, want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip %+v -> %+v", want, got)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{ID: 1, Status: StatusOK, Results: []Result{{Ret: 7, Ok: true}}},
+		{ID: 2, Status: StatusOK}, // ping: no results
+		{ID: 3, Status: StatusOK, Results: []Result{{Ret: 1, Ok: false}, {Ret: 2, Ok: true}}},
+		{ID: 4, Status: StatusBusy, RetryAfterMicros: 1500, QueueDepth: 12},
+		{ID: 5, Status: StatusBad, Message: "key 9 outside the served key space [0,8)"},
+		{ID: 6, Status: StatusShutdown, Message: "server is draining"},
+	}
+	for _, want := range cases {
+		frame := AppendResponse(nil, &want)
+		got, err := DecodeResponse(frame[4:])
+		if err != nil {
+			t.Fatalf("DecodeResponse(%+v): %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip %+v -> %+v", want, got)
+		}
+	}
+}
+
+func TestDecodeRequestErrors(t *testing.T) {
+	short := []byte{0, 0, 0, 1}
+	if _, err := DecodeRequest(short); err == nil {
+		t.Error("short payload decoded")
+	}
+	// Truncated single-op body.
+	r := Request{ID: 1, Op: check.OpInsert, Arg1: 42}
+	frame := AppendRequest(nil, &r)
+	if _, err := DecodeRequest(frame[4 : len(frame)-1]); err == nil {
+		t.Error("truncated single-op body decoded")
+	}
+	// Nested batch/ping inside a batch.
+	for _, inner := range []Op{OpBatch, OpPing} {
+		b := Request{ID: 2, Op: OpBatch, Batch: []BatchEntry{{Op: inner}}}
+		frame = AppendRequest(nil, &b)
+		if _, err := DecodeRequest(frame[4:]); err == nil {
+			t.Errorf("nested %v inside a batch decoded", inner)
+		}
+	}
+	// Oversized batch count.
+	big := make([]byte, 7)
+	big[4] = byte(OpBatch)
+	binary.BigEndian.PutUint16(big[5:], MaxBatchOps+1)
+	if _, err := DecodeRequest(big); err == nil ||
+		!strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized batch count: err = %v", err)
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	if _, err := readFrame(bytes.NewReader(hdr[:]), nil); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// A legal frame round-trips through frameReader.
+	req := Request{ID: 3, Op: check.OpGet, Arg1: 1}
+	fr := frameReader{r: bytes.NewReader(AppendRequest(nil, &req))}
+	payload, err := fr.next()
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	dec, err := DecodeRequest(payload)
+	if err != nil || dec.ID != 3 {
+		t.Fatalf("decode via frameReader: %+v, %v", dec, err)
+	}
+}
+
+func TestIsRead(t *testing.T) {
+	reads := map[Op]bool{
+		check.OpContains: true, check.OpGet: true, check.OpBalance: true,
+		check.OpInsert: false, check.OpRemove: false, check.OpPut: false,
+		check.OpDelete: false, check.OpAdd: false, check.OpTransfer: false,
+		OpBatch: false, OpPing: false,
+	}
+	for op, want := range reads {
+		if IsRead(op) != want {
+			t.Errorf("IsRead(%v) = %v, want %v", op, !want, want)
+		}
+	}
+}
+
+func TestValidateContract(t *testing.T) {
+	srv, err := New(Config{Workload: "set", Keys: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.validate(&Request{Op: check.OpInsert, Arg1: 7}); err != nil {
+		t.Errorf("in-range insert rejected: %v", err)
+	}
+	if err := srv.validate(&Request{Op: check.OpInsert, Arg1: 8}); err == nil {
+		t.Error("out-of-range key accepted")
+	}
+	if err := srv.validate(&Request{Op: check.OpGet, Arg1: 1}); err == nil {
+		t.Error("map op accepted by set workload")
+	}
+	if err := srv.validate(&Request{Op: OpBatch}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := srv.validate(&Request{Op: OpBatch, Batch: []BatchEntry{
+		{Op: check.OpContains, Arg1: 2}, {Op: check.OpContains, Arg1: 99},
+	}}); err == nil {
+		t.Error("batch with out-of-range entry accepted")
+	}
+}

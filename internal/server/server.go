@@ -1,0 +1,565 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rtle/internal/core"
+	"rtle/internal/fault"
+	"rtle/internal/harness"
+	"rtle/internal/mem"
+	"rtle/internal/obs"
+)
+
+// Config assembles a Server. Zero fields select the documented defaults.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// Workload is the served ADT: "set", "map", or "bank" (default "set").
+	Workload string
+	// Method is the synchronization method's legend name, as accepted by
+	// harness.BuildMethod (default "FG-TLE(256)").
+	Method string
+	// Workers sizes the worker pool; each worker owns one core.Thread
+	// (default 4).
+	Workers int
+	// QueueDepth bounds the accepted-request queue. A full queue rejects
+	// with StatusBusy and a retry-after hint (default 256).
+	QueueDepth int
+	// Coalesce is the maximum number of pending single operations one
+	// worker folds into a shared atomic block (default 8; 1 disables
+	// coalescing).
+	Coalesce int
+	// Keys bounds the key space for set/map and is the account count for
+	// bank (default 1024, bank 16).
+	Keys int
+	// Policy carries the speculation knobs (attempts, lazy subscription,
+	// HTM config). Registry and Plan are wired into it by New.
+	Policy core.Policy
+	// Registry, when non-nil, is installed as the method's observer, so
+	// /metrics exposes the per-path execution series next to the wire
+	// series.
+	Registry *obs.Registry
+	// Plan, when non-nil and active, wires a fault.Director into the
+	// method: chaos runs work over the wire exactly as in-process ones.
+	Plan *fault.Plan
+}
+
+func (c *Config) fill() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workload == "" {
+		c.Workload = "set"
+	}
+	if c.Method == "" {
+		c.Method = "FG-TLE(256)"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Coalesce <= 0 {
+		c.Coalesce = 8
+	}
+	if c.Keys <= 0 {
+		if c.Workload == "bank" {
+			c.Keys = 16
+		} else {
+			c.Keys = 1024
+		}
+	}
+}
+
+// Server is the TCP serving layer: an acceptor, per-connection reader and
+// writer goroutines, and a bounded worker pool executing requests against
+// one elided data structure.
+type Server struct {
+	cfg      Config
+	mem      *mem.Memory
+	adt      *adt
+	method   core.Method
+	director *fault.Director
+	metrics  Metrics
+
+	queue chan *task
+
+	// drainMu serializes request admission against the drain flip: readers
+	// admit under RLock, Shutdown flips draining under Lock, so after the
+	// flip no reader can be mid-admission and tasksWG covers every
+	// accepted task.
+	drainMu  sync.RWMutex
+	draining bool
+
+	tasksWG   sync.WaitGroup // accepted tasks not yet answered
+	workersWG sync.WaitGroup
+	connsWG   sync.WaitGroup
+
+	mu    sync.Mutex
+	lis   net.Listener
+	conns map[*conn]struct{}
+}
+
+// task is one accepted request bound to its connection.
+type task struct {
+	c       *conn
+	req     Request
+	arrived time.Time
+}
+
+// conn is one client connection.
+type conn struct {
+	nc  net.Conn
+	out chan []byte // encoded response frames, closed after the last send
+	// tasks counts this connection's accepted-but-unanswered requests;
+	// out closes only once it drains, so workers never send on a closed
+	// channel.
+	tasks sync.WaitGroup
+}
+
+// send queues an encoded response frame for writing.
+func (c *conn) send(frame []byte) { c.out <- frame }
+
+// New builds a Server: simulated heap, ADT, synchronization method, fault
+// director, and worker pool state.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	m := mem.New(heapWords(cfg.Workload, cfg.Keys, cfg.Workers))
+	a, err := newADT(cfg.Workload, m, cfg.Keys)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		mem:   m,
+		adt:   a,
+		queue: make(chan *task, cfg.QueueDepth),
+		conns: make(map[*conn]struct{}),
+	}
+	policy := cfg.Policy
+	if cfg.Registry != nil {
+		policy.Observer = cfg.Registry
+	}
+	if cfg.Plan != nil && cfg.Plan.Active() {
+		s.director = fault.NewDirector(*cfg.Plan)
+		s.director.Configure(&policy)
+	}
+	s.method, err = harness.BuildMethod(cfg.Method, m, policy)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Metrics returns the server's wire-level metric registry.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Director returns the fault director wired by Config.Plan, or nil.
+func (s *Server) Director() *fault.Director { return s.director }
+
+// MethodName returns the served method's legend name.
+func (s *Server) MethodName() string { return s.method.Name() }
+
+// Workload returns the served ADT kind.
+func (s *Server) Workload() string { return s.cfg.Workload }
+
+// Keys returns the served key-space bound (account count for bank).
+func (s *Server) Keys() int { return s.cfg.Keys }
+
+// Listen binds the configured address and starts the worker pool. It
+// returns the bound address (Config.Addr may name port 0).
+func (s *Server) Listen() (net.Addr, error) {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workersWG.Add(1)
+		go s.worker()
+	}
+	return lis.Addr(), nil
+}
+
+// Serve accepts connections until the listener closes (Shutdown or Close).
+// It returns nil on a drain-initiated close.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	if lis == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		c := &conn{nc: nc, out: make(chan []byte, 64)}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.metrics.connsOpen.Add(1)
+		s.metrics.connsTotal.Add(1)
+		s.connsWG.Add(2)
+		go s.readLoop(c)
+		go s.writeLoop(c)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if _, err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// readLoop decodes frames from one connection, validates and admits them.
+func (s *Server) readLoop(c *conn) {
+	defer s.connsWG.Done()
+	defer func() {
+		// The connection stops producing work; release the writer once
+		// every accepted task has queued its response.
+		go func() {
+			c.tasks.Wait()
+			close(c.out)
+		}()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.metrics.connsOpen.Add(-1)
+	}()
+
+	fr := frameReader{r: bufio.NewReaderSize(c.nc, 1<<16)}
+	for {
+		payload, err := fr.next()
+		if err != nil {
+			// EOF, connection reset, or an unrecoverable framing error
+			// (oversized frame): no way to resynchronize, drop the conn.
+			_ = c.nc.Close() // double-close on teardown is harmless
+			return
+		}
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			s.metrics.badOps.Add(1)
+			s.reject(c, req.ID, StatusBad, err.Error())
+			continue
+		}
+		s.metrics.requests[opIndex(req.Op)].Add(1)
+		if err := s.validate(&req); err != nil {
+			s.metrics.badOps.Add(1)
+			s.reject(c, req.ID, StatusBad, err.Error())
+			continue
+		}
+		s.admit(c, req)
+	}
+}
+
+// validate applies the serving contract to a decoded request.
+func (s *Server) validate(req *Request) error {
+	switch req.Op {
+	case OpPing:
+		return nil
+	case OpBatch:
+		if len(req.Batch) == 0 {
+			return errors.New("empty batch")
+		}
+		for i := range req.Batch {
+			e := &req.Batch[i]
+			if err := s.adt.validate(e.Op, e.Arg1, e.Arg2); err != nil {
+				return fmt.Errorf("batch entry %d: %w", i, err)
+			}
+		}
+		return nil
+	default:
+		return s.adt.validate(req.Op, req.Arg1, req.Arg2)
+	}
+}
+
+// admit queues one request, applying drain and backpressure rejection.
+func (s *Server) admit(c *conn, req Request) {
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		s.reject(c, req.ID, StatusShutdown, "server is draining")
+		return
+	}
+	t := &task{c: c, req: req, arrived: time.Now()}
+	c.tasks.Add(1)
+	s.tasksWG.Add(1)
+	select {
+	case s.queue <- t:
+		s.metrics.queueDepth.Add(1)
+		s.drainMu.RUnlock()
+	default:
+		c.tasks.Done()
+		s.tasksWG.Done()
+		s.drainMu.RUnlock()
+		s.busy(c, req.ID)
+	}
+}
+
+// reject answers a request that will not execute.
+func (s *Server) reject(c *conn, id uint32, st Status, msg string) {
+	s.metrics.statuses[st].Add(1)
+	c.send(AppendResponse(nil, &Response{ID: id, Status: st, Message: msg}))
+}
+
+// busy answers a request rejected by backpressure, with the queue-depth-
+// aware retry hint.
+func (s *Server) busy(c *conn, id uint32) {
+	s.metrics.statuses[StatusBusy].Add(1)
+	c.send(AppendResponse(nil, &Response{
+		ID:               id,
+		Status:           StatusBusy,
+		RetryAfterMicros: s.metrics.retryAfterMicros(s.cfg.Workers),
+		QueueDepth:       uint32(s.metrics.queueDepth.Load()),
+	}))
+}
+
+// writeLoop flushes encoded responses to the socket. On a write error it
+// keeps draining (discarding) so senders never block on a dead peer.
+func (s *Server) writeLoop(c *conn) {
+	defer s.connsWG.Done()
+	defer func() {
+		_ = c.nc.Close() // double-close on teardown is harmless
+	}()
+	bw := bufio.NewWriterSize(c.nc, 1<<16)
+	dead := false
+	for frame := range c.out {
+		if dead {
+			continue
+		}
+		if _, err := bw.Write(frame); err != nil {
+			dead = true
+			continue
+		}
+		// Flush once the channel momentarily empties: pipelined bursts
+		// batch into few syscalls, a lone response leaves immediately.
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				dead = true
+			}
+		}
+	}
+	if !dead {
+		_ = bw.Flush() // the conn is closing; a lost final flush is the peer's EOF anyway
+	}
+}
+
+// worker executes queued tasks. Each worker owns one method thread and one
+// executor (with a handle per slot), so the pool maps onto the paper's
+// thread model: Workers concurrent critical-section executors.
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	slots := s.cfg.Coalesce
+	if MaxBatchOps > slots {
+		slots = MaxBatchOps
+	}
+	ex := s.adt.newExecutor(slots)
+	thread := s.method.NewThread()
+	results := make([]Result, slots)
+	group := make([]*task, 0, s.cfg.Coalesce)
+
+	for {
+		t, ok := <-s.queue
+		if !ok {
+			return
+		}
+		s.pickup(t)
+		for t != nil {
+			var carry *task
+			switch t.req.Op {
+			case OpPing:
+				s.respond(t, nil, Response{ID: t.req.ID, Status: StatusOK})
+			case OpBatch:
+				s.runBatch(ex, thread, t, results)
+			default:
+				group = append(group[:0], t)
+				carry = s.fillGroup(&group)
+				s.runGroup(ex, thread, group, results)
+			}
+			t = carry
+		}
+	}
+}
+
+// pickup accounts a task's transition from queued to executing.
+func (s *Server) pickup(t *task) {
+	s.metrics.queueDepth.Add(-1)
+	s.metrics.inflight.Add(1)
+}
+
+// fillGroup opportunistically drains further pending single operations
+// into group (up to the coalesce limit), so one elided critical section
+// serves several queued requests. A batch or ping pulled while filling is
+// returned for the caller to run next. Coalescing preserves
+// linearizability: every grouped operation is pending (invoked, not yet
+// answered) when the shared block commits, so placing them all at its
+// commit point respects real-time order.
+func (s *Server) fillGroup(group *[]*task) *task {
+	for len(*group) < s.cfg.Coalesce {
+		select {
+		case t, ok := <-s.queue:
+			if !ok {
+				return nil
+			}
+			s.pickup(t)
+			if t.req.Op == OpPing || t.req.Op == OpBatch {
+				return t
+			}
+			*group = append(*group, t)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// runGroup executes every task of group inside one atomic block, each in
+// its own executor slot, then finalizes and answers them.
+func (s *Server) runGroup(ex *executor, thread core.Thread, group []*task, results []Result) {
+	start := time.Now()
+	thread.Atomic(func(c core.Context) {
+		for i, t := range group {
+			results[i] = ex.run(c, i, t.req.Op, t.req.Arg1, t.req.Arg2, t.req.Arg3)
+		}
+	})
+	s.sectionDone(start)
+	if len(group) > 1 {
+		s.metrics.coalesced.Add(uint64(len(group)))
+	}
+	for i, t := range group {
+		ex.after(i, t.req.Op, results[i])
+		s.respond(t, results[i:i+1], Response{ID: t.req.ID, Status: StatusOK})
+	}
+}
+
+// runBatch executes one client batch inside one atomic block — the
+// protocol's atomicity contract — and answers with per-entry results.
+func (s *Server) runBatch(ex *executor, thread core.Thread, t *task, results []Result) {
+	entries := t.req.Batch
+	start := time.Now()
+	thread.Atomic(func(c core.Context) {
+		for i := range entries {
+			e := &entries[i]
+			results[i] = ex.run(c, i, e.Op, e.Arg1, e.Arg2, e.Arg3)
+		}
+	})
+	s.sectionDone(start)
+	s.metrics.batchOps.Add(uint64(len(entries)))
+	for i := range entries {
+		ex.after(i, entries[i].Op, results[i])
+	}
+	s.respond(t, results[:len(entries)], Response{ID: t.req.ID, Status: StatusOK})
+}
+
+// sectionDone folds one atomic block's wall time into the section metrics.
+func (s *Server) sectionDone(start time.Time) {
+	s.metrics.sections.Add(1)
+	s.metrics.observeService(time.Since(start).Nanoseconds())
+}
+
+// respond answers an executed task and releases its accounting. results
+// may alias a worker's scratch slice; it is encoded before returning.
+func (s *Server) respond(t *task, results []Result, resp Response) {
+	resp.Results = results
+	frame := AppendResponse(nil, &resp)
+	s.metrics.statuses[resp.Status].Add(1)
+	s.metrics.latency[opIndex(t.req.Op)].Observe(time.Since(t.arrived).Nanoseconds())
+	t.c.send(frame)
+	s.metrics.inflight.Add(-1)
+	t.c.tasks.Done()
+	s.tasksWG.Done()
+}
+
+// Shutdown drains gracefully: stop admitting, stop accepting, let every
+// accepted request finish and flush, then tear the connections down. It
+// returns ctx's error if the drain does not complete in time (the server
+// is then closed hard).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		_ = lis.Close() // net.ErrClosed on re-close is the expected teardown path
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.tasksWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.closeConns()
+		return ctx.Err()
+	}
+
+	// All accepted tasks are answered and no reader can admit more (the
+	// draining flip happened under drainMu), so the queue is empty and
+	// closing it retires the workers.
+	close(s.queue)
+	s.workersWG.Wait()
+
+	// Unblock readers parked on their sockets; writers flush what remains
+	// and exit via the closed out channels.
+	s.closeConns()
+	done := make(chan struct{})
+	go func() {
+		s.connsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close tears the server down without draining.
+func (s *Server) Close() error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		_ = lis.Close() // net.ErrClosed on re-close is the expected teardown path
+	}
+	s.closeConns()
+	return nil
+}
+
+// closeConns force-closes every live connection.
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.nc.Close() // readers and writers observe the close and exit
+	}
+}

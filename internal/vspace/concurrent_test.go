@@ -1,0 +1,109 @@
+package vspace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rtle/internal/core"
+	"rtle/internal/mem"
+	"rtle/internal/rng"
+)
+
+// TestConcurrentOverlapRaces drives MapFixed/Unmap/Lookup from several
+// goroutines at deliberately overlapping ranges — the case the spaced-slot
+// stress test never exercises. The accounting invariant: a MapFixed at
+// start s succeeds only while no overlapping segment exists, and Unmap(s)
+// removes exactly the segment keyed s, so for every candidate start the
+// net successful (maps - unmaps) must equal its final presence in the
+// space; and no two surviving segments may overlap (CheckInvariants).
+// Run under -race this also checks that handle scratch state and the
+// method's speculation machinery stay data-race-free at full contention.
+func TestConcurrentOverlapRaces(t *testing.T) {
+	methods := []struct {
+		name  string
+		build func(m *mem.Memory) core.Method
+	}{
+		{"TLE", func(m *mem.Memory) core.Method { return core.NewTLE(m, core.Policy{}) }},
+		{"RW-TLE", func(m *mem.Memory) core.Method { return core.NewRWTLE(m, core.Policy{}) }},
+		{"FG-TLE(256)", func(m *mem.Memory) core.Method { return core.NewFGTLE(m, 256, core.Policy{}) }},
+	}
+	for _, tc := range methods {
+		t.Run(tc.name, func(t *testing.T) {
+			m := mem.New(1 << 22)
+			meth := tc.build(m)
+			s := New(m, 1<<24)
+
+			// windows overlapping start candidates: window w holds starts
+			// w*page*4 + {0, page/2, page}; mapping length page makes
+			// neighboring candidates inside one window mutually exclusive.
+			const (
+				windows    = 8
+				page       = uint64(1 << 12)
+				candidates = windows * 3
+				goroutines = 4
+				perG       = 300
+			)
+			startOf := func(i int) uint64 {
+				w, off := uint64(i/3), uint64(i%3)
+				return w*page*4 + off*page/2
+			}
+			var net [candidates]atomic.Int64 // successful maps - unmaps
+
+			var wg sync.WaitGroup
+			wg.Add(goroutines)
+			for g := 0; g < goroutines; g++ {
+				th := meth.NewThread()
+				go func(id int, th core.Thread) {
+					defer wg.Done()
+					h := s.NewHandle()
+					r := rng.NewXoshiro256(uint64(id)*0x9e3779b97f4a7c15 + 11)
+					for i := 0; i < perG; i++ {
+						c := int(r.Uint64n(candidates))
+						start := startOf(c)
+						switch p := r.Intn(10); {
+						case p < 4:
+							if h.MapFixed(th, start, page) {
+								net[c].Add(1)
+							}
+						case p < 8:
+							if h.Unmap(th, start) {
+								net[c].Add(-1)
+							}
+						default:
+							addr := start + r.Uint64n(page)
+							if segStart, segLen, ok := h.Lookup(th, addr); ok {
+								if addr < segStart || addr >= segStart+segLen {
+									t.Errorf("lookup(%#x) returned non-containing segment [%#x,%#x)",
+										addr, segStart, segStart+segLen)
+									return
+								}
+							}
+						}
+					}
+				}(g, th)
+			}
+			wg.Wait()
+
+			d := core.Direct(m)
+			if err := s.CheckInvariants(d); err != nil {
+				t.Fatalf("SPACE CORRUPTED: %v", err)
+			}
+			starts, _ := s.Segments(d)
+			present := make(map[uint64]bool, len(starts))
+			for _, st := range starts {
+				present[st] = true
+			}
+			for c := 0; c < candidates; c++ {
+				want := int64(0)
+				if present[startOf(c)] {
+					want = 1
+				}
+				if got := net[c].Load(); got != want {
+					t.Errorf("start %#x: net successful maps %d, presence %d — an overlap race double-counted",
+						startOf(c), got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end serving-layer check: boot rtled on a loopback port, drive it
+# with rtleload under the acceptance mixes (pipelined connections, 90/10
+# and 50/50 read/write, witness batches), once cleanly and once under a
+# fault plan, then drain with SIGTERM. rtleload exits non-zero on any
+# linearizability or batch-atomicity violation, which fails this script.
+#
+# Usage: scripts/e2e.sh [bindir]
+#   bindir: directory holding prebuilt rtled/rtleload (default: build into
+#   a temp dir with `go build`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BINDIR="${1:-}"
+if [ -z "$BINDIR" ]; then
+  BINDIR="$(mktemp -d)"
+  echo "e2e: building rtled and rtleload into $BINDIR"
+  go build -o "$BINDIR/rtled" ./cmd/rtled
+  go build -o "$BINDIR/rtleload" ./cmd/rtleload
+fi
+
+LOG="$(mktemp)"
+SRV_PID=""
+
+cleanup() {
+  if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+    kill -TERM "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+  fi
+  rm -f "$LOG"
+}
+trap cleanup EXIT
+
+# boot <rtled args...>: start rtled, export SRV_PID/ADDR.
+boot() {
+  : >"$LOG"
+  "$BINDIR/rtled" -addr 127.0.0.1:0 "$@" >"$LOG" 2>&1 &
+  SRV_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^rtled: listening on \([0-9.:]*\).*/\1/p' "$LOG" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || { echo "e2e: rtled died at boot"; cat "$LOG"; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || { echo "e2e: rtled never announced its port"; cat "$LOG"; exit 1; }
+  echo "e2e: rtled up at $ADDR ($*)"
+}
+
+drain() {
+  kill -TERM "$SRV_PID"
+  wait "$SRV_PID" || { echo "e2e: rtled exited non-zero on drain"; exit 1; }
+  SRV_PID=""
+  echo "e2e: drained cleanly"
+}
+
+FAULT_PLAN='{"seed":11,"begin_prob":0.05,"storm_every":500,"storm_len":3}'
+
+# --- Clean runs: set workload, both acceptance mixes -------------------------
+# One server boot per checked run: the linearizability models assume the
+# initial state of a fresh server (empty set/map, bank at par), so -check
+# is only sound against a server that has served nothing else.
+boot -workload set -method 'FG-TLE(256)' -workers 4 -keys 256
+"$BINDIR/rtleload" -addr "$ADDR" -workload set -keys 256 \
+  -conns 4 -pipeline 8 -ops 20000 -read-pct 90 -batch-pct 10
+drain
+
+boot -workload set -method 'FG-TLE(256)' -workers 4 -keys 256
+"$BINDIR/rtleload" -addr "$ADDR" -workload set -keys 256 \
+  -conns 4 -pipeline 8 -ops 20000 -read-pct 50 -batch-pct 10 -seed 2
+drain
+
+# --- Fault-plan run: same mixes with the method under chaos ------------------
+boot -workload set -method 'FG-TLE(256)' -workers 4 -keys 256 -fault-plan "$FAULT_PLAN"
+"$BINDIR/rtleload" -addr "$ADDR" -workload set -keys 256 \
+  -conns 4 -pipeline 8 -ops 12000 -read-pct 50 -batch-pct 10 -seed 3
+drain
+grep -q 'fault director injected [1-9]' "$LOG" || {
+  echo "e2e: fault plan injected nothing; chaos run was vacuous"; cat "$LOG"; exit 1; }
+
+# --- Map and bank workloads over the wire ------------------------------------
+boot -workload map -method TLE -workers 4 -keys 128
+"$BINDIR/rtleload" -addr "$ADDR" -workload map -keys 128 \
+  -conns 4 -pipeline 8 -ops 10000 -read-pct 50 -batch-pct 10
+drain
+
+boot -workload bank -method RHNOrec -workers 4 -keys 16
+"$BINDIR/rtleload" -addr "$ADDR" -workload bank -keys 16 \
+  -conns 2 -pipeline 4 -ops 1500 -read-pct 60 -batch-pct 20
+drain
+
+echo "e2e: all serving-layer checks passed"
