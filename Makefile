@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet rtlevet e2e bench-json all
+.PHONY: build test race vet rtlevet e2e bench-json bench-wire all
 
 all: build vet test
 
@@ -24,7 +24,7 @@ rtlevet:
 	$(GO) vet -vettool=/tmp/rtlevet ./...
 
 # e2e boots rtled on loopback and validates wire-level linearizability
-# with rtleload, clean and under a fault plan.
+# with rtleload, clean and under a fault plan, once per shard count.
 e2e:
 	scripts/e2e.sh
 
@@ -33,3 +33,9 @@ e2e:
 # the PR's ordinal before committing.
 bench-json:
 	$(GO) run ./cmd/rtlebench -threads 1,2,4 -dur 300ms -json -outdir .
+
+# bench-wire additionally sweeps the serving layer (shard counts over
+# loopback TCP) into the same BENCH_<n>.json's "wire" section.
+bench-wire:
+	$(GO) run ./cmd/rtlebench -threads 1,2,4 -dur 300ms -json -outdir . \
+		-wire -wire-shards 1,2,4 -wire-ops 60000 -wire-rate 40000

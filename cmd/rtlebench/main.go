@@ -4,14 +4,25 @@
 // picking the first unused index in the output directory — so successive
 // runs accumulate a machine-readable performance trajectory.
 //
+// With -wire it additionally sweeps the serving layer: for each shard
+// count in -wire-shards it boots an in-process rtled server (fresh per
+// cell — measurements never bleed between cells), drives it with the load
+// generator over real loopback TCP, and records wire throughput, p50/p99
+// latency, and the busy-retry rate into the file's "wire" section. A
+// positive -wire-rate adds an open-loop cell per shard count: arrivals at
+// that fixed aggregate rate, so the latency columns expose queueing delay
+// instead of closed-loop self-throttling.
+//
 // The JSON schema is documented in README.md ("Benchmark JSON schema").
 //
-// Example:
+// Examples:
 //
 //	rtlebench -methods TLE,RW-TLE,FG-TLE(256) -threads 1,2,4,8 -dur 500ms -json
+//	rtlebench -wire -wire-shards 1,2,4 -wire-rate 40000 -json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +37,7 @@ import (
 	"rtle/internal/harness"
 	"rtle/internal/htm"
 	"rtle/internal/mem"
+	"rtle/internal/server"
 )
 
 // benchFile is the top-level structure of a BENCH_<n>.json file.
@@ -34,6 +46,8 @@ type benchFile struct {
 	WrittenAt string        `json:"written_at"`
 	Config    benchConfig   `json:"config"`
 	Results   []benchResult `json:"results"`
+	// Wire holds the serving-layer sweep (-wire), absent otherwise.
+	Wire []wireResult `json:"wire,omitempty"`
 }
 
 type benchConfig struct {
@@ -65,6 +79,31 @@ type benchResult struct {
 	Aborts      uint64 `json:"aborts"`
 }
 
+// wireResult is one serving-layer sweep cell: a fresh in-process rtled
+// server at the given shard count, driven over loopback TCP.
+type wireResult struct {
+	Workload string `json:"workload"`
+	Method   string `json:"method"`
+	Shards   int    `json:"shards"`
+	Workers  int    `json:"workers"` // per shard
+	Conns    int    `json:"conns"`
+	Pipeline int    `json:"pipeline"`
+	ReadPct  int    `json:"read_pct"`
+	// RatePerSec is the open-loop arrival rate; 0 marks a closed-loop cell.
+	RatePerSec int `json:"rate_per_sec"`
+	// Ops is completed single operations; ElapsedNS the issuing wall time.
+	Ops                 uint64  `json:"ops"`
+	ElapsedNS           int64   `json:"elapsed_ns"`
+	ThroughputOpsPerSec float64 `json:"throughput_ops_per_sec"`
+	// BusyRetryRate is StatusBusy rejections per completed operation.
+	BusyRetries   uint64  `json:"busy_retries"`
+	BusyRetryRate float64 `json:"busy_retry_rate"`
+	// Latency percentiles: send-to-response closed loop, scheduled-arrival-
+	// to-response open loop (queueing delay included).
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
 func main() {
 	methods := flag.String("methods", "Lock,TLE,RW-TLE,FG-TLE(256),NOrec,RHNOrec",
 		"comma-separated method names")
@@ -77,6 +116,17 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	jsonOut := flag.Bool("json", false, "write the grid to BENCH_<n>.json")
 	outDir := flag.String("outdir", ".", "directory for BENCH_<n>.json files")
+	wire := flag.Bool("wire", false, "also sweep the serving layer over loopback TCP")
+	wireShards := flag.String("wire-shards", "1,2,4", "comma-separated shard counts for the wire sweep")
+	wireWorkload := flag.String("wire-workload", "map", "wire sweep workload")
+	wireMethod := flag.String("wire-method", "FG-TLE(256)", "wire sweep method")
+	wireWorkers := flag.Int("wire-workers", 2, "workers per shard in the wire sweep")
+	wireConns := flag.Int("wire-conns", 8, "load generator connections")
+	wirePipeline := flag.Int("wire-pipeline", 4, "pipelined slots per connection")
+	wireOps := flag.Int("wire-ops", 30000, "single operations per wire cell")
+	wireReadPct := flag.Int("wire-read-pct", 90, "read percentage in the wire sweep")
+	wireKeys := flag.Int("wire-keys", 1024, "key space in the wire sweep")
+	wireRate := flag.Int("wire-rate", 0, "if >0, add an open-loop cell per shard count at this aggregate ops/sec")
 	flag.Parse()
 
 	if *insert+*remove > 100 {
@@ -104,6 +154,34 @@ func main() {
 			fmt.Printf("%-18s %8d %14.0f %12.4f\n",
 				res.Method, res.Threads, res.ThroughputOpsPerMS, res.AbortRate)
 			out.Results = append(out.Results, res)
+		}
+	}
+
+	if *wire {
+		shardCounts, err := parseInts(*wireShards)
+		if err != nil {
+			fatalf("bad -wire-shards: %v", err)
+		}
+		fmt.Printf("\n%-8s %8s %8s %14s %10s %10s %10s\n",
+			"shards", "rate", "ops", "ops/sec", "p50 ms", "p99 ms", "busy/op")
+		for _, sc := range shardCounts {
+			rates := []int{0}
+			if *wireRate > 0 {
+				rates = append(rates, *wireRate)
+			}
+			for _, rate := range rates {
+				wr := runWireCell(wireCellConfig{
+					workload: *wireWorkload, method: *wireMethod,
+					shards: sc, workers: *wireWorkers,
+					conns: *wireConns, pipeline: *wirePipeline,
+					ops: *wireOps, readPct: *wireReadPct,
+					keys: *wireKeys, rate: rate, seed: *seed,
+				})
+				fmt.Printf("%-8d %8d %8d %14.0f %10.3f %10.3f %10.4f\n",
+					wr.Shards, wr.RatePerSec, wr.Ops, wr.ThroughputOpsPerSec,
+					wr.P50MS, wr.P99MS, wr.BusyRetryRate)
+				out.Wire = append(out.Wire, wr)
+			}
 		}
 	}
 
@@ -164,6 +242,80 @@ func runCell(name string, threads int, keyRange uint64, insert, remove int,
 		LockRuns:   st.LockRuns,
 		STMCommits: st.STMCommitsHTM + st.STMCommitsLock + st.STMCommitsRO,
 		Aborts:     aborts,
+	}
+}
+
+// wireCellConfig parameterizes one serving-layer sweep cell.
+type wireCellConfig struct {
+	workload, method             string
+	shards, workers, conns       int
+	pipeline, ops, readPct, keys int
+	rate                         int
+	seed                         uint64
+}
+
+// runWireCell boots a fresh in-process rtled server, drives it over
+// loopback TCP, drains it, and reports the cell. A fresh server per cell
+// keeps adaptive state (coalesce windows, EWMAs) and ADT contents from
+// bleeding between measurements.
+func runWireCell(c wireCellConfig) wireResult {
+	srv, err := server.New(server.Config{
+		Addr:     "127.0.0.1:0",
+		Workload: c.workload,
+		Method:   c.method,
+		Shards:   c.shards,
+		Workers:  c.workers,
+		Keys:     c.keys,
+	})
+	if err != nil {
+		fatalf("wire cell: %v", err)
+	}
+	addr, err := srv.Listen()
+	if err != nil {
+		fatalf("wire cell: %v", err)
+	}
+	done := make(chan struct{})
+	// Serve returns nil on graceful Shutdown; any accept error after the
+	// drain below is benign for a measurement cell.
+	go func() { defer close(done); _ = srv.Serve() }()
+
+	res, err := server.RunLoad(server.LoadConfig{
+		Addr:       addr.String(),
+		Workload:   c.workload,
+		Conns:      c.conns,
+		Pipeline:   c.pipeline,
+		Ops:        c.ops,
+		RatePerSec: c.rate,
+		ReadPct:    c.readPct,
+		Keys:       c.keys,
+		Seed:       c.seed,
+		Check:      false, // measurement cell; correctness runs live in e2e and tests
+	})
+	if err != nil {
+		fatalf("wire cell load: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatalf("wire cell drain: %v", err)
+	}
+	<-done
+
+	busyRate := 0.0
+	if res.Ops > 0 {
+		busyRate = float64(res.BusyRetries) / float64(res.Ops)
+	}
+	return wireResult{
+		Workload: c.workload, Method: c.method,
+		Shards: c.shards, Workers: c.workers,
+		Conns: c.conns, Pipeline: c.pipeline,
+		ReadPct: c.readPct, RatePerSec: c.rate,
+		Ops: res.Ops, ElapsedNS: res.Elapsed.Nanoseconds(),
+		ThroughputOpsPerSec: res.Throughput(),
+		BusyRetries:         res.BusyRetries, BusyRetryRate: busyRate,
+		P50MS: res.Percentile(0.50) * 1e3,
+		P99MS: res.Percentile(0.99) * 1e3,
 	}
 }
 

@@ -1,10 +1,14 @@
 // Command rtled serves one elided data structure (AVL set, hash map, or
 // bank) over TCP behind any of the repository's synchronization methods,
 // speaking the rtled/1 pipelined binary protocol (see internal/server's
-// package documentation). Requests are executed by a bounded worker pool
-// that coalesces pending single operations into shared atomic blocks; a
-// full queue answers StatusBusy with a queue-depth-aware retry hint.
-// SIGINT/SIGTERM drain gracefully: accepted requests finish and flush
+// package documentation). With -shards N the key space is partitioned into
+// N independent instances by consistent hash, each with its own bounded
+// queue and worker pool; single-key requests route to their shard and
+// cross-shard requests take an ordered-drain slow path. Each shard's
+// worker pool coalesces pending single operations into shared atomic
+// blocks under an adaptive window capped by -coalesce; a full queue
+// answers StatusBusy with a queue-depth-aware retry hint. SIGINT/SIGTERM
+// drain gracefully: accepted requests on every shard finish and flush
 // before the listener and connections close.
 //
 // With -http it serves /metrics (the obs registry's rtle_* execution
@@ -16,6 +20,7 @@
 // Examples:
 //
 //	rtled -workload set -method "FG-TLE(256)" -workers 8
+//	rtled -workload map -shards 4 -workers 2 -http :9090
 //	rtled -workload bank -keys 16 -method RHNOrec -http :9090
 //	rtled -addr 127.0.0.1:0 -fault-plan '{"seed":7,"begin_prob":0.1}'
 package main
@@ -41,9 +46,10 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7632", "TCP listen address (port 0 picks a free port)")
 	workload := flag.String("workload", "set", "served data structure: "+strings.Join(server.Workloads, ", "))
 	method := flag.String("method", "FG-TLE(256)", "synchronization method (Lock, TLE, HLE, RW-TLE, FG-TLE(N), FG-TLE(adaptive), ALE(N), NOrec, RHNOrec)")
-	workers := flag.Int("workers", 4, "worker pool size")
-	queue := flag.Int("queue", 256, "accepted-request queue bound (backpressure beyond)")
-	coalesce := flag.Int("coalesce", 8, "max single ops coalesced into one atomic block")
+	shards := flag.Int("shards", 1, "independent ADT partitions (consistent-hash routed)")
+	workers := flag.Int("workers", 4, "worker pool size per shard")
+	queue := flag.Int("queue", 256, "accepted-request queue bound per shard (backpressure beyond)")
+	coalesce := flag.Int("coalesce", 8, "adaptive coalesce window cap (single ops per shared atomic block)")
 	keys := flag.Int("keys", 0, "key space (set/map) or account count (bank); 0 picks the default")
 	attempts := flag.Int("attempts", core.DefaultAttempts, "HTM attempts before lock fallback")
 	lazy := flag.Bool("lazy", false, "lazy lock subscription on the slow path")
@@ -74,6 +80,7 @@ func main() {
 		Addr:       *addr,
 		Workload:   *workload,
 		Method:     *method,
+		Shards:     *shards,
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Coalesce:   *coalesce,
@@ -91,8 +98,8 @@ func main() {
 		fatal(err)
 	}
 	// The e2e harness parses this line to find the bound port.
-	fmt.Printf("rtled: listening on %s (%s over %s, %d workers)\n",
-		bound, srv.MethodName(), srv.Workload(), *workers)
+	fmt.Printf("rtled: listening on %s (%s over %s, %d shards x %d workers)\n",
+		bound, srv.MethodName(), srv.Workload(), srv.Shards(), *workers)
 
 	var admin *server.AdminServer
 	if *httpAddr != "" {
@@ -129,8 +136,8 @@ func main() {
 	}
 
 	m := srv.Metrics()
-	fmt.Fprintf(os.Stderr, "rtled: served %d sections, %d coalesced ops, %d busy rejections\n",
-		m.Sections(), m.Coalesced(), m.Responses(server.StatusBusy))
+	fmt.Fprintf(os.Stderr, "rtled: served %d sections, %d coalesced ops, %d cross-shard ops, %d busy rejections\n",
+		m.Sections(), m.Coalesced(), m.CrossShard(), m.Responses(server.StatusBusy))
 	if d := srv.Director(); d != nil {
 		fmt.Fprintf(os.Stderr, "rtled: fault director injected %d aborts, %d lock spikes\n",
 			d.TotalInjected(), d.LockSpins())

@@ -75,6 +75,7 @@ func main() {
 		fatal(err)
 	}
 
+	fmt.Printf("rtleload: server advertises %d shard(s)\n", res.Shards)
 	fmt.Printf("rtleload: %d ops in %v (%.0f ops/sec), %d witness batches, %d busy retries, %d rejected\n",
 		res.Ops, res.Elapsed.Round(time.Millisecond), res.Throughput(), res.Batches, res.BusyRetries, res.Rejected)
 	fmt.Printf("rtleload: latency p50 %.3gms p99 %.3gms max-bucket %.3gms\n",

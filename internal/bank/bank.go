@@ -65,6 +65,30 @@ func (b *Bank) Transfer(t core.Thread, from, to int, amount uint64) uint64 {
 	return moved
 }
 
+// WithdrawCS removes up to amount from one account, clamping to the
+// current balance (balances never go negative), and returns the amount
+// actually removed. It must run inside an atomic block. Together with
+// DepositCS it splits TransferCS into halves that can run against two
+// different Bank instances — the serving layer's cross-shard transfer,
+// which is only conservation-safe while both instances are otherwise
+// quiescent (the caller holds both shards' drain gates).
+func (b *Bank) WithdrawCS(c core.Context, i int, amount uint64) uint64 {
+	a := b.addr(i)
+	src := c.Read(a)
+	if amount > src {
+		amount = src
+	}
+	c.Write(a, src-amount)
+	return amount
+}
+
+// DepositCS adds amount to one account. It must run inside an atomic
+// block. See WithdrawCS for the cross-instance transfer contract.
+func (b *Bank) DepositCS(c core.Context, i int, amount uint64) {
+	a := b.addr(i)
+	c.Write(a, c.Read(a)+amount)
+}
+
 // BalanceCS reads one account's balance inside an atomic block.
 func (b *Bank) BalanceCS(c core.Context, i int) uint64 {
 	return c.Read(b.addr(i))

@@ -1,0 +1,70 @@
+package server
+
+import "sync/atomic"
+
+// maxSectionNanos caps how long one coalesced atomic block should run: the
+// controller refuses to widen a window whose projected doubled section
+// time would exceed it, so coalescing amortizes per-section overhead
+// without letting tail latency grow unboundedly under a slow method.
+const maxSectionNanos = 2_000_000
+
+// coalescer is one shard's adaptive coalesce-window controller, the
+// serving-layer analogue of the paper's adaptive FG-TLE policy: instead of
+// a fixed operator-chosen knob (the old fixed -coalesce window), the
+// window follows the observed contention signal the shard already
+// maintains — queue depth and the EWMA atomic-block service time.
+//
+//   - Widen (double, clamped to the configured cap) when at least a full
+//     window is queued and the backlog is not shrinking: the queue is
+//     growing faster than service drains it, so wider shared blocks
+//     amortize per-section begin/commit overhead exactly when it pays.
+//     Widening is refused when the projected doubled section would exceed
+//     maxSectionNanos — a slow method must not trade unbounded latency
+//     for throughput.
+//   - Shrink (halve, floored at 1) when the queue holds less than half a
+//     window: coalescing a shallow queue only adds latency, so the window
+//     decays back toward uncoalesced single-operation service.
+//
+// Observe is called by shard workers after every atomic block; a racing
+// update can lose one adjustment, which the next sample re-derives, so no
+// lock is needed on the hot path.
+type coalescer struct {
+	max       int64
+	window    atomic.Int64
+	prevDepth atomic.Int64
+}
+
+// newCoalescer returns a controller clamped to [1, max], starting at 1
+// (an idle shard serves its first requests uncoalesced).
+func newCoalescer(max int) *coalescer {
+	if max < 1 {
+		max = 1
+	}
+	c := &coalescer{max: int64(max)}
+	c.window.Store(1)
+	return c
+}
+
+// Window returns the current coalesce window in [1, max].
+func (c *coalescer) Window() int { return int(c.window.Load()) }
+
+// Observe folds one post-section sample of the shard's queue depth and
+// EWMA service time into the window.
+func (c *coalescer) Observe(depth, svcNanos int64) {
+	prev := c.prevDepth.Swap(depth)
+	w := c.window.Load()
+	switch {
+	case depth >= w && depth >= prev && w < c.max && 2*svcNanos < maxSectionNanos:
+		nw := w * 2
+		if nw > c.max {
+			nw = c.max
+		}
+		c.window.Store(nw)
+	case 2*depth < w:
+		nw := w / 2
+		if nw < 1 {
+			nw = 1
+		}
+		c.window.Store(nw)
+	}
+}

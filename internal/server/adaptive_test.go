@@ -1,0 +1,82 @@
+package server
+
+import "testing"
+
+// TestCoalescerWidens checks that sustained queue growth with cheap
+// sections doubles the window up to the cap.
+func TestCoalescerWidens(t *testing.T) {
+	c := newCoalescer(8)
+	if c.Window() != 1 {
+		t.Fatalf("initial window %d, want 1", c.Window())
+	}
+	for depth := int64(4); depth <= 64; depth *= 2 {
+		c.Observe(depth, 10_000) // deep, growing queue; 10us sections
+	}
+	if c.Window() != 8 {
+		t.Fatalf("window %d after sustained backlog, want the cap 8", c.Window())
+	}
+	// Further pressure must not push past the cap.
+	c.Observe(1024, 10_000)
+	if c.Window() != 8 {
+		t.Fatalf("window %d exceeded the cap", c.Window())
+	}
+}
+
+// TestCoalescerShrinksIdle checks that a drained queue decays the window
+// back to uncoalesced service.
+func TestCoalescerShrinksIdle(t *testing.T) {
+	c := newCoalescer(8)
+	for depth := int64(8); depth <= 64; depth *= 2 {
+		c.Observe(depth, 10_000)
+	}
+	if c.Window() < 2 {
+		t.Fatalf("setup failed to widen: window %d", c.Window())
+	}
+	for i := 0; i < 10; i++ {
+		c.Observe(0, 10_000)
+	}
+	if c.Window() != 1 {
+		t.Fatalf("window %d after an idle queue, want 1", c.Window())
+	}
+}
+
+// TestCoalescerRefusesSlowSections checks the latency guard: a backlog
+// behind sections already near the budget must not widen the window —
+// doubling it would double tail latency without draining faster.
+func TestCoalescerRefusesSlowSections(t *testing.T) {
+	c := newCoalescer(8)
+	for i := 0; i < 10; i++ {
+		c.Observe(64, maxSectionNanos) // deep queue, but sections at the cap
+	}
+	if c.Window() != 1 {
+		t.Fatalf("window %d widened despite sections at the latency budget", c.Window())
+	}
+}
+
+// TestCoalescerNotShrinkSteady checks that a queue holding about a window
+// of work keeps its window: only a genuinely shallow queue shrinks it.
+func TestCoalescerNotShrinkSteady(t *testing.T) {
+	c := newCoalescer(8)
+	for depth := int64(8); depth <= 64; depth *= 2 {
+		c.Observe(depth, 10_000)
+	}
+	w := c.Window()
+	for i := 0; i < 10; i++ {
+		c.Observe(int64(w), 10_000) // steady backlog of one window
+	}
+	if c.Window() < w {
+		t.Fatalf("window shrank from %d to %d under a steady one-window backlog", w, c.Window())
+	}
+}
+
+// TestCoalescerCapOne pins the -coalesce 1 contract: the window never
+// leaves 1, so the operator can still force uncoalesced execution.
+func TestCoalescerCapOne(t *testing.T) {
+	c := newCoalescer(1)
+	for i := 0; i < 10; i++ {
+		c.Observe(1024, 1_000)
+	}
+	if c.Window() != 1 {
+		t.Fatalf("window %d with a cap of 1", c.Window())
+	}
+}

@@ -19,22 +19,29 @@ var Workloads = check.Workloads
 // with the checker's bank model.
 const BankInitial = check.BankInitial
 
-// adt is the single served data-structure instance. Exactly one of set,
+// adt is one shard's served data-structure instance. Exactly one of set,
 // mp, bk is non-nil, per kind.
 type adt struct {
 	kind string
-	// keys bounds the key space (set/map) or is the account count (bank):
+	// keys bounds the global key space (set/map) or account count (bank):
 	// it caps the simulated heap the structure can consume and is part of
 	// the serving contract (out-of-range arguments are StatusBad).
 	keys uint64
 	set  *avl.Set
 	mp   *tmap.Map
 	bk   *bank.Bank
+	// local translates a global account id to this shard's Bank index
+	// (bank only; entries are meaningful only for owned accounts). Set
+	// and map shards span the full key space, so their keys need no
+	// translation — ownership is purely the router's hash.
+	local []uint32
 }
 
-// heapWords sizes the simulated heap for kind with the given key-space
-// bound and worker count: enough lines for every possible key plus
-// per-worker spare-node headroom and method metadata (orecs, lock words).
+// heapWords sizes one shard's simulated heap for kind with the given
+// key-space bound and worker count: enough lines for every possible key
+// plus per-worker spare-node headroom and method metadata (orecs, lock
+// words). Set/map shards are sized for the full key space — the hash may
+// route any subset of keys to one shard, and simulated words are cheap.
 func heapWords(kind string, keys, workers int) int {
 	switch kind {
 	case "bank":
@@ -44,10 +51,12 @@ func heapWords(kind string, keys, workers int) int {
 	}
 }
 
-// newADT allocates the served instance on m. Structures start empty
+// newADT allocates one shard's instance on m. Structures start empty
 // (balances at BankInitial for bank): the linearizability models in
-// internal/check begin from the same state.
-func newADT(kind string, m *mem.Memory, keys int) (*adt, error) {
+// internal/check begin from the same state. For bank, owned lists the
+// global account ids this shard holds, in local index order; set/map pass
+// owned nil and span the full key space.
+func newADT(kind string, m *mem.Memory, keys int, owned []uint64) (*adt, error) {
 	a := &adt{kind: kind, keys: uint64(keys)}
 	switch kind {
 	case "set":
@@ -55,7 +64,11 @@ func newADT(kind string, m *mem.Memory, keys int) (*adt, error) {
 	case "map":
 		a.mp = tmap.New(m, keys)
 	case "bank":
-		a.bk = bank.New(m, keys, BankInitial)
+		a.bk = bank.New(m, len(owned), BankInitial)
+		a.local = make([]uint32, keys)
+		for idx, g := range owned {
+			a.local[g] = uint32(idx)
+		}
 	default:
 		return nil, fmt.Errorf("server: unknown workload %q (want set, map, or bank)", kind)
 	}
@@ -151,11 +164,23 @@ func (e *executor) run(c core.Context, s int, op Op, a1, a2, a3 uint64) Result {
 	case check.OpAdd:
 		return Result{e.mapH[s].AddCS(c, a1, a2), true}
 	case check.OpTransfer:
-		return Result{e.a.bk.TransferCS(c, int(a1), int(a2), a3), true}
+		return Result{e.a.bk.TransferCS(c, int(e.a.local[a1]), int(e.a.local[a2]), a3), true}
 	case check.OpBalance:
-		return Result{e.a.bk.BalanceCS(c, int(a1)), true}
+		return Result{e.a.bk.BalanceCS(c, int(e.a.local[a1])), true}
 	}
 	return Result{}
+}
+
+// withdrawCS removes up to amount from global account g's balance on this
+// shard, returning the amount moved. Cross-shard transfer half; see
+// bank.WithdrawCS for the quiescence contract.
+func (a *adt) withdrawCS(c core.Context, g, amount uint64) uint64 {
+	return a.bk.WithdrawCS(c, int(a.local[g]), amount)
+}
+
+// depositCS adds amount to global account g's balance on this shard.
+func (a *adt) depositCS(c core.Context, g, amount uint64) {
+	a.bk.DepositCS(c, int(a.local[g]), amount)
 }
 
 // after finalizes slot s's handle bookkeeping once the atomic block that

@@ -14,7 +14,8 @@ import (
 // back, so the connection carries as many outstanding requests as there
 // are callers.
 type Client struct {
-	nc net.Conn
+	nc    net.Conn
+	hello ServerHello // the server's negotiation answer, fixed at Dial
 
 	wmu sync.Mutex // one frame per Write call, serialized
 
@@ -28,21 +29,57 @@ type Client struct {
 // Close was called.
 var ErrClosed = errors.New("server: client connection closed")
 
-// Dial connects to an rtled server at addr.
+// Dial connects to an rtled server at addr and runs the rtled/1 hello
+// exchange synchronously: the server's hello (version, features, shard
+// count) is available from the moment Dial returns. A server that rejects
+// the negotiation surfaces its explanation as the dial error.
 func Dial(addr string) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{nc: nc, pending: make(map[uint32]chan Response)}
-	go c.readLoop()
+	if _, err := nc.Write(AppendClientHello(nil, &ClientHello{Version: ProtocolVersion})); err != nil {
+		_ = nc.Close() // the dial failed; the close error adds nothing
+		return nil, fmt.Errorf("server: client hello: %w", err)
+	}
+	// The hello answer and all later responses flow through one buffered
+	// reader: handing fr to readLoop keeps any bytes buffered past the
+	// hello frame.
+	fr := frameReader{r: bufio.NewReaderSize(nc, 1<<16)}
+	payload, err := fr.next()
+	if err != nil {
+		_ = nc.Close()
+		return nil, fmt.Errorf("server: reading server hello: %w", err)
+	}
+	sh, err := DecodeServerHello(payload)
+	if err != nil {
+		// A rejecting server answers with a StatusBad response carrying
+		// the reason; surface it instead of a bare decode error.
+		if resp, derr := DecodeResponse(payload); derr == nil && resp.Message != "" {
+			_ = nc.Close()
+			return nil, fmt.Errorf("server: hello rejected: %s", resp.Message)
+		}
+		_ = nc.Close()
+		return nil, err
+	}
+	if sh.Version != ProtocolVersion {
+		_ = nc.Close()
+		return nil, fmt.Errorf("server: server speaks rtled/%d, client speaks rtled/%d", sh.Version, ProtocolVersion)
+	}
+	c := &Client{nc: nc, hello: sh, pending: make(map[uint32]chan Response)}
+	go c.readLoop(fr)
 	return c, nil
 }
 
+// ServerShards returns the shard count the server advertised at Dial.
+func (c *Client) ServerShards() int { return int(c.hello.Shards) }
+
+// ServerFeatures returns the feature bits the server advertised at Dial.
+func (c *Client) ServerFeatures() uint32 { return c.hello.Features }
+
 // readLoop demultiplexes responses to their waiting callers until the
 // connection dies, then fails every pending and future request.
-func (c *Client) readLoop() {
-	fr := frameReader{r: bufio.NewReaderSize(c.nc, 1<<16)}
+func (c *Client) readLoop(fr frameReader) {
 	for {
 		payload, err := fr.next()
 		if err != nil {

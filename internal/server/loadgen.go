@@ -98,6 +98,8 @@ type LoadResult struct {
 	Rejected uint64
 	// Elapsed is the issuing phase's wall time.
 	Elapsed time.Duration
+	// Shards is the shard count the server advertised in its hello.
+	Shards int
 	// Latency aggregates single-operation latency (closed loop: send to
 	// response; open loop: scheduled arrival to response).
 	Latency obs.LatencySnapshot
@@ -208,6 +210,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		BusyRetries:       st.busy,
 		Rejected:          st.rejected,
 		Elapsed:           elapsed,
+		Shards:            clients[0].ServerShards(),
 		Latency:           st.latency.Snapshot(),
 		WitnessViolations: st.violations,
 	}
@@ -218,7 +221,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	res.Ops = uint64(len(events))
 	if cfg.Check {
 		res.Checked = true
-		res.Linearizable, res.CheckDetail = checkEvents(cfg.Workload, cfg.Keys, events)
+		res.Linearizable, res.CheckDetail = checkEvents(cfg.Workload, cfg.Keys, res.Shards, events)
 	}
 	return res, nil
 }
@@ -312,21 +315,31 @@ func (st *loadState) single(rec *check.ThreadRecorder, c *Client, r *rng.Xoshiro
 // witnessBatch issues one read-only batch and validates the atomicity
 // witness: duplicate reads inside one batch must agree (set/map), and a
 // bank batch reading every account must observe conserved total money.
+// Half the set/map witnesses interleave reads of two distinct keys — on a
+// sharded server those keys usually hash to different shards, so the
+// witness exercises the cross-shard slow path and checks that its gated
+// per-shard blocks are jointly atomic.
 func (st *loadState) witnessBatch(c *Client, r *rng.Xoshiro256) {
 	cfg := &st.cfg
 	var entries []BatchEntry
 	switch cfg.Workload {
-	case "set":
-		key := r.Uint64n(uint64(cfg.Keys))
-		entries = make([]BatchEntry, cfg.BatchSize)
-		for i := range entries {
-			entries[i] = BatchEntry{Op: check.OpContains, Arg1: key}
+	case "set", "map":
+		op := check.OpContains
+		if cfg.Workload == "map" {
+			op = check.OpGet
 		}
-	case "map":
-		key := r.Uint64n(uint64(cfg.Keys))
+		keyA := r.Uint64n(uint64(cfg.Keys))
+		keyB := keyA
+		if cfg.Keys > 1 && r.Intn(2) == 0 {
+			keyB = (keyA + 1 + r.Uint64n(uint64(cfg.Keys)-1)) % uint64(cfg.Keys)
+		}
 		entries = make([]BatchEntry, cfg.BatchSize)
 		for i := range entries {
-			entries[i] = BatchEntry{Op: check.OpGet, Arg1: key}
+			key := keyA
+			if i%2 == 1 {
+				key = keyB
+			}
+			entries[i] = BatchEntry{Op: op, Arg1: key}
 		}
 	case "bank":
 		n := cfg.Keys
@@ -377,11 +390,19 @@ func (st *loadState) judgeWitness(entries []BatchEntry, results []Result) {
 	}
 	switch st.cfg.Workload {
 	case "set", "map":
-		for i := 1; i < len(results); i++ {
-			if results[i] != results[0] {
+		// Duplicate reads of the same key inside one batch must agree;
+		// a two-key witness checks agreement per key.
+		first := make(map[uint64]int, 2)
+		for i := range results {
+			j, seen := first[entries[i].Arg1]
+			if !seen {
+				first[entries[i].Arg1] = i
+				continue
+			}
+			if results[i] != results[j] {
 				st.violate(fmt.Sprintf(
-					"batch atomicity: duplicate read %d of key %d saw (%d,%v), read 0 saw (%d,%v)",
-					i, entries[i].Arg1, results[i].Ret, results[i].Ok, results[0].Ret, results[0].Ok))
+					"batch atomicity: duplicate read %d of key %d saw (%d,%v), read %d saw (%d,%v)",
+					i, entries[i].Arg1, results[i].Ret, results[i].Ok, j, results[j].Ret, results[j].Ok))
 				return
 			}
 		}
@@ -454,13 +475,18 @@ func (st *loadState) violate(msg string) {
 // each touch exactly one key, so the history is linearizable iff every
 // per-key subhistory is — the standard locality property — and partitioned
 // checking stays tractable where a whole-history WGL search over dozens of
-// concurrent slots would not. Bank transfers couple account pairs, so that
-// history is checked whole.
-func checkEvents(workload string, keys int, events []Event) (bool, string) {
+// concurrent slots would not. The same locality is what makes the check
+// compose across shards: every key lives on exactly one shard, so a
+// per-key verdict is a per-shard verdict, and a failure is attributed to
+// the shard that served the key. Bank transfers couple account pairs
+// (possibly on different shards), so that history is checked whole — the
+// strongest statement, covering the cross-shard slow path too.
+func checkEvents(workload string, keys, shards int, events []Event) (bool, string) {
 	switch workload {
 	case "bank":
 		if !check.CheckLinearizable(check.BankModel(keys, BankInitial), events) {
-			return false, fmt.Sprintf("bank history of %d events is not linearizable", len(events))
+			return false, fmt.Sprintf(
+				"bank history of %d events over %d shards is not linearizable", len(events), shards)
 		}
 		return true, ""
 	case "set", "map":
@@ -479,8 +505,9 @@ func checkEvents(workload string, keys int, events []Event) (bool, string) {
 		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
 		for _, k := range ks {
 			if !check.CheckLinearizable(model, byKey[k]) {
-				return false, fmt.Sprintf("key %d subhistory (%d events) is not linearizable",
-					k, len(byKey[k]))
+				return false, fmt.Sprintf(
+					"key %d (shard %d) subhistory (%d events) is not linearizable",
+					k, ShardForKey(k, shards), len(byKey[k]))
 			}
 		}
 		return true, ""

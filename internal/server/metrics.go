@@ -40,59 +40,29 @@ func opName(i int) string {
 	}
 }
 
-// Metrics is the server's wire-level metric registry, exposed next to the
-// obs.Registry series on /metrics. All fields are atomics: the hot path is
-// wait-free and a scrape never blocks a worker.
-type Metrics struct {
-	// Connections tracking.
-	connsOpen  atomic.Int64
-	connsTotal atomic.Uint64
-
-	// Request outcomes.
-	requests [numOps]atomic.Uint64
-	statuses [4]atomic.Uint64 // by Status
-	badOps   atomic.Uint64    // decode/validation failures
-
-	// Queue + execution state.
-	queueDepth atomic.Int64 // requests accepted, not yet picked up
+// ShardMetrics is one shard's wire-level execution state. All fields are
+// atomics: the hot path is wait-free and a scrape never blocks a worker.
+type ShardMetrics struct {
+	queueDepth atomic.Int64 // requests accepted onto this shard, not yet picked up
 	inflight   atomic.Int64 // requests picked up, not yet answered
+	sections   atomic.Uint64
 	batchOps   atomic.Uint64
 	coalesced  atomic.Uint64 // single ops executed in a shared atomic block
-	sections   atomic.Uint64 // atomic blocks executed
+	slowBlocks atomic.Uint64 // atomic blocks run on this shard by the cross-shard slow path
 
-	// ewmaServiceNanos is the decayed mean wall time of one atomic block,
-	// the basis of the retry-after hint.
+	// ewmaServiceNanos is the decayed mean wall time of one atomic block
+	// on this shard, the basis of the retry-after hint and the adaptive
+	// coalesce window.
 	ewmaServiceNanos atomic.Int64
 
-	// latency is the queue-to-response service latency per op slot.
-	latency [numOps]obs.Histogram
+	// coal renders the shard's live coalesce window; set by New.
+	coal *coalescer
 }
-
-// Latency returns a snapshot of op's service-latency histogram.
-func (m *Metrics) Latency(op Op) obs.LatencySnapshot {
-	return m.latency[opIndex(op)].Snapshot()
-}
-
-// QueueDepth returns the current accepted-but-not-started request count.
-func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Load() }
-
-// Requests returns the total requests recorded for op.
-func (m *Metrics) Requests(op Op) uint64 { return m.requests[opIndex(op)].Load() }
-
-// Responses returns the total responses with the given status.
-func (m *Metrics) Responses(s Status) uint64 { return m.statuses[s].Load() }
-
-// Coalesced returns the number of single operations that shared an atomic
-// block with at least one other request.
-func (m *Metrics) Coalesced() uint64 { return m.coalesced.Load() }
-
-// Sections returns the number of atomic blocks the workers executed.
-func (m *Metrics) Sections() uint64 { return m.sections.Load() }
 
 // observeService folds one atomic block's wall time into the EWMA
 // (alpha = 1/8, integer arithmetic; a racing update loses one sample,
 // which a decayed mean absorbs).
-func (m *Metrics) observeService(nanos int64) {
+func (m *ShardMetrics) observeService(nanos int64) {
 	old := m.ewmaServiceNanos.Load()
 	if old == 0 {
 		m.ewmaServiceNanos.Store(nanos)
@@ -101,10 +71,11 @@ func (m *Metrics) observeService(nanos int64) {
 	m.ewmaServiceNanos.Store(old + (nanos-old)/8)
 }
 
-// retryAfterMicros estimates when queue capacity frees up: the backlog
-// ahead of a rejected request (depth plus what is executing), paced by the
-// decayed per-section service time spread over the worker pool.
-func (m *Metrics) retryAfterMicros(workers int) uint32 {
+// retryAfterMicros estimates when this shard's queue capacity frees up:
+// the backlog ahead of a rejected request (depth plus what is executing),
+// paced by the decayed per-section service time spread over the shard's
+// worker pool.
+func (m *ShardMetrics) retryAfterMicros(workers int) uint32 {
 	backlog := m.queueDepth.Load() + m.inflight.Load()
 	svc := m.ewmaServiceNanos.Load()
 	if svc <= 0 {
@@ -123,9 +94,107 @@ func (m *Metrics) retryAfterMicros(workers int) uint32 {
 	return uint32(micros)
 }
 
+// Metrics is the server's wire-level metric registry, exposed next to the
+// obs.Registry series on /metrics. Connection- and protocol-level series
+// live here; execution state lives in the per-shard ShardMetrics, and the
+// unlabelled series aggregate across shards so dashboards written against
+// the unsharded server keep working.
+type Metrics struct {
+	// Connections tracking.
+	connsOpen  atomic.Int64
+	connsTotal atomic.Uint64
+
+	// Request outcomes.
+	requests [numOps]atomic.Uint64
+	statuses [4]atomic.Uint64 // by Status
+	badOps   atomic.Uint64    // decode/validation failures
+
+	// helloRejects counts connections refused at version negotiation
+	// (missing hello, unsupported version).
+	helloRejects atomic.Uint64
+
+	// Cross-shard slow path.
+	slowDepth atomic.Int64  // slow-path tasks accepted, not yet picked up
+	crossOps  atomic.Uint64 // operations answered via the slow path
+
+	// latency is the queue-to-response service latency per op slot.
+	latency [numOps]obs.Histogram
+
+	// shards holds the per-shard execution metrics, attached by New.
+	shards []*ShardMetrics
+}
+
+// attach wires the per-shard metric blocks (called once by New).
+func (m *Metrics) attach(shards []*ShardMetrics) { m.shards = shards }
+
+// Shards returns the per-shard metric blocks.
+func (m *Metrics) Shards() []*ShardMetrics { return m.shards }
+
+// Latency returns a snapshot of op's service-latency histogram.
+func (m *Metrics) Latency(op Op) obs.LatencySnapshot {
+	return m.latency[opIndex(op)].Snapshot()
+}
+
+// QueueDepth returns the accepted-but-not-started request count summed
+// across all shard queues and the slow-path queue.
+func (m *Metrics) QueueDepth() int64 {
+	d := m.slowDepth.Load()
+	for _, s := range m.shards {
+		d += s.queueDepth.Load()
+	}
+	return d
+}
+
+// Requests returns the total requests recorded for op.
+func (m *Metrics) Requests(op Op) uint64 { return m.requests[opIndex(op)].Load() }
+
+// Responses returns the total responses with the given status.
+func (m *Metrics) Responses(s Status) uint64 { return m.statuses[s].Load() }
+
+// Coalesced returns the number of single operations that shared an atomic
+// block with at least one other request, across all shards.
+func (m *Metrics) Coalesced() uint64 {
+	var n uint64
+	for _, s := range m.shards {
+		n += s.coalesced.Load()
+	}
+	return n
+}
+
+// Sections returns the number of atomic blocks executed across all
+// shards (fast path and slow path).
+func (m *Metrics) Sections() uint64 {
+	var n uint64
+	for _, s := range m.shards {
+		n += s.sections.Load()
+	}
+	return n
+}
+
+// CrossShard returns the number of operations answered via the
+// cross-shard slow path.
+func (m *Metrics) CrossShard() uint64 { return m.crossOps.Load() }
+
+// HelloRejects returns the number of connections refused at version
+// negotiation.
+func (m *Metrics) HelloRejects() uint64 { return m.helloRejects.Load() }
+
+// ewmaServiceNanos returns the widest shard EWMA, the merged gauge.
+func (m *Metrics) ewmaServiceNanosMax() int64 {
+	var v int64
+	for _, s := range m.shards {
+		if e := s.ewmaServiceNanos.Load(); e > v {
+			v = e
+		}
+	}
+	return v
+}
+
 // WritePrometheus renders the server series in the Prometheus text format,
 // in the style of obs.Snapshot.WritePrometheus; the rtled admin endpoint
-// concatenates both under one /metrics response.
+// concatenates both under one /metrics response. Per-shard execution
+// series carry a shard label; the unlabelled series are the merged
+// snapshot (sums, or the max for the service-time gauge).
 func (m *Metrics) WritePrometheus(w io.Writer) error {
 	var err error
 	p := func(format string, args ...any) {
@@ -141,6 +210,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p("# HELP rtled_connections_total Client connections accepted.\n")
 	p("# TYPE rtled_connections_total counter\n")
 	p("rtled_connections_total %d\n", m.connsTotal.Load())
+
+	p("# HELP rtled_shards Independent ADT shards served.\n")
+	p("# TYPE rtled_shards gauge\n")
+	p("rtled_shards %d\n", len(m.shards))
 
 	p("# HELP rtled_requests_total Requests decoded, by operation.\n")
 	p("# TYPE rtled_requests_total counter\n")
@@ -160,29 +233,86 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p("# TYPE rtled_bad_requests_total counter\n")
 	p("rtled_bad_requests_total %d\n", m.badOps.Load())
 
+	p("# HELP rtled_hello_rejects_total Connections refused at version negotiation.\n")
+	p("# TYPE rtled_hello_rejects_total counter\n")
+	p("rtled_hello_rejects_total %d\n", m.helloRejects.Load())
+
 	p("# HELP rtled_queue_depth Accepted requests waiting for a worker.\n")
 	p("# TYPE rtled_queue_depth gauge\n")
-	p("rtled_queue_depth %d\n", m.queueDepth.Load())
+	p("rtled_queue_depth %d\n", m.QueueDepth())
+
+	p("# HELP rtled_cross_shard_total Operations answered via the cross-shard slow path.\n")
+	p("# TYPE rtled_cross_shard_total counter\n")
+	p("rtled_cross_shard_total %d\n", m.crossOps.Load())
+
+	// Per-shard execution families: the unlabelled line is the merged
+	// snapshot (sum, or max for the service-time gauge), followed by one
+	// {shard="k"} series per shard so a dashboard can see skew.
+	var inflight int64
+	var sections, batchOps, coalesced, slowBlocks uint64
+	for _, s := range m.shards {
+		inflight += s.inflight.Load()
+		sections += s.sections.Load()
+		batchOps += s.batchOps.Load()
+		coalesced += s.coalesced.Load()
+		slowBlocks += s.slowBlocks.Load()
+	}
 
 	p("# HELP rtled_inflight Requests a worker is executing.\n")
 	p("# TYPE rtled_inflight gauge\n")
-	p("rtled_inflight %d\n", m.inflight.Load())
+	p("rtled_inflight %d\n", inflight)
+	for k, s := range m.shards {
+		p("rtled_inflight{shard=\"%d\"} %d\n", k, s.inflight.Load())
+	}
 
-	p("# HELP rtled_sections_total Atomic blocks executed by the worker pool.\n")
+	p("# HELP rtled_shard_queue_depth Accepted requests waiting on one shard's queue.\n")
+	p("# TYPE rtled_shard_queue_depth gauge\n")
+	for k, s := range m.shards {
+		p("rtled_shard_queue_depth{shard=\"%d\"} %d\n", k, s.queueDepth.Load())
+	}
+
+	p("# HELP rtled_sections_total Atomic blocks executed by the worker pools.\n")
 	p("# TYPE rtled_sections_total counter\n")
-	p("rtled_sections_total %d\n", m.sections.Load())
+	p("rtled_sections_total %d\n", sections)
+	for k, s := range m.shards {
+		p("rtled_sections_total{shard=\"%d\"} %d\n", k, s.sections.Load())
+	}
 
 	p("# HELP rtled_batch_ops_total Operations executed inside client batches.\n")
 	p("# TYPE rtled_batch_ops_total counter\n")
-	p("rtled_batch_ops_total %d\n", m.batchOps.Load())
+	p("rtled_batch_ops_total %d\n", batchOps)
+	for k, s := range m.shards {
+		p("rtled_batch_ops_total{shard=\"%d\"} %d\n", k, s.batchOps.Load())
+	}
 
 	p("# HELP rtled_coalesced_ops_total Single operations coalesced into a shared atomic block.\n")
 	p("# TYPE rtled_coalesced_ops_total counter\n")
-	p("rtled_coalesced_ops_total %d\n", m.coalesced.Load())
+	p("rtled_coalesced_ops_total %d\n", coalesced)
+	for k, s := range m.shards {
+		p("rtled_coalesced_ops_total{shard=\"%d\"} %d\n", k, s.coalesced.Load())
+	}
 
-	p("# HELP rtled_service_ewma_seconds Decayed mean atomic-block service time.\n")
+	p("# HELP rtled_slow_blocks_total Atomic blocks run under exclusive drain gates by the cross-shard slow path.\n")
+	p("# TYPE rtled_slow_blocks_total counter\n")
+	p("rtled_slow_blocks_total %d\n", slowBlocks)
+	for k, s := range m.shards {
+		p("rtled_slow_blocks_total{shard=\"%d\"} %d\n", k, s.slowBlocks.Load())
+	}
+
+	p("# HELP rtled_service_ewma_seconds Decayed mean atomic-block service time (max across shards).\n")
 	p("# TYPE rtled_service_ewma_seconds gauge\n")
-	p("rtled_service_ewma_seconds %g\n", float64(m.ewmaServiceNanos.Load())/1e9)
+	p("rtled_service_ewma_seconds %g\n", float64(m.ewmaServiceNanosMax())/1e9)
+	for k, s := range m.shards {
+		p("rtled_service_ewma_seconds{shard=\"%d\"} %g\n", k, float64(s.ewmaServiceNanos.Load())/1e9)
+	}
+
+	p("# HELP rtled_coalesce_window Live adaptive coalesce window, per shard.\n")
+	p("# TYPE rtled_coalesce_window gauge\n")
+	for k, s := range m.shards {
+		if s.coal != nil {
+			p("rtled_coalesce_window{shard=\"%d\"} %d\n", k, s.coal.Window())
+		}
+	}
 
 	p("# HELP rtled_request_latency_seconds Queue-to-response service latency by operation.\n")
 	p("# TYPE rtled_request_latency_seconds histogram\n")

@@ -7,7 +7,28 @@
 // # Wire protocol (rtled/1)
 //
 // Every frame is a big-endian uint32 payload length followed by the
-// payload. Request payloads are
+// payload.
+//
+// # Hello exchange
+//
+// Before the first request, the client must send one hello frame and wait
+// for the server's hello:
+//
+//	client: "RTLE" | u8 version | u32 feature bits
+//	server: "RTLE" | u8 version | u32 feature bits | u16 shards
+//
+// The magic distinguishes a hello from a request payload, so a pre-hello
+// client (one that opens with a request) is rejected with a StatusBad
+// response naming the missing hello, and the connection closes — no
+// flag-day: old clients fail fast with a clear error instead of
+// misinterpreting sharded responses. The server's hello advertises its
+// shard count and feature bits (bit 0: consistent-hash sharded routing),
+// so clients can observe topology without a side channel. A version the
+// server does not speak is likewise answered with StatusBad and a close.
+//
+// # Requests
+//
+// Request payloads are
 //
 //	u32 id | u8 op | body
 //
@@ -48,6 +69,85 @@ import (
 
 	"rtle/internal/check"
 )
+
+// ProtocolVersion is the rtled protocol generation this package speaks,
+// negotiated by the hello exchange.
+const ProtocolVersion = 1
+
+// helloMagic opens every hello payload; no request payload can start with
+// it (a request's first four bytes are a client-chosen id, and the decode
+// path runs only after the hello completed).
+const helloMagic = "RTLE"
+
+// Feature bits advertised in the server hello.
+const (
+	// FeatureSharded: the server routes single-key operations to
+	// independent ADT shards by consistent hash and serves cross-shard
+	// operations through an ordered-drain slow path.
+	FeatureSharded uint32 = 1 << 0
+)
+
+// ClientHello is the client's version-negotiation frame.
+type ClientHello struct {
+	Version  uint8
+	Features uint32
+}
+
+// ServerHello is the server's negotiation answer, advertising its shard
+// count so clients and load generators can observe topology.
+type ServerHello struct {
+	Version  uint8
+	Features uint32
+	Shards   uint16
+}
+
+// AppendClientHello encodes h as one frame appended to buf.
+func AppendClientHello(buf []byte, h *ClientHello) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = append(buf, helloMagic...)
+	buf = append(buf, h.Version)
+	buf = binary.BigEndian.AppendUint32(buf, h.Features)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// DecodeClientHello parses a client hello payload. A payload that does not
+// carry the hello magic returns an error — the server uses that to reject
+// pre-hello clients with a clear message.
+func DecodeClientHello(p []byte) (ClientHello, error) {
+	var h ClientHello
+	if len(p) != 9 || string(p[:4]) != helloMagic {
+		return h, fmt.Errorf("server: expected an rtled hello frame (pre-versioning client?)")
+	}
+	h.Version = p[4]
+	h.Features = binary.BigEndian.Uint32(p[5:])
+	return h, nil
+}
+
+// AppendServerHello encodes h as one frame appended to buf.
+func AppendServerHello(buf []byte, h *ServerHello) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = append(buf, helloMagic...)
+	buf = append(buf, h.Version)
+	buf = binary.BigEndian.AppendUint32(buf, h.Features)
+	buf = binary.BigEndian.AppendUint16(buf, h.Shards)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// DecodeServerHello parses a server hello payload.
+func DecodeServerHello(p []byte) (ServerHello, error) {
+	var h ServerHello
+	if len(p) != 11 || string(p[:4]) != helloMagic {
+		return h, fmt.Errorf("server: expected an rtled hello answer")
+	}
+	h.Version = p[4]
+	h.Features = binary.BigEndian.Uint32(p[5:])
+	h.Shards = binary.BigEndian.Uint16(p[9:])
+	return h, nil
+}
 
 // Op is a wire operation code. Single-operation codes share their values
 // with internal/check's Op enum; OpBatch and OpPing are wire-only.

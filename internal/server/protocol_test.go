@@ -1,8 +1,10 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
+	"net"
 	"reflect"
 	"strings"
 	"testing"
@@ -123,6 +125,113 @@ func TestIsRead(t *testing.T) {
 		if IsRead(op) != want {
 			t.Errorf("IsRead(%v) = %v, want %v", op, !want, want)
 		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	ch := ClientHello{Version: ProtocolVersion, Features: 0}
+	frame := AppendClientHello(nil, &ch)
+	if got := binary.BigEndian.Uint32(frame); int(got) != len(frame)-4 {
+		t.Fatalf("client hello length header %d, want %d", got, len(frame)-4)
+	}
+	dch, err := DecodeClientHello(frame[4:])
+	if err != nil || dch != ch {
+		t.Fatalf("client hello round trip: %+v, %v", dch, err)
+	}
+
+	sh := ServerHello{Version: ProtocolVersion, Features: FeatureSharded, Shards: 4}
+	frame = AppendServerHello(nil, &sh)
+	dsh, err := DecodeServerHello(frame[4:])
+	if err != nil || dsh != sh {
+		t.Fatalf("server hello round trip: %+v, %v", dsh, err)
+	}
+
+	// A request payload must not decode as a hello: that is how the server
+	// tells a pre-versioning client from a negotiating one.
+	req := AppendRequest(nil, &Request{ID: 1, Op: check.OpInsert, Arg1: 2})
+	if _, err := DecodeClientHello(req[4:]); err == nil {
+		t.Error("request payload decoded as a client hello")
+	}
+}
+
+// rawHelloExchange dials srv's addr raw, writes first, and returns the
+// first response frame's payload.
+func rawHelloExchange(t *testing.T, addr string, first []byte) ([]byte, *bufio.Reader, net.Conn) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = nc.Close() })
+	if _, err := nc.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(nc)
+	fr := frameReader{r: br}
+	payload, err := fr.next()
+	if err != nil {
+		t.Fatalf("reading hello answer: %v", err)
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, br, nc
+}
+
+// TestHelloRejectsOldClient checks the no-flag-day contract: a client that
+// opens with a request instead of a hello gets one explanatory StatusBad
+// response and a closed connection.
+func TestHelloRejectsOldClient(t *testing.T) {
+	srv, addr := startServer(t, Config{Workload: "set", Keys: 8})
+	first := AppendRequest(nil, &Request{ID: 1, Op: check.OpContains, Arg1: 1})
+	payload, br, _ := rawHelloExchange(t, addr, first)
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusBad || !strings.Contains(resp.Message, "hello") {
+		t.Fatalf("pre-hello request answered %+v, want a bad-request naming the hello", resp)
+	}
+	// The server hangs up after the rejection.
+	if _, err := br.ReadByte(); err == nil {
+		t.Error("connection still open after a hello rejection")
+	}
+	if srv.Metrics().HelloRejects() != 1 {
+		t.Errorf("hello rejects %d, want 1", srv.Metrics().HelloRejects())
+	}
+}
+
+// TestHelloRejectsWrongVersion checks that an unsupported version is
+// refused with a message naming both versions.
+func TestHelloRejectsWrongVersion(t *testing.T) {
+	_, addr := startServer(t, Config{Workload: "set", Keys: 8})
+	first := AppendClientHello(nil, &ClientHello{Version: ProtocolVersion + 1})
+	payload, _, _ := rawHelloExchange(t, addr, first)
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusBad || !strings.Contains(resp.Message, "version") {
+		t.Fatalf("wrong-version hello answered %+v", resp)
+	}
+}
+
+// TestHelloAdvertisesShards checks the negotiated topology surfaces on the
+// client.
+func TestHelloAdvertisesShards(t *testing.T) {
+	_, addr := startServer(t, Config{Workload: "map", Shards: 4, Keys: 64})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.ServerShards() != 4 {
+		t.Errorf("client saw %d shards, want 4", c.ServerShards())
+	}
+	if c.ServerFeatures()&FeatureSharded == 0 {
+		t.Error("server did not advertise FeatureSharded")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after hello: %v", err)
 	}
 }
 

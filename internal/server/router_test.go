@@ -1,0 +1,151 @@
+package server
+
+import (
+	"testing"
+
+	"rtle/internal/check"
+)
+
+// TestShardDistribution checks the router's load spread: hashing a dense
+// key space (the serving contract's common shape) across shards must not
+// pile onto few shards. The bound is loose — no shard may exceed twice the
+// mean, and none may be empty — because consistent hashing trades perfect
+// balance for stability.
+func TestShardDistribution(t *testing.T) {
+	const keys = 100_000
+	for _, shards := range []int{2, 4, 8} {
+		counts := make([]int, shards)
+		for k := uint64(0); k < keys; k++ {
+			s := ShardForKey(k, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("key %d mapped outside [0,%d): %d", k, shards, s)
+			}
+			counts[s]++
+		}
+		mean := keys / shards
+		for s, n := range counts {
+			if n == 0 {
+				t.Errorf("shards=%d: shard %d owns no keys", shards, s)
+			}
+			if n > 2*mean {
+				t.Errorf("shards=%d: shard %d owns %d keys, more than twice the mean %d",
+					shards, s, n, mean)
+			}
+		}
+	}
+}
+
+// TestJumpHashStability checks the consistent-hash property that motivates
+// the choice: growing the shard count moves only keys that land on the new
+// shard, never shuffling keys between surviving shards.
+func TestJumpHashStability(t *testing.T) {
+	const keys = 10_000
+	for k := uint64(0); k < keys; k++ {
+		old := JumpHash(k, 4)
+		grown := JumpHash(k, 5)
+		if grown != old && grown != 4 {
+			t.Fatalf("key %d moved from shard %d to %d when a 5th shard was added", k, old, grown)
+		}
+	}
+}
+
+// TestRouterBankTables checks the bank partition: every global account is
+// owned by exactly one shard, local indices are dense per shard, and
+// ownedAccounts agrees with the translation tables.
+func TestRouterBankTables(t *testing.T) {
+	const keys, shards = 64, 4
+	r := newRouter("bank", shards, keys)
+	total := 0
+	for k := 0; k < shards; k++ {
+		owned := r.ownedAccounts(k)
+		if len(owned) != r.perShard[k] {
+			t.Fatalf("shard %d: ownedAccounts returned %d, perShard says %d",
+				k, len(owned), r.perShard[k])
+		}
+		total += len(owned)
+		for idx, g := range owned {
+			if int(r.acctShard[g]) != k {
+				t.Errorf("account %d listed for shard %d but acctShard says %d", g, k, r.acctShard[g])
+			}
+			if int(r.acctLocal[g]) != idx {
+				t.Errorf("account %d local index %d, want %d", g, r.acctLocal[g], idx)
+			}
+		}
+	}
+	if total != keys {
+		t.Fatalf("shards own %d accounts in total, want %d", total, keys)
+	}
+}
+
+// TestRoutePlan checks the fast/slow classification.
+func TestRoutePlan(t *testing.T) {
+	r := newRouter("bank", 4, 64)
+
+	if p := r.plan(&Request{Op: OpPing}); !p.fast || p.shard != 0 {
+		t.Errorf("ping planned %+v, want fast on shard 0", p)
+	}
+
+	// A single-key op goes to its key's shard.
+	p := r.plan(&Request{Op: check.OpBalance, Arg1: 7})
+	if !p.fast || p.shard != r.shardOf(7) {
+		t.Errorf("balance(7) planned %+v, want fast on shard %d", p, r.shardOf(7))
+	}
+
+	// A same-shard transfer stays fast; a cross-shard one spans both
+	// shards in ascending order.
+	var same, cross bool
+	for a := uint64(0); a < 64 && !(same && cross); a++ {
+		for b := uint64(0); b < 64; b++ {
+			if a == b {
+				continue
+			}
+			p := r.plan(&Request{Op: check.OpTransfer, Arg1: a, Arg2: b})
+			if r.shardOf(a) == r.shardOf(b) {
+				same = true
+				if !p.fast || p.shard != r.shardOf(a) {
+					t.Fatalf("same-shard transfer (%d,%d) planned %+v", a, b, p)
+				}
+			} else {
+				cross = true
+				if p.fast || len(p.spans) != 2 || p.spans[0] >= p.spans[1] {
+					t.Fatalf("cross-shard transfer (%d,%d) planned %+v, want 2 ascending spans", a, b, p)
+				}
+			}
+		}
+	}
+	if !same || !cross {
+		t.Fatal("account space produced no same-shard or no cross-shard pair; shrink the hash?")
+	}
+
+	// A batch confined to one shard is fast; one spanning several is not.
+	rm := newRouter("map", 4, 1024)
+	one := []BatchEntry{{Op: check.OpGet, Arg1: 3}, {Op: check.OpGet, Arg1: 3}}
+	if p := rm.plan(&Request{Op: OpBatch, Batch: one}); !p.fast || p.shard != rm.shardOf(3) {
+		t.Errorf("single-shard batch planned %+v", p)
+	}
+	var a, b uint64 = 0, 1
+	for rm.shardOf(b) == rm.shardOf(a) {
+		b++
+	}
+	two := []BatchEntry{{Op: check.OpGet, Arg1: a}, {Op: check.OpGet, Arg1: b}}
+	if p := rm.plan(&Request{Op: OpBatch, Batch: two}); p.fast || len(p.spans) != 2 {
+		t.Errorf("two-shard batch planned %+v, want 2 spans", p)
+	}
+}
+
+// TestSingleShardRouting pins the degenerate case: with one shard, every
+// key routes to shard 0 and nothing takes the slow path.
+func TestSingleShardRouting(t *testing.T) {
+	r := newRouter("map", 1, 1024)
+	for k := uint64(0); k < 1024; k++ {
+		if r.shardOf(k) != 0 {
+			t.Fatalf("key %d routed to shard %d with one shard", k, r.shardOf(k))
+		}
+	}
+	p := r.plan(&Request{Op: OpBatch, Batch: []BatchEntry{
+		{Op: check.OpGet, Arg1: 1}, {Op: check.OpGet, Arg1: 999},
+	}})
+	if !p.fast || p.shard != 0 {
+		t.Errorf("one-shard batch planned %+v, want fast on shard 0", p)
+	}
+}

@@ -25,15 +25,24 @@ type Config struct {
 	// Method is the synchronization method's legend name, as accepted by
 	// harness.BuildMethod (default "FG-TLE(256)").
 	Method string
-	// Workers sizes the worker pool; each worker owns one core.Thread
-	// (default 4).
+	// Shards is the number of independent ADT partitions, each with its
+	// own simulated heap, method instance, bounded queue, and worker pool.
+	// Single-key operations route to their key's shard by consistent hash;
+	// multi-key operations spanning shards take a slower quiescing path
+	// (default 1: the unsharded server).
+	Shards int
+	// Workers sizes each shard's worker pool; each worker owns one
+	// core.Thread (default 4).
 	Workers int
-	// QueueDepth bounds the accepted-request queue. A full queue rejects
-	// with StatusBusy and a retry-after hint (default 256).
+	// QueueDepth bounds each shard's accepted-request queue (and the
+	// cross-shard slow queue). A full queue rejects with StatusBusy and a
+	// retry-after hint (default 256).
 	QueueDepth int
-	// Coalesce is the maximum number of pending single operations one
-	// worker folds into a shared atomic block (default 8; 1 disables
-	// coalescing).
+	// Coalesce caps the adaptive coalesce window: the maximum number of
+	// pending single operations one worker folds into a shared atomic
+	// block. Each shard adapts its live window within [1, Coalesce] from
+	// queue depth and observed service time (default 8; 1 pins the window
+	// to uncoalesced execution).
 	Coalesce int
 	// Keys bounds the key space for set/map and is the account count for
 	// bank (default 1024, bank 16).
@@ -60,6 +69,9 @@ func (c *Config) fill() {
 	if c.Method == "" {
 		c.Method = "FG-TLE(256)"
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.Workers <= 0 {
 		c.Workers = 4
 	}
@@ -76,20 +88,24 @@ func (c *Config) fill() {
 			c.Keys = 1024
 		}
 	}
+	if c.Workload == "bank" && c.Shards > c.Keys {
+		c.Shards = c.Keys // at least one account per shard
+	}
 }
 
 // Server is the TCP serving layer: an acceptor, per-connection reader and
-// writer goroutines, and a bounded worker pool executing requests against
-// one elided data structure.
+// writer goroutines, and per-shard bounded worker pools executing requests
+// against independently elided data-structure partitions.
 type Server struct {
 	cfg      Config
-	mem      *mem.Memory
-	adt      *adt
-	method   core.Method
+	router   *router
+	shards   []*shard
 	director *fault.Director
 	metrics  Metrics
 
-	queue chan *task
+	// slowQueue feeds the cross-shard slow path (multi-shard transfers
+	// and batches).
+	slowQueue chan *task
 
 	// drainMu serializes request admission against the drain flip: readers
 	// admit under RLock, Shutdown flips draining under Lock, so after the
@@ -112,6 +128,10 @@ type task struct {
 	c       *conn
 	req     Request
 	arrived time.Time
+	// sh is the owning shard for fast-path tasks (nil on the slow path).
+	sh *shard
+	// spans is the ascending involved-shard set for slow-path tasks.
+	spans []int
 }
 
 // conn is one client connection.
@@ -127,21 +147,16 @@ type conn struct {
 // send queues an encoded response frame for writing.
 func (c *conn) send(frame []byte) { c.out <- frame }
 
-// New builds a Server: simulated heap, ADT, synchronization method, fault
-// director, and worker pool state.
+// New builds a Server: per-shard simulated heaps, ADT partitions, and
+// synchronization methods, plus the key router, fault director, and worker
+// pool state.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
-	m := mem.New(heapWords(cfg.Workload, cfg.Keys, cfg.Workers))
-	a, err := newADT(cfg.Workload, m, cfg.Keys)
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
-		cfg:   cfg,
-		mem:   m,
-		adt:   a,
-		queue: make(chan *task, cfg.QueueDepth),
-		conns: make(map[*conn]struct{}),
+		cfg:       cfg,
+		router:    newRouter(cfg.Workload, cfg.Shards, cfg.Keys),
+		slowQueue: make(chan *task, cfg.QueueDepth),
+		conns:     make(map[*conn]struct{}),
 	}
 	policy := cfg.Policy
 	if cfg.Registry != nil {
@@ -151,10 +166,42 @@ func New(cfg Config) (*Server, error) {
 		s.director = fault.NewDirector(*cfg.Plan)
 		s.director.Configure(&policy)
 	}
-	s.method, err = harness.BuildMethod(cfg.Method, m, policy)
-	if err != nil {
-		return nil, err
+
+	slots := cfg.Coalesce
+	if MaxBatchOps > slots {
+		slots = MaxBatchOps
 	}
+	sms := make([]*ShardMetrics, cfg.Shards)
+	for k := 0; k < cfg.Shards; k++ {
+		m := mem.New(heapWords(cfg.Workload, cfg.Keys, cfg.Workers))
+		var owned []uint64
+		if cfg.Workload == "bank" {
+			owned = s.router.ownedAccounts(k)
+		}
+		a, err := newADT(cfg.Workload, m, cfg.Keys, owned)
+		if err != nil {
+			return nil, err
+		}
+		method, err := harness.BuildMethod(cfg.Method, m, policy)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{
+			id:     k,
+			mem:    m,
+			adt:    a,
+			method: method,
+			queue:  make(chan *task, cfg.QueueDepth),
+			coal:   newCoalescer(cfg.Coalesce),
+			m:      &ShardMetrics{},
+		}
+		sh.m.coal = sh.coal
+		sh.slowThread = method.NewThread()
+		sh.slowEx = a.newExecutor(slots)
+		s.shards = append(s.shards, sh)
+		sms[k] = sh.m
+	}
+	s.metrics.attach(sms)
 	return s, nil
 }
 
@@ -165,7 +212,7 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 func (s *Server) Director() *fault.Director { return s.director }
 
 // MethodName returns the served method's legend name.
-func (s *Server) MethodName() string { return s.method.Name() }
+func (s *Server) MethodName() string { return s.shards[0].method.Name() }
 
 // Workload returns the served ADT kind.
 func (s *Server) Workload() string { return s.cfg.Workload }
@@ -173,7 +220,10 @@ func (s *Server) Workload() string { return s.cfg.Workload }
 // Keys returns the served key-space bound (account count for bank).
 func (s *Server) Keys() int { return s.cfg.Keys }
 
-// Listen binds the configured address and starts the worker pool. It
+// Shards returns the number of served partitions.
+func (s *Server) Shards() int { return s.cfg.Shards }
+
+// Listen binds the configured address and starts the worker pools. It
 // returns the bound address (Config.Addr may name port 0).
 func (s *Server) Listen() (net.Addr, error) {
 	lis, err := net.Listen("tcp", s.cfg.Addr)
@@ -183,10 +233,14 @@ func (s *Server) Listen() (net.Addr, error) {
 	s.mu.Lock()
 	s.lis = lis
 	s.mu.Unlock()
-	for i := 0; i < s.cfg.Workers; i++ {
-		s.workersWG.Add(1)
-		go s.worker()
+	for _, sh := range s.shards {
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.workersWG.Add(1)
+			go s.worker(sh)
+		}
 	}
+	s.workersWG.Add(1)
+	go s.slowWorker()
 	return lis.Addr(), nil
 }
 
@@ -227,7 +281,8 @@ func (s *Server) ListenAndServe() error {
 	return s.Serve()
 }
 
-// readLoop decodes frames from one connection, validates and admits them.
+// readLoop negotiates the hello exchange, then decodes frames from one
+// connection, validating and admitting them.
 func (s *Server) readLoop(c *conn) {
 	defer s.connsWG.Done()
 	defer func() {
@@ -244,6 +299,13 @@ func (s *Server) readLoop(c *conn) {
 	}()
 
 	fr := frameReader{r: bufio.NewReaderSize(c.nc, 1<<16)}
+	if !s.hello(c, &fr) {
+		// Return without closing the socket: the deferred teardown closes
+		// c.out once the (empty) task set drains, and writeLoop flushes
+		// the queued rejection before it closes the connection — closing
+		// here would race the client out of its explanation.
+		return
+	}
 	for {
 		payload, err := fr.next()
 		if err != nil {
@@ -268,6 +330,37 @@ func (s *Server) readLoop(c *conn) {
 	}
 }
 
+// hello runs the server side of the rtled/1 version negotiation: the first
+// frame on every connection must be a client hello with a supported
+// version. On success the server answers with its own hello (version,
+// feature bits, shard count) and the connection proceeds to requests; on
+// failure the client gets one explanatory StatusBad response and the
+// connection closes.
+func (s *Server) hello(c *conn, fr *frameReader) bool {
+	payload, err := fr.next()
+	if err != nil {
+		return false
+	}
+	ch, err := DecodeClientHello(payload)
+	if err != nil {
+		s.metrics.helloRejects.Add(1)
+		s.reject(c, 0, StatusBad, err.Error())
+		return false
+	}
+	if ch.Version != ProtocolVersion {
+		s.metrics.helloRejects.Add(1)
+		s.reject(c, 0, StatusBad, fmt.Sprintf(
+			"unsupported protocol version %d (server speaks rtled/%d)", ch.Version, ProtocolVersion))
+		return false
+	}
+	c.send(AppendServerHello(nil, &ServerHello{
+		Version:  ProtocolVersion,
+		Features: FeatureSharded,
+		Shards:   uint16(len(s.shards)),
+	}))
+	return true
+}
+
 // validate applies the serving contract to a decoded request.
 func (s *Server) validate(req *Request) error {
 	switch req.Op {
@@ -277,20 +370,24 @@ func (s *Server) validate(req *Request) error {
 		if len(req.Batch) == 0 {
 			return errors.New("empty batch")
 		}
+		adt := s.shards[0].adt // the contract (key bounds, served ops) is shard-independent
 		for i := range req.Batch {
 			e := &req.Batch[i]
-			if err := s.adt.validate(e.Op, e.Arg1, e.Arg2); err != nil {
+			if err := adt.validate(e.Op, e.Arg1, e.Arg2); err != nil {
 				return fmt.Errorf("batch entry %d: %w", i, err)
 			}
 		}
 		return nil
 	default:
-		return s.adt.validate(req.Op, req.Arg1, req.Arg2)
+		return s.shards[0].adt.validate(req.Op, req.Arg1, req.Arg2)
 	}
 }
 
-// admit queues one request, applying drain and backpressure rejection.
+// admit routes one request and queues it, applying drain and backpressure
+// rejection. Fast-path requests go to their shard's bounded queue;
+// multi-shard requests go to the slow queue.
 func (s *Server) admit(c *conn, req Request) {
+	plan := s.router.plan(&req)
 	s.drainMu.RLock()
 	if s.draining {
 		s.drainMu.RUnlock()
@@ -300,15 +397,31 @@ func (s *Server) admit(c *conn, req Request) {
 	t := &task{c: c, req: req, arrived: time.Now()}
 	c.tasks.Add(1)
 	s.tasksWG.Add(1)
+	if plan.fast {
+		sh := s.shards[plan.shard]
+		t.sh = sh
+		select {
+		case sh.queue <- t:
+			sh.m.queueDepth.Add(1)
+			s.drainMu.RUnlock()
+		default:
+			c.tasks.Done()
+			s.tasksWG.Done()
+			s.drainMu.RUnlock()
+			s.busy(c, req.ID, sh)
+		}
+		return
+	}
+	t.spans = plan.spans
 	select {
-	case s.queue <- t:
-		s.metrics.queueDepth.Add(1)
+	case s.slowQueue <- t:
+		s.metrics.slowDepth.Add(1)
 		s.drainMu.RUnlock()
 	default:
 		c.tasks.Done()
 		s.tasksWG.Done()
 		s.drainMu.RUnlock()
-		s.busy(c, req.ID)
+		s.busy(c, req.ID, s.shards[plan.spans[0]])
 	}
 }
 
@@ -318,15 +431,15 @@ func (s *Server) reject(c *conn, id uint32, st Status, msg string) {
 	c.send(AppendResponse(nil, &Response{ID: id, Status: st, Message: msg}))
 }
 
-// busy answers a request rejected by backpressure, with the queue-depth-
-// aware retry hint.
-func (s *Server) busy(c *conn, id uint32) {
+// busy answers a request rejected by backpressure, with the target
+// shard's queue-depth-aware retry hint.
+func (s *Server) busy(c *conn, id uint32, sh *shard) {
 	s.metrics.statuses[StatusBusy].Add(1)
 	c.send(AppendResponse(nil, &Response{
 		ID:               id,
 		Status:           StatusBusy,
-		RetryAfterMicros: s.metrics.retryAfterMicros(s.cfg.Workers),
-		QueueDepth:       uint32(s.metrics.queueDepth.Load()),
+		RetryAfterMicros: sh.m.retryAfterMicros(s.cfg.Workers),
+		QueueDepth:       uint32(sh.m.queueDepth.Load()),
 	}))
 }
 
@@ -360,119 +473,6 @@ func (s *Server) writeLoop(c *conn) {
 	}
 }
 
-// worker executes queued tasks. Each worker owns one method thread and one
-// executor (with a handle per slot), so the pool maps onto the paper's
-// thread model: Workers concurrent critical-section executors.
-func (s *Server) worker() {
-	defer s.workersWG.Done()
-	slots := s.cfg.Coalesce
-	if MaxBatchOps > slots {
-		slots = MaxBatchOps
-	}
-	ex := s.adt.newExecutor(slots)
-	thread := s.method.NewThread()
-	results := make([]Result, slots)
-	group := make([]*task, 0, s.cfg.Coalesce)
-
-	for {
-		t, ok := <-s.queue
-		if !ok {
-			return
-		}
-		s.pickup(t)
-		for t != nil {
-			var carry *task
-			switch t.req.Op {
-			case OpPing:
-				s.respond(t, nil, Response{ID: t.req.ID, Status: StatusOK})
-			case OpBatch:
-				s.runBatch(ex, thread, t, results)
-			default:
-				group = append(group[:0], t)
-				carry = s.fillGroup(&group)
-				s.runGroup(ex, thread, group, results)
-			}
-			t = carry
-		}
-	}
-}
-
-// pickup accounts a task's transition from queued to executing.
-func (s *Server) pickup(t *task) {
-	s.metrics.queueDepth.Add(-1)
-	s.metrics.inflight.Add(1)
-}
-
-// fillGroup opportunistically drains further pending single operations
-// into group (up to the coalesce limit), so one elided critical section
-// serves several queued requests. A batch or ping pulled while filling is
-// returned for the caller to run next. Coalescing preserves
-// linearizability: every grouped operation is pending (invoked, not yet
-// answered) when the shared block commits, so placing them all at its
-// commit point respects real-time order.
-func (s *Server) fillGroup(group *[]*task) *task {
-	for len(*group) < s.cfg.Coalesce {
-		select {
-		case t, ok := <-s.queue:
-			if !ok {
-				return nil
-			}
-			s.pickup(t)
-			if t.req.Op == OpPing || t.req.Op == OpBatch {
-				return t
-			}
-			*group = append(*group, t)
-		default:
-			return nil
-		}
-	}
-	return nil
-}
-
-// runGroup executes every task of group inside one atomic block, each in
-// its own executor slot, then finalizes and answers them.
-func (s *Server) runGroup(ex *executor, thread core.Thread, group []*task, results []Result) {
-	start := time.Now()
-	thread.Atomic(func(c core.Context) {
-		for i, t := range group {
-			results[i] = ex.run(c, i, t.req.Op, t.req.Arg1, t.req.Arg2, t.req.Arg3)
-		}
-	})
-	s.sectionDone(start)
-	if len(group) > 1 {
-		s.metrics.coalesced.Add(uint64(len(group)))
-	}
-	for i, t := range group {
-		ex.after(i, t.req.Op, results[i])
-		s.respond(t, results[i:i+1], Response{ID: t.req.ID, Status: StatusOK})
-	}
-}
-
-// runBatch executes one client batch inside one atomic block — the
-// protocol's atomicity contract — and answers with per-entry results.
-func (s *Server) runBatch(ex *executor, thread core.Thread, t *task, results []Result) {
-	entries := t.req.Batch
-	start := time.Now()
-	thread.Atomic(func(c core.Context) {
-		for i := range entries {
-			e := &entries[i]
-			results[i] = ex.run(c, i, e.Op, e.Arg1, e.Arg2, e.Arg3)
-		}
-	})
-	s.sectionDone(start)
-	s.metrics.batchOps.Add(uint64(len(entries)))
-	for i := range entries {
-		ex.after(i, entries[i].Op, results[i])
-	}
-	s.respond(t, results[:len(entries)], Response{ID: t.req.ID, Status: StatusOK})
-}
-
-// sectionDone folds one atomic block's wall time into the section metrics.
-func (s *Server) sectionDone(start time.Time) {
-	s.metrics.sections.Add(1)
-	s.metrics.observeService(time.Since(start).Nanoseconds())
-}
-
 // respond answers an executed task and releases its accounting. results
 // may alias a worker's scratch slice; it is encoded before returning.
 func (s *Server) respond(t *task, results []Result, resp Response) {
@@ -481,15 +481,17 @@ func (s *Server) respond(t *task, results []Result, resp Response) {
 	s.metrics.statuses[resp.Status].Add(1)
 	s.metrics.latency[opIndex(t.req.Op)].Observe(time.Since(t.arrived).Nanoseconds())
 	t.c.send(frame)
-	s.metrics.inflight.Add(-1)
+	if t.sh != nil {
+		t.sh.m.inflight.Add(-1)
+	}
 	t.c.tasks.Done()
 	s.tasksWG.Done()
 }
 
 // Shutdown drains gracefully: stop admitting, stop accepting, let every
-// accepted request finish and flush, then tear the connections down. It
-// returns ctx's error if the drain does not complete in time (the server
-// is then closed hard).
+// accepted request on every shard finish and flush, then tear the
+// connections down. It returns ctx's error if the drain does not complete
+// in time (the server is then closed hard).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
@@ -515,9 +517,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	// All accepted tasks are answered and no reader can admit more (the
-	// draining flip happened under drainMu), so the queue is empty and
-	// closing it retires the workers.
-	close(s.queue)
+	// draining flip happened under drainMu), so every queue is empty and
+	// closing them retires the workers.
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	close(s.slowQueue)
 	s.workersWG.Wait()
 
 	// Unblock readers parked on their sockets; writers flush what remains

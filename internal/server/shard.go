@@ -1,0 +1,291 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"rtle/internal/check"
+	"rtle/internal/core"
+	"rtle/internal/mem"
+)
+
+// shard is one independent serving partition: its own simulated heap, ADT
+// instance, synchronization method, bounded queue, and worker pool. The
+// key-hash router sends every single-key operation to exactly one shard,
+// so shards never share simulated memory and their method instances never
+// contend — the serving-layer analogue of the paper's fine-grained
+// refinement, applied one level up: partition first, elide within the
+// partition.
+type shard struct {
+	id     int
+	mem    *mem.Memory
+	adt    *adt
+	method core.Method
+	queue  chan *task
+
+	// gate is the shard's drain gate, the fast/slow-path split at the
+	// serving layer: workers hold it shared around every atomic block (the
+	// speculative common case, arbitrarily concurrent), while the
+	// cross-shard slow path holds every involved shard's gate exclusively
+	// — in ascending shard order, so two slow operations can never
+	// deadlock — which quiesces those shards for the duration of the
+	// multi-shard operation.
+	gate sync.RWMutex
+
+	coal *coalescer
+	m    *ShardMetrics
+
+	// Slow-path execution state: one method thread and executor per shard,
+	// touched only while gate is held exclusively, so they need no further
+	// synchronization.
+	slowThread core.Thread
+	slowEx     *executor
+}
+
+// worker executes one shard's queued tasks. Each worker owns one method
+// thread and one executor (with a handle per slot), so the pool maps onto
+// the paper's thread model: Workers concurrent critical-section executors
+// per shard.
+func (s *Server) worker(sh *shard) {
+	defer s.workersWG.Done()
+	slots := s.cfg.Coalesce
+	if MaxBatchOps > slots {
+		slots = MaxBatchOps
+	}
+	ex := sh.adt.newExecutor(slots)
+	thread := sh.method.NewThread()
+	results := make([]Result, slots)
+	group := make([]*task, 0, s.cfg.Coalesce)
+
+	for {
+		t, ok := <-sh.queue
+		if !ok {
+			return
+		}
+		sh.pickup(t)
+		for t != nil {
+			var carry *task
+			switch t.req.Op {
+			case OpPing:
+				s.respond(t, nil, Response{ID: t.req.ID, Status: StatusOK})
+			case OpBatch:
+				s.runBatch(sh, ex, thread, t, results)
+			default:
+				group = append(group[:0], t)
+				carry = s.fillGroup(sh, &group)
+				s.runGroup(sh, ex, thread, group, results)
+			}
+			t = carry
+		}
+	}
+}
+
+// pickup accounts a task's transition from queued to executing.
+func (sh *shard) pickup(t *task) {
+	sh.m.queueDepth.Add(-1)
+	sh.m.inflight.Add(1)
+}
+
+// fillGroup opportunistically drains further pending single operations
+// into group — up to the shard's live adaptive window — so one elided
+// critical section serves several queued requests. A batch or ping pulled
+// while filling is returned for the caller to run next. Coalescing
+// preserves linearizability: every grouped operation is pending (invoked,
+// not yet answered) when the shared block commits, so placing them all at
+// its commit point respects real-time order.
+func (s *Server) fillGroup(sh *shard, group *[]*task) *task {
+	window := sh.coal.Window()
+	for len(*group) < window {
+		select {
+		case t, ok := <-sh.queue:
+			if !ok {
+				return nil
+			}
+			sh.pickup(t)
+			if t.req.Op == OpPing || t.req.Op == OpBatch {
+				return t
+			}
+			*group = append(*group, t)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// runGroup executes every task of group inside one atomic block on sh,
+// each in its own executor slot, then finalizes and answers them.
+func (s *Server) runGroup(sh *shard, ex *executor, thread core.Thread, group []*task, results []Result) {
+	start := time.Now()
+	sh.gate.RLock()
+	thread.Atomic(func(c core.Context) {
+		for i, t := range group {
+			results[i] = ex.run(c, i, t.req.Op, t.req.Arg1, t.req.Arg2, t.req.Arg3)
+		}
+	})
+	sh.gate.RUnlock()
+	sh.sectionDone(start)
+	if len(group) > 1 {
+		sh.m.coalesced.Add(uint64(len(group)))
+	}
+	for i, t := range group {
+		ex.after(i, t.req.Op, results[i])
+		s.respond(t, results[i:i+1], Response{ID: t.req.ID, Status: StatusOK})
+	}
+}
+
+// runBatch executes one single-shard client batch inside one atomic block
+// — the protocol's atomicity contract — and answers with per-entry
+// results. Batches spanning several shards take the slow path instead.
+func (s *Server) runBatch(sh *shard, ex *executor, thread core.Thread, t *task, results []Result) {
+	entries := t.req.Batch
+	start := time.Now()
+	sh.gate.RLock()
+	thread.Atomic(func(c core.Context) {
+		for i := range entries {
+			e := &entries[i]
+			results[i] = ex.run(c, i, e.Op, e.Arg1, e.Arg2, e.Arg3)
+		}
+	})
+	sh.gate.RUnlock()
+	sh.sectionDone(start)
+	sh.m.batchOps.Add(uint64(len(entries)))
+	for i := range entries {
+		ex.after(i, entries[i].Op, results[i])
+	}
+	s.respond(t, results[:len(entries)], Response{ID: t.req.ID, Status: StatusOK})
+}
+
+// sectionDone folds one fast-path atomic block's wall time into the
+// shard's metrics and feeds the adaptive coalesce controller.
+func (sh *shard) sectionDone(start time.Time) {
+	sh.m.sections.Add(1)
+	sh.m.observeService(time.Since(start).Nanoseconds())
+	sh.coal.Observe(sh.m.queueDepth.Load(), sh.m.ewmaServiceNanos.Load())
+}
+
+// slowSectionDone folds one slow-path atomic block into sh's metrics.
+// Slow blocks run under the exclusive gate, so they count toward the
+// shard's section and service series but do not steer its coalescer (the
+// window follows fast-path queue pressure).
+func (sh *shard) slowSectionDone(start time.Time) {
+	sh.m.sections.Add(1)
+	sh.m.slowBlocks.Add(1)
+	sh.m.observeService(time.Since(start).Nanoseconds())
+}
+
+// slowWorker executes cross-shard tasks. One goroutine suffices: slow
+// operations serialize on the exclusive gates anyway, and keeping the
+// pool at one bounds the number of shards a misbehaving workload can
+// quiesce at once.
+func (s *Server) slowWorker() {
+	defer s.workersWG.Done()
+	results := make([]Result, MaxBatchOps)
+	for t := range s.slowQueue {
+		s.metrics.slowDepth.Add(-1)
+		switch t.req.Op {
+		case check.OpTransfer:
+			s.runSlowTransfer(t)
+		case OpBatch:
+			s.runSlowBatch(t, results)
+		default:
+			// The router only sends transfers and batches here; anything
+			// else is a routing bug surfaced loudly in tests.
+			s.reject(t.c, t.req.ID, StatusBad, "internal: single-shard op on slow path")
+			t.c.tasks.Done()
+			s.tasksWG.Done()
+		}
+	}
+}
+
+// lockSpans acquires the drain gates of the involved shards exclusively,
+// in ascending shard order. All cross-shard operations order their
+// acquisitions the same way, so no cycle — and therefore no deadlock — is
+// possible; spans is ascending by construction (router.plan).
+func (s *Server) lockSpans(spans []int) {
+	for _, k := range spans {
+		s.shards[k].gate.Lock()
+	}
+}
+
+// unlockSpans releases the gates taken by lockSpans.
+func (s *Server) unlockSpans(spans []int) {
+	for _, k := range spans {
+		s.shards[k].gate.Unlock()
+	}
+}
+
+// runSlowTransfer moves funds between accounts owned by two different
+// shards: withdraw on the source shard, then deposit on the destination,
+// each its own atomic block, both under the two shards' exclusive gates.
+// Holding both gates for the whole sequence makes the pair observably
+// atomic — no fast-path worker (and hence no client-visible operation)
+// can read either shard between the halves — so the bank's conservation
+// invariant is never visibly broken, exactly as if TransferCS had run in
+// one block.
+func (s *Server) runSlowTransfer(t *task) {
+	from := s.shards[s.router.shardOf(t.req.Arg1)]
+	to := s.shards[s.router.shardOf(t.req.Arg2)]
+	spans := t.spans
+
+	s.lockSpans(spans)
+	var moved uint64
+	start := time.Now()
+	from.slowThread.Atomic(func(c core.Context) {
+		moved = from.adt.withdrawCS(c, t.req.Arg1, t.req.Arg3)
+	})
+	from.slowSectionDone(start)
+	start = time.Now()
+	to.slowThread.Atomic(func(c core.Context) {
+		to.adt.depositCS(c, t.req.Arg2, moved)
+	})
+	to.slowSectionDone(start)
+	s.unlockSpans(spans)
+
+	s.metrics.crossOps.Add(1)
+	s.respond(t, []Result{{Ret: moved, Ok: true}}, Response{ID: t.req.ID, Status: StatusOK})
+}
+
+// runSlowBatch executes a batch whose entries hash to several shards: one
+// atomic block per involved shard, all under the involved shards'
+// exclusive gates, with each entry's result scattered back to its batch
+// position. As with transfers, exclusive gates make the per-shard blocks
+// jointly atomic to every observer.
+func (s *Server) runSlowBatch(t *task, results []Result) {
+	entries := t.req.Batch
+	spans := t.spans
+
+	s.lockSpans(spans)
+	for _, k := range spans {
+		sh := s.shards[k]
+		start := time.Now()
+		sh.gateHeldBatch(s.router, entries, results)
+		sh.slowSectionDone(start)
+	}
+	s.unlockSpans(spans)
+
+	s.metrics.crossOps.Add(uint64(len(entries)))
+	for _, k := range spans {
+		sh := s.shards[k]
+		for i := range entries {
+			if s.router.shardOf(entries[i].Arg1) == k {
+				sh.slowEx.after(i, entries[i].Op, results[i])
+			}
+		}
+	}
+	s.respond(t, results[:len(entries)], Response{ID: t.req.ID, Status: StatusOK})
+}
+
+// gateHeldBatch runs the batch entries owned by sh inside one atomic
+// block on its slow-path thread. Caller holds sh.gate exclusively.
+func (sh *shard) gateHeldBatch(r *router, entries []BatchEntry, results []Result) {
+	sh.slowThread.Atomic(func(c core.Context) {
+		for i := range entries {
+			e := &entries[i]
+			if r.shardOf(e.Arg1) != sh.id {
+				continue
+			}
+			results[i] = sh.slowEx.run(c, i, e.Op, e.Arg1, e.Arg2, e.Arg3)
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rtle/internal/check"
+	"rtle/internal/fault"
+)
+
+// TestShardedLinearizable is the tentpole claim for set/map sharding:
+// pipelined load against a four-shard server — including two-key witness
+// batches that cross shards — records a linearizable history, and the
+// cross-shard slow path actually ran.
+func TestShardedLinearizable(t *testing.T) {
+	for _, workload := range []string{"set", "map"} {
+		t.Run(workload, func(t *testing.T) {
+			srv, addr := startServer(t, Config{
+				Workload: workload,
+				Method:   "FG-TLE(256)",
+				Shards:   4,
+				Workers:  2,
+				Keys:     128,
+			})
+			res, err := RunLoad(LoadConfig{
+				Addr: addr, Workload: workload, Conns: 4, Pipeline: 8,
+				Ops: 3000, ReadPct: 80, BatchPct: 15, Keys: 128, Check: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Shards != 4 {
+				t.Errorf("client saw %d shards, want 4", res.Shards)
+			}
+			if len(res.WitnessViolations) > 0 {
+				t.Fatalf("witness violations: %v", res.WitnessViolations)
+			}
+			if !res.Linearizable {
+				t.Fatalf("sharded history not linearizable: %s", res.CheckDetail)
+			}
+			if srv.Metrics().CrossShard() == 0 {
+				t.Error("no cross-shard operations ran; two-key witnesses never spanned shards")
+			}
+			var active int
+			for _, sm := range srv.Metrics().Shards() {
+				if sm.sections.Load() > 0 {
+					active++
+				}
+			}
+			if active < 2 {
+				t.Errorf("only %d shard(s) executed sections; routing is not spreading", active)
+			}
+		})
+	}
+}
+
+// TestCrossShardBank is the hardest correctness claim of the sharded
+// design: bank transfers between accounts on different shards go through
+// the two-block withdraw/deposit slow path under exclusive drain gates,
+// and the whole-history linearizability check (plus full-coverage
+// conservation witnesses) must still pass — under an active fault plan, so
+// speculation on every shard is being aborted while gates are cycling.
+func TestCrossShardBank(t *testing.T) {
+	plan := fault.Plan{
+		Seed:       11,
+		BeginProb:  0.05,
+		AccessProb: 0.01,
+		StormEvery: 400,
+		StormLen:   3,
+	}
+	srv, addr := startServer(t, Config{
+		Workload: "bank",
+		Method:   "RHNOrec",
+		Shards:   4,
+		Workers:  2,
+		Keys:     16,
+		Plan:     &plan,
+	})
+	res, err := RunLoad(LoadConfig{
+		Addr: addr, Workload: "bank", Conns: 2, Pipeline: 4,
+		Ops: 800, ReadPct: 50, BatchPct: 20, Keys: 16, Check: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WitnessViolations) > 0 {
+		t.Fatalf("conservation violated: %v", res.WitnessViolations)
+	}
+	if !res.Linearizable {
+		t.Fatalf("cross-shard bank history not linearizable: %s", res.CheckDetail)
+	}
+	m := srv.Metrics()
+	if m.CrossShard() == 0 {
+		t.Fatal("no transfer crossed shards; the test is vacuous")
+	}
+	var slow uint64
+	for _, sm := range m.Shards() {
+		slow += sm.slowBlocks.Load()
+	}
+	if slow == 0 {
+		t.Error("cross-shard ops ran but no slow blocks were recorded")
+	}
+	if srv.Director() == nil || srv.Director().TotalInjected() == 0 {
+		t.Error("fault plan injected nothing; the chaos run was vacuous")
+	}
+}
+
+// TestMultiShardDrain proves the drain contract survives sharding: with
+// load in flight across four shard queues and the slow queue, Shutdown
+// answers every accepted request on every shard before returning, and
+// afterwards no queue holds residue.
+func TestMultiShardDrain(t *testing.T) {
+	srv, err := New(Config{Workload: "map", Shards: 4, Workers: 2, Keys: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve() }()
+
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	okCount := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				resp, err := c.Op(check.OpPut, uint64(i*50+j)%256, uint64(j), 0)
+				if err != nil || resp.Status != StatusOK {
+					return // the drain cut us off; that's the point
+				}
+				okCount[i]++
+			}
+		}(i)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	<-done
+	wg.Wait()
+
+	var total int
+	for _, n := range okCount {
+		total += n
+	}
+	m := srv.Metrics()
+	if m.Responses(StatusOK) < uint64(total) {
+		t.Errorf("server answered %d OK, clients saw %d", m.Responses(StatusOK), total)
+	}
+	if d := m.QueueDepth(); d != 0 {
+		t.Errorf("queues hold %d tasks after a clean drain", d)
+	}
+	for k, sm := range m.Shards() {
+		if inf := sm.inflight.Load(); inf != 0 {
+			t.Errorf("shard %d reports %d inflight after drain", k, inf)
+		}
+	}
+}
+
+// TestShardedMetricsRendered checks the per-shard Prometheus families: the
+// merged unlabelled series and the {shard="k"} series must both render.
+func TestShardedMetricsRendered(t *testing.T) {
+	srv, addr := startServer(t, Config{Workload: "map", Shards: 2, Keys: 64})
+	res, err := RunLoad(LoadConfig{
+		Addr: addr, Workload: "map", Conns: 2, Pipeline: 4,
+		Ops: 400, Keys: 64, Check: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	var sb strings.Builder
+	if err := srv.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"rtled_shards 2",
+		`rtled_sections_total{shard="0"}`,
+		`rtled_sections_total{shard="1"}`,
+		`rtled_shard_queue_depth{shard="0"}`,
+		`rtled_coalesce_window{shard="1"}`,
+		"rtled_hello_rejects_total 0",
+		"rtled_cross_shard_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -5,14 +5,22 @@
 # fault plan, then drain with SIGTERM. rtleload exits non-zero on any
 # linearizability or batch-atomicity violation, which fails this script.
 #
-# Usage: scripts/e2e.sh [bindir]
+# The whole matrix runs once per shard count: -shards 1 covers the
+# unsharded fast path, -shards 4 covers consistent-hash routing, the
+# cross-shard slow path (two-key witness batches, cross-shard bank
+# transfers), and the multi-shard drain.
+#
+# Usage: scripts/e2e.sh [bindir] [shard counts]
 #   bindir: directory holding prebuilt rtled/rtleload (default: build into
 #   a temp dir with `go build`).
+#   shard counts: space-separated list (default "1 4"); CI passes a single
+#   count per matrix job.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BINDIR="${1:-}"
+SHARD_COUNTS="${2:-1 4}"
 if [ -z "$BINDIR" ]; then
   BINDIR="$(mktemp -d)"
   echo "e2e: building rtled and rtleload into $BINDIR"
@@ -57,37 +65,44 @@ drain() {
 
 FAULT_PLAN='{"seed":11,"begin_prob":0.05,"storm_every":500,"storm_len":3}'
 
-# --- Clean runs: set workload, both acceptance mixes -------------------------
-# One server boot per checked run: the linearizability models assume the
-# initial state of a fresh server (empty set/map, bank at par), so -check
-# is only sound against a server that has served nothing else.
-boot -workload set -method 'FG-TLE(256)' -workers 4 -keys 256
-"$BINDIR/rtleload" -addr "$ADDR" -workload set -keys 256 \
-  -conns 4 -pipeline 8 -ops 20000 -read-pct 90 -batch-pct 10
-drain
+for SHARDS in $SHARD_COUNTS; do
+  echo "e2e: === shard count $SHARDS ==="
 
-boot -workload set -method 'FG-TLE(256)' -workers 4 -keys 256
-"$BINDIR/rtleload" -addr "$ADDR" -workload set -keys 256 \
-  -conns 4 -pipeline 8 -ops 20000 -read-pct 50 -batch-pct 10 -seed 2
-drain
+  # --- Clean runs: set workload, both acceptance mixes -----------------------
+  # One server boot per checked run: the linearizability models assume the
+  # initial state of a fresh server (empty set/map, bank at par), so -check
+  # is only sound against a server that has served nothing else.
+  boot -workload set -method 'FG-TLE(256)' -shards "$SHARDS" -workers 4 -keys 256
+  "$BINDIR/rtleload" -addr "$ADDR" -workload set -keys 256 \
+    -conns 4 -pipeline 8 -ops 20000 -read-pct 90 -batch-pct 10
+  drain
 
-# --- Fault-plan run: same mixes with the method under chaos ------------------
-boot -workload set -method 'FG-TLE(256)' -workers 4 -keys 256 -fault-plan "$FAULT_PLAN"
-"$BINDIR/rtleload" -addr "$ADDR" -workload set -keys 256 \
-  -conns 4 -pipeline 8 -ops 12000 -read-pct 50 -batch-pct 10 -seed 3
-drain
-grep -q 'fault director injected [1-9]' "$LOG" || {
-  echo "e2e: fault plan injected nothing; chaos run was vacuous"; cat "$LOG"; exit 1; }
+  boot -workload set -method 'FG-TLE(256)' -shards "$SHARDS" -workers 4 -keys 256
+  "$BINDIR/rtleload" -addr "$ADDR" -workload set -keys 256 \
+    -conns 4 -pipeline 8 -ops 20000 -read-pct 50 -batch-pct 10 -seed 2
+  drain
 
-# --- Map and bank workloads over the wire ------------------------------------
-boot -workload map -method TLE -workers 4 -keys 128
-"$BINDIR/rtleload" -addr "$ADDR" -workload map -keys 128 \
-  -conns 4 -pipeline 8 -ops 10000 -read-pct 50 -batch-pct 10
-drain
+  # --- Fault-plan run: same mixes with the method under chaos ----------------
+  boot -workload set -method 'FG-TLE(256)' -shards "$SHARDS" -workers 4 -keys 256 \
+    -fault-plan "$FAULT_PLAN"
+  "$BINDIR/rtleload" -addr "$ADDR" -workload set -keys 256 \
+    -conns 4 -pipeline 8 -ops 12000 -read-pct 50 -batch-pct 10 -seed 3
+  drain
+  grep -q 'fault director injected [1-9]' "$LOG" || {
+    echo "e2e: fault plan injected nothing; chaos run was vacuous"; cat "$LOG"; exit 1; }
 
-boot -workload bank -method RHNOrec -workers 4 -keys 16
-"$BINDIR/rtleload" -addr "$ADDR" -workload bank -keys 16 \
-  -conns 2 -pipeline 4 -ops 1500 -read-pct 60 -batch-pct 20
-drain
+  # --- Map and bank workloads over the wire ----------------------------------
+  boot -workload map -method TLE -shards "$SHARDS" -workers 4 -keys 128
+  "$BINDIR/rtleload" -addr "$ADDR" -workload map -keys 128 \
+    -conns 4 -pipeline 8 -ops 10000 -read-pct 50 -batch-pct 10
+  drain
+
+  # Bank with several shards drives the cross-shard transfer slow path; the
+  # whole-history check plus the full-coverage conservation witness covers it.
+  boot -workload bank -method RHNOrec -shards "$SHARDS" -workers 4 -keys 16
+  "$BINDIR/rtleload" -addr "$ADDR" -workload bank -keys 16 \
+    -conns 2 -pipeline 4 -ops 1500 -read-pct 60 -batch-pct 20
+  drain
+done
 
 echo "e2e: all serving-layer checks passed"
