@@ -31,11 +31,18 @@ type adt struct {
 	mp   *tmap.Map
 	bk   *bank.Bank
 	// local translates a global account id to this shard's Bank index
-	// (bank only; entries are meaningful only for owned accounts). Set
-	// and map shards span the full key space, so their keys need no
-	// translation — ownership is purely the router's hash.
+	// (bank only; unowned accounts hold the unownedAccount sentinel and
+	// are rejected loudly by localIdx). Set and map shards span the full
+	// key space, so their keys need no translation — ownership is purely
+	// the router's hash.
 	local []uint32
 }
+
+// unownedAccount marks a local-translation slot whose global account
+// belongs to another shard: indexing the Bank through it would silently
+// read or credit whichever owned account shares the slot value, so
+// localIdx treats it as a fatal routing bug instead.
+const unownedAccount = ^uint32(0)
 
 // heapWords sizes one shard's simulated heap for kind with the given
 // key-space bound and worker count: enough lines for every possible key
@@ -66,6 +73,9 @@ func newADT(kind string, m *mem.Memory, keys int, owned []uint64) (*adt, error) 
 	case "bank":
 		a.bk = bank.New(m, len(owned), BankInitial)
 		a.local = make([]uint32, keys)
+		for g := range a.local {
+			a.local[g] = unownedAccount
+		}
 		for idx, g := range owned {
 			a.local[g] = uint32(idx)
 		}
@@ -164,23 +174,35 @@ func (e *executor) run(c core.Context, s int, op Op, a1, a2, a3 uint64) Result {
 	case check.OpAdd:
 		return Result{e.mapH[s].AddCS(c, a1, a2), true}
 	case check.OpTransfer:
-		return Result{e.a.bk.TransferCS(c, int(e.a.local[a1]), int(e.a.local[a2]), a3), true}
+		return Result{e.a.bk.TransferCS(c, e.a.localIdx(a1), e.a.localIdx(a2), a3), true}
 	case check.OpBalance:
-		return Result{e.a.bk.BalanceCS(c, int(e.a.local[a1])), true}
+		return Result{e.a.bk.BalanceCS(c, e.a.localIdx(a1)), true}
 	}
 	return Result{}
+}
+
+// localIdx translates global account g to this shard's Bank index. Every
+// caller sits behind the router, so receiving an account this shard does
+// not own is a routing bug; panicking here turns what would otherwise be
+// a silent operation on the wrong account into a loud failure.
+func (a *adt) localIdx(g uint64) int {
+	l := a.local[g]
+	if l == unownedAccount {
+		panic(fmt.Sprintf("server: account %d routed to a shard that does not own it", g))
+	}
+	return int(l)
 }
 
 // withdrawCS removes up to amount from global account g's balance on this
 // shard, returning the amount moved. Cross-shard transfer half; see
 // bank.WithdrawCS for the quiescence contract.
 func (a *adt) withdrawCS(c core.Context, g, amount uint64) uint64 {
-	return a.bk.WithdrawCS(c, int(a.local[g]), amount)
+	return a.bk.WithdrawCS(c, a.localIdx(g), amount)
 }
 
 // depositCS adds amount to global account g's balance on this shard.
 func (a *adt) depositCS(c core.Context, g, amount uint64) {
-	a.bk.DepositCS(c, int(a.local[g]), amount)
+	a.bk.DepositCS(c, a.localIdx(g), amount)
 }
 
 // after finalizes slot s's handle bookkeeping once the atomic block that

@@ -51,25 +51,39 @@ type ShardMetrics struct {
 	slowBlocks atomic.Uint64 // atomic blocks run on this shard by the cross-shard slow path
 
 	// ewmaServiceNanos is the decayed mean wall time of one atomic block
-	// on this shard, the basis of the retry-after hint and the adaptive
-	// coalesce window.
+	// on this shard — fast and slow paths alike — the basis of the
+	// retry-after hint, which prices total shard occupancy.
 	ewmaServiceNanos atomic.Int64
+
+	// ewmaFastNanos is the same decayed mean over fast-path blocks only,
+	// the service signal the adaptive coalescer steers by: a long
+	// multi-shard slow block must not read as fast-path service time and
+	// suppress window widening.
+	ewmaFastNanos atomic.Int64
 
 	// coal renders the shard's live coalesce window; set by New.
 	coal *coalescer
 }
 
-// observeService folds one atomic block's wall time into the EWMA
-// (alpha = 1/8, integer arithmetic; a racing update loses one sample,
-// which a decayed mean absorbs).
-func (m *ShardMetrics) observeService(nanos int64) {
-	old := m.ewmaServiceNanos.Load()
+// ewmaFold folds one sample into a decayed mean (alpha = 1/8, integer
+// arithmetic; a racing update loses one sample, which a decayed mean
+// absorbs).
+func ewmaFold(v *atomic.Int64, sample int64) {
+	old := v.Load()
 	if old == 0 {
-		m.ewmaServiceNanos.Store(nanos)
+		v.Store(sample)
 		return
 	}
-	m.ewmaServiceNanos.Store(old + (nanos-old)/8)
+	v.Store(old + (sample-old)/8)
 }
+
+// observeService folds one atomic block's wall time into the shared
+// service EWMA (both paths).
+func (m *ShardMetrics) observeService(nanos int64) { ewmaFold(&m.ewmaServiceNanos, nanos) }
+
+// observeFastService folds one fast-path block's wall time into the
+// coalescer's service signal.
+func (m *ShardMetrics) observeFastService(nanos int64) { ewmaFold(&m.ewmaFastNanos, nanos) }
 
 // retryAfterMicros estimates when this shard's queue capacity frees up:
 // the backlog ahead of a rejected request (depth plus what is executing),

@@ -110,13 +110,11 @@ func (r *router) plan(req *Request) routePlan {
 	case OpPing:
 		return routePlan{fast: true, shard: 0}
 	case OpBatch:
-		first := r.shardOf(req.Batch[0].Arg1)
-		multi := false
-		for i := 1; i < len(req.Batch); i++ {
-			if r.shardOf(req.Batch[i].Arg1) != first {
-				multi = true
-				break
-			}
+		first, b0 := r.entryShards(&req.Batch[0])
+		multi := b0 != first
+		for i := 1; i < len(req.Batch) && !multi; i++ {
+			a, b := r.entryShards(&req.Batch[i])
+			multi = a != first || b != first
 		}
 		if !multi {
 			return routePlan{fast: true, shard: first}
@@ -136,11 +134,25 @@ func (r *router) plan(req *Request) routePlan {
 	}
 }
 
+// entryShards returns the shards one batch entry touches, as the
+// (source, destination) pair for a transfer — both accounts' owning
+// shards matter for routing, a withdrawal and a deposit each — and the
+// single owning shard twice for every other op.
+func (r *router) entryShards(e *BatchEntry) (int, int) {
+	a := r.shardOf(e.Arg1)
+	if e.Op == check.OpTransfer {
+		return a, r.shardOf(e.Arg2)
+	}
+	return a, a
+}
+
 // batchSpans returns the ascending deduplicated shard set of a batch.
 func (r *router) batchSpans(batch []BatchEntry) []int {
 	seen := make(map[int]struct{}, r.shards)
 	for i := range batch {
-		seen[r.shardOf(batch[i].Arg1)] = struct{}{}
+		a, b := r.entryShards(&batch[i])
+		seen[a] = struct{}{}
+		seen[b] = struct{}{}
 	}
 	spans := make([]int, 0, len(seen))
 	for k := range seen {

@@ -1,10 +1,37 @@
 package server
 
 import (
+	"sort"
 	"testing"
 
 	"rtle/internal/check"
 )
+
+// crossShardPair returns an account pair owned by different shards, and a
+// pair owned by the same shard, under r.
+func crossShardPair(t *testing.T, r *router, keys uint64) (cross [2]uint64, same [2]uint64) {
+	t.Helper()
+	foundCross, foundSame := false, false
+	for a := uint64(0); a < keys && !(foundCross && foundSame); a++ {
+		for b := uint64(0); b < keys; b++ {
+			if a == b {
+				continue
+			}
+			if r.shardOf(a) != r.shardOf(b) && !foundCross {
+				cross = [2]uint64{a, b}
+				foundCross = true
+			}
+			if r.shardOf(a) == r.shardOf(b) && !foundSame {
+				same = [2]uint64{a, b}
+				foundSame = true
+			}
+		}
+	}
+	if !foundCross || !foundSame {
+		t.Fatal("account space produced no cross-shard or no same-shard pair; shrink the hash?")
+	}
+	return cross, same
+}
 
 // TestShardDistribution checks the router's load spread: hashing a dense
 // key space (the serving contract's common shape) across shards must not
@@ -130,6 +157,39 @@ func TestRoutePlan(t *testing.T) {
 	two := []BatchEntry{{Op: check.OpGet, Arg1: a}, {Op: check.OpGet, Arg1: b}}
 	if p := rm.plan(&Request{Op: OpBatch, Batch: two}); p.fast || len(p.spans) != 2 {
 		t.Errorf("two-shard batch planned %+v, want 2 spans", p)
+	}
+}
+
+// TestRoutePlanTransferBatch pins the regression where batch routing
+// classified a transfer entry by its source account alone: a batch whose
+// entries' first arguments share a shard but whose transfer destination
+// lives elsewhere must take the slow path spanning both shards —
+// otherwise the destination shard is never gated and the deposit indexes
+// a Bank that does not own the account.
+func TestRoutePlanTransferBatch(t *testing.T) {
+	r := newRouter("bank", 4, 64)
+	cross, same := crossShardPair(t, r, 64)
+
+	p := r.plan(&Request{Op: OpBatch, Batch: []BatchEntry{
+		{Op: check.OpTransfer, Arg1: cross[0], Arg2: cross[1], Arg3: 1},
+		{Op: check.OpBalance, Arg1: cross[0]},
+	}})
+	if p.fast {
+		t.Fatalf("batch with a cross-shard transfer planned fast on shard %d", p.shard)
+	}
+	want := []int{r.shardOf(cross[0]), r.shardOf(cross[1])}
+	sort.Ints(want)
+	if len(p.spans) != 2 || p.spans[0] != want[0] || p.spans[1] != want[1] {
+		t.Fatalf("spans %v, want %v (both the source and destination shards)", p.spans, want)
+	}
+
+	// A batch whose transfers stay inside one shard remains fast.
+	p = r.plan(&Request{Op: OpBatch, Batch: []BatchEntry{
+		{Op: check.OpTransfer, Arg1: same[0], Arg2: same[1], Arg3: 1},
+		{Op: check.OpBalance, Arg1: same[0]},
+	}})
+	if !p.fast || p.shard != r.shardOf(same[0]) {
+		t.Errorf("same-shard transfer batch planned %+v, want fast on shard %d", p, r.shardOf(same[0]))
 	}
 }
 

@@ -400,11 +400,16 @@ func (s *Server) admit(c *conn, req Request) {
 	if plan.fast {
 		sh := s.shards[plan.shard]
 		t.sh = sh
+		// Count before the send: a worker decrements at pickup, so
+		// counting after it could let the gauge dip negative — and the
+		// coalescer reads it, so a stale negative depth would spuriously
+		// shrink the window.
+		sh.m.queueDepth.Add(1)
 		select {
 		case sh.queue <- t:
-			sh.m.queueDepth.Add(1)
 			s.drainMu.RUnlock()
 		default:
+			sh.m.queueDepth.Add(-1)
 			c.tasks.Done()
 			s.tasksWG.Done()
 			s.drainMu.RUnlock()
@@ -413,11 +418,12 @@ func (s *Server) admit(c *conn, req Request) {
 		return
 	}
 	t.spans = plan.spans
+	s.metrics.slowDepth.Add(1)
 	select {
 	case s.slowQueue <- t:
-		s.metrics.slowDepth.Add(1)
 		s.drainMu.RUnlock()
 	default:
+		s.metrics.slowDepth.Add(-1)
 		c.tasks.Done()
 		s.tasksWG.Done()
 		s.drainMu.RUnlock()

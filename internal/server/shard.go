@@ -159,15 +159,19 @@ func (s *Server) runBatch(sh *shard, ex *executor, thread core.Thread, t *task, 
 // sectionDone folds one fast-path atomic block's wall time into the
 // shard's metrics and feeds the adaptive coalesce controller.
 func (sh *shard) sectionDone(start time.Time) {
+	nanos := time.Since(start).Nanoseconds()
 	sh.m.sections.Add(1)
-	sh.m.observeService(time.Since(start).Nanoseconds())
-	sh.coal.Observe(sh.m.queueDepth.Load(), sh.m.ewmaServiceNanos.Load())
+	sh.m.observeService(nanos)
+	sh.m.observeFastService(nanos)
+	sh.coal.Observe(sh.m.queueDepth.Load(), sh.m.ewmaFastNanos.Load())
 }
 
 // slowSectionDone folds one slow-path atomic block into sh's metrics.
-// Slow blocks run under the exclusive gate, so they count toward the
-// shard's section and service series but do not steer its coalescer (the
-// window follows fast-path queue pressure).
+// Slow blocks run under the exclusive gate; they feed the shared service
+// EWMA (the retry-after hint prices total shard occupancy) but not the
+// fast-path EWMA the coalescer steers by, so a long multi-shard block
+// cannot masquerade as fast-path service time and suppress window
+// widening.
 func (sh *shard) slowSectionDone(start time.Time) {
 	sh.m.sections.Add(1)
 	sh.m.slowBlocks.Add(1)
@@ -226,66 +230,66 @@ func (s *Server) unlockSpans(spans []int) {
 func (s *Server) runSlowTransfer(t *task) {
 	from := s.shards[s.router.shardOf(t.req.Arg1)]
 	to := s.shards[s.router.shardOf(t.req.Arg2)]
-	spans := t.spans
 
-	s.lockSpans(spans)
+	s.lockSpans(t.spans)
+	res := s.crossTransfer(from, to, t.req.Arg1, t.req.Arg2, t.req.Arg3)
+	s.unlockSpans(t.spans)
+
+	s.metrics.crossOps.Add(1)
+	s.respond(t, []Result{res}, Response{ID: t.req.ID, Status: StatusOK})
+}
+
+// crossTransfer runs the withdraw/deposit split of one cross-shard
+// transfer: withdraw on the source shard, then deposit of the amount
+// actually moved on the destination, each its own atomic block. The
+// caller holds both shards' gates exclusively, which is what makes the
+// two blocks observably one transfer (see runSlowTransfer). The clamped
+// result matches TransferCS exactly.
+func (s *Server) crossTransfer(from, to *shard, src, dst, amount uint64) Result {
 	var moved uint64
 	start := time.Now()
 	from.slowThread.Atomic(func(c core.Context) {
-		moved = from.adt.withdrawCS(c, t.req.Arg1, t.req.Arg3)
+		moved = from.adt.withdrawCS(c, src, amount)
 	})
 	from.slowSectionDone(start)
 	start = time.Now()
 	to.slowThread.Atomic(func(c core.Context) {
-		to.adt.depositCS(c, t.req.Arg2, moved)
+		to.adt.depositCS(c, dst, moved)
 	})
 	to.slowSectionDone(start)
-	s.unlockSpans(spans)
-
-	s.metrics.crossOps.Add(1)
-	s.respond(t, []Result{{Ret: moved, Ok: true}}, Response{ID: t.req.ID, Status: StatusOK})
+	return Result{Ret: moved, Ok: true}
 }
 
-// runSlowBatch executes a batch whose entries hash to several shards: one
-// atomic block per involved shard, all under the involved shards'
-// exclusive gates, with each entry's result scattered back to its batch
-// position. As with transfers, exclusive gates make the per-shard blocks
-// jointly atomic to every observer.
+// runSlowBatch executes a batch whose entries span several shards. All
+// involved shards' gates are held exclusively for the whole batch, then
+// the entries execute strictly in batch order, each inside its own
+// atomic block on its owning shard — a cross-shard transfer entry as the
+// crossTransfer withdraw/deposit split, since its two accounts live in
+// different shards' heaps. The gates make the per-entry blocks jointly
+// atomic to every observer, so the client sees exactly a sequential,
+// atomic execution of its batch.
 func (s *Server) runSlowBatch(t *task, results []Result) {
 	entries := t.req.Batch
 	spans := t.spans
 
 	s.lockSpans(spans)
-	for _, k := range spans {
-		sh := s.shards[k]
+	for i := range entries {
+		e := &entries[i]
+		a, b := s.router.entryShards(e)
+		if a != b {
+			results[i] = s.crossTransfer(s.shards[a], s.shards[b], e.Arg1, e.Arg2, e.Arg3)
+			continue
+		}
+		sh := s.shards[a]
 		start := time.Now()
-		sh.gateHeldBatch(s.router, entries, results)
+		sh.slowThread.Atomic(func(c core.Context) {
+			results[i] = sh.slowEx.run(c, i, e.Op, e.Arg1, e.Arg2, e.Arg3)
+		})
 		sh.slowSectionDone(start)
+		sh.slowEx.after(i, e.Op, results[i])
 	}
 	s.unlockSpans(spans)
 
 	s.metrics.crossOps.Add(uint64(len(entries)))
-	for _, k := range spans {
-		sh := s.shards[k]
-		for i := range entries {
-			if s.router.shardOf(entries[i].Arg1) == k {
-				sh.slowEx.after(i, entries[i].Op, results[i])
-			}
-		}
-	}
 	s.respond(t, results[:len(entries)], Response{ID: t.req.ID, Status: StatusOK})
-}
-
-// gateHeldBatch runs the batch entries owned by sh inside one atomic
-// block on its slow-path thread. Caller holds sh.gate exclusively.
-func (sh *shard) gateHeldBatch(r *router, entries []BatchEntry, results []Result) {
-	sh.slowThread.Atomic(func(c core.Context) {
-		for i := range entries {
-			e := &entries[i]
-			if r.shardOf(e.Arg1) != sh.id {
-				continue
-			}
-			results[i] = sh.slowEx.run(c, i, e.Op, e.Arg1, e.Arg2, e.Arg3)
-		}
-	})
 }
