@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet rtlevet e2e bench-json bench-wire all
+.PHONY: build test race vet rtlevet e2e bench-json bench-wire bench-guard all
 
 all: build vet test
 
@@ -39,3 +39,10 @@ bench-json:
 bench-wire:
 	$(GO) run ./cmd/rtlebench -threads 1,2,4 -dur 300ms -json -outdir . \
 		-wire -wire-shards 1,2,4 -wire-ops 60000 -wire-rate 40000
+
+# bench-guard sweeps the elision guards (rtle.Mutex / rtle.RWMutex vs
+# sync locks vs raw Methods) into a BENCH_<n>.json "guard" section. The
+# method grid is skipped (-methods '') so the file is guard-only.
+bench-guard:
+	$(GO) run ./cmd/rtlebench -methods '' -json -outdir . \
+		-guard -guard-goroutines 1,4,16 -guard-read-pcts 90,10 -guard-ops 20000

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rtle"
+	"rtle/internal/core"
+	"rtle/internal/harness"
+	"rtle/internal/mem"
+	"rtle/internal/rng"
+)
+
+// The guard sweep (-guard) compares the elision guards against their two
+// natural baselines on one workload: a bank of counters where a read
+// operation sums a few random counters and a write operation increments
+// one. Forms:
+//
+//   - Guard(TLE) / Guard(RW-TLE): the public rtle.Mutex / rtle.RWMutex,
+//     reads through RDo where the guard distinguishes them;
+//   - sync.Mutex / sync.RWMutex: the same access pattern on a plain Go
+//     slice under the standard library locks — the "what you'd write
+//     without this repository" floor (different substrate: native loads
+//     instead of simulated-heap barriers, so compare shapes, not values);
+//   - TLE / RW-TLE: the raw Methods over the same simulated heap with one
+//     pinned Thread per goroutine — what the guard's convenience costs.
+//
+// Each cell reports the fast-path commit ratio next to throughput: the
+// elision claim is precisely that read-mostly cells commit speculatively
+// (ratio > 0.9) at raw-Method-comparable throughput.
+
+// guardResult is one guard sweep cell in BENCH_<n>.json's "guard" section.
+type guardResult struct {
+	Form       string `json:"form"`
+	Goroutines int    `json:"goroutines"`
+	ReadPct    int    `json:"read_pct"`
+	Ops        uint64 `json:"ops"`
+	ElapsedNS  int64  `json:"elapsed_ns"`
+	// ThroughputOpsPerMS matches the unit of the main grid.
+	ThroughputOpsPerMS float64 `json:"throughput_ops_per_ms"`
+	// FastRatio is FastCommits/Ops — the elision acceptance metric.
+	// Always 0 for the sync.* forms (they never speculate).
+	FastRatio    float64 `json:"fast_ratio"`
+	FastCommits  uint64  `json:"fast_commits"`
+	SlowCommits  uint64  `json:"slow_commits"`
+	LockRuns     uint64  `json:"lock_runs"`
+	ModeSwitches uint64  `json:"mode_switches"`
+}
+
+// guardForms is the sweep's default form roster.
+var guardForms = []string{
+	"Guard(TLE)", "Guard(RW-TLE)", "sync.Mutex", "sync.RWMutex", "TLE", "RW-TLE",
+}
+
+const (
+	guardCounters    = 64 // counters, one cache line each
+	guardReadSpan    = 4  // counters summed per read op
+	guardSyncPadding = 8  // words per counter in the sync forms (line-ish spacing)
+)
+
+type guardCellConfig struct {
+	form       string
+	goroutines int
+	readPct    int
+	ops        int // per goroutine
+	attempts   int
+	seed       uint64
+}
+
+// runGuardCell measures one (form, goroutines, readPct) cell.
+func runGuardCell(c guardCellConfig) guardResult {
+	// ops draw their counter indices before entering the critical
+	// section, so speculative re-execution replays the same access set.
+	type opFn func(id int, idx [guardReadSpan]uint64)
+	var readOp, writeOp opFn
+	var stats func() core.Stats
+
+	switch c.form {
+	case "Guard(TLE)", "Guard(RW-TLE)":
+		heap := rtle.NewMemory(1 << 16)
+		addrs := allocGuardCounters(heap)
+		if c.form == "Guard(TLE)" {
+			g := rtle.MustNewMutex(rtle.WithGuardMemory(heap), rtle.WithGuardAttempts(c.attempts))
+			readOp = func(id int, idx [guardReadSpan]uint64) {
+				g.Do(func(ctx rtle.Context) { sumCounters(ctx, addrs, idx) })
+			}
+			writeOp = func(id int, idx [guardReadSpan]uint64) {
+				g.Do(func(ctx rtle.Context) { ctx.Write(addrs[idx[0]], ctx.Read(addrs[idx[0]])+1) })
+			}
+			stats = g.Stats
+		} else {
+			g := rtle.MustNewRWMutex(rtle.WithGuardMemory(heap), rtle.WithGuardAttempts(c.attempts))
+			readOp = func(id int, idx [guardReadSpan]uint64) {
+				g.RDo(func(ctx rtle.Context) { sumCounters(ctx, addrs, idx) })
+			}
+			writeOp = func(id int, idx [guardReadSpan]uint64) {
+				g.Do(func(ctx rtle.Context) { ctx.Write(addrs[idx[0]], ctx.Read(addrs[idx[0]])+1) })
+			}
+			stats = g.Stats
+		}
+	case "sync.Mutex":
+		counters := make([]uint64, guardCounters*guardSyncPadding)
+		var mu sync.Mutex
+		var sink uint64
+		readOp = func(id int, idx [guardReadSpan]uint64) {
+			mu.Lock()
+			var s uint64
+			for _, i := range idx {
+				s += counters[i*guardSyncPadding]
+			}
+			sink += s
+			mu.Unlock()
+		}
+		writeOp = func(id int, idx [guardReadSpan]uint64) {
+			mu.Lock()
+			counters[idx[0]*guardSyncPadding]++
+			mu.Unlock()
+		}
+	case "sync.RWMutex":
+		counters := make([]uint64, guardCounters*guardSyncPadding)
+		var mu sync.RWMutex
+		sinks := make([]uint64, 64*guardSyncPadding) // per-goroutine, padded
+		readOp = func(id int, idx [guardReadSpan]uint64) {
+			mu.RLock()
+			var s uint64
+			for _, i := range idx {
+				s += counters[i*guardSyncPadding]
+			}
+			sinks[id%64*guardSyncPadding] += s
+			mu.RUnlock()
+		}
+		writeOp = func(id int, idx [guardReadSpan]uint64) {
+			mu.Lock()
+			counters[idx[0]*guardSyncPadding]++
+			mu.Unlock()
+		}
+	default: // a raw Method from the harness roster, one Thread per goroutine
+		heap := mem.New(1 << 16)
+		addrs := allocGuardCounters(heap)
+		meth, err := harness.BuildMethod(c.form, heap, core.Policy{Attempts: c.attempts})
+		if err != nil {
+			fatalf("guard cell: %v", err)
+		}
+		threads := make([]core.Thread, c.goroutines)
+		for i := range threads {
+			threads[i] = meth.NewThread()
+		}
+		readOp = func(id int, idx [guardReadSpan]uint64) {
+			threads[id].Atomic(func(ctx core.Context) { sumCounters(ctx, addrs, idx) })
+		}
+		writeOp = func(id int, idx [guardReadSpan]uint64) {
+			threads[id].Atomic(func(ctx core.Context) { ctx.Write(addrs[idx[0]], ctx.Read(addrs[idx[0]])+1) })
+		}
+		stats = func() core.Stats {
+			var total core.Stats
+			for _, th := range threads {
+				total.Merge(th.Stats())
+			}
+			return total
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < c.goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.NewXoshiro256(c.seed + uint64(id)*0x9e3779b97f4a7c15 + 1)
+			for i := 0; i < c.ops; i++ {
+				var idx [guardReadSpan]uint64
+				for j := range idx {
+					idx[j] = r.Uint64n(guardCounters)
+				}
+				if r.Intn(100) < c.readPct {
+					readOp(id, idx)
+				} else {
+					writeOp(id, idx)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := guardResult{
+		Form: c.form, Goroutines: c.goroutines, ReadPct: c.readPct,
+		Ops:       uint64(c.goroutines) * uint64(c.ops),
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	res.ThroughputOpsPerMS = float64(res.Ops) / (float64(elapsed.Nanoseconds()) / 1e6)
+	if stats != nil {
+		s := stats()
+		res.FastCommits = s.FastCommits
+		res.SlowCommits = s.SlowCommits
+		res.LockRuns = s.LockRuns
+		res.ModeSwitches = s.ModeSwitches
+		if s.Ops > 0 {
+			res.FastRatio = float64(s.FastCommits) / float64(s.Ops)
+		}
+	}
+	return res
+}
+
+// allocGuardCounters places the counter bank, one line per counter, on any
+// heap (rtle.Memory and mem.Memory are the same type at the root).
+func allocGuardCounters(m *mem.Memory) []mem.Addr {
+	addrs := make([]mem.Addr, guardCounters)
+	for i := range addrs {
+		addrs[i] = m.AllocLines(1)
+	}
+	return addrs
+}
+
+// sumCounters reads the op's counter set through the section context; the
+// sum itself is dead, the barriered reads are the workload.
+func sumCounters(ctx core.Context, addrs []mem.Addr, idx [guardReadSpan]uint64) uint64 {
+	var s uint64
+	for _, i := range idx {
+		s += ctx.Read(addrs[i])
+	}
+	return s
+}
+
+// runGuardSweep runs the full guard section and returns its cells.
+func runGuardSweep(forms []string, goroutineCounts []int, readPcts []int, ops, attempts int, seed uint64) []guardResult {
+	var out []guardResult
+	fmt.Printf("\n%-14s %10s %8s %14s %10s %12s\n",
+		"form", "goroutines", "readpct", "ops/ms", "fast", "mode switch")
+	for _, form := range forms {
+		for _, rp := range readPcts {
+			for _, n := range goroutineCounts {
+				res := runGuardCell(guardCellConfig{
+					form: form, goroutines: n, readPct: rp,
+					ops: ops, attempts: attempts, seed: seed,
+				})
+				fmt.Printf("%-14s %10d %8d %14.0f %10.3f %12d\n",
+					res.Form, res.Goroutines, res.ReadPct,
+					res.ThroughputOpsPerMS, res.FastRatio, res.ModeSwitches)
+				out = append(out, res)
+			}
+		}
+	}
+	return out
+}

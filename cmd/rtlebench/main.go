@@ -13,12 +13,19 @@
 // that fixed aggregate rate, so the latency columns expose queueing delay
 // instead of closed-loop self-throttling.
 //
+// With -guard it additionally sweeps the elision guards: rtle.Mutex and
+// rtle.RWMutex (closure forms) against bare sync.Mutex/sync.RWMutex and
+// the raw TLE/RW-TLE Methods on a shared counter bank, across goroutine
+// counts and read mixes, recording throughput and the fast-path commit
+// ratio into the file's "guard" section.
+//
 // The JSON schema is documented in README.md ("Benchmark JSON schema").
 //
 // Examples:
 //
 //	rtlebench -methods TLE,RW-TLE,FG-TLE(256) -threads 1,2,4,8 -dur 500ms -json
 //	rtlebench -wire -wire-shards 1,2,4 -wire-rate 40000 -json
+//	rtlebench -methods '' -guard -json
 package main
 
 import (
@@ -48,6 +55,9 @@ type benchFile struct {
 	Results   []benchResult `json:"results"`
 	// Wire holds the serving-layer sweep (-wire), absent otherwise.
 	Wire []wireResult `json:"wire,omitempty"`
+	// Guard holds the elision-guard sweep (-guard), absent otherwise:
+	// rtle.Mutex/rtle.RWMutex vs sync locks vs raw Methods.
+	Guard []guardResult `json:"guard,omitempty"`
 }
 
 type benchConfig struct {
@@ -127,6 +137,11 @@ func main() {
 	wireReadPct := flag.Int("wire-read-pct", 90, "read percentage in the wire sweep")
 	wireKeys := flag.Int("wire-keys", 1024, "key space in the wire sweep")
 	wireRate := flag.Int("wire-rate", 0, "if >0, add an open-loop cell per shard count at this aggregate ops/sec")
+	guardSweep := flag.Bool("guard", false, "also sweep the elision guards against sync locks and raw Methods")
+	guardGoroutines := flag.String("guard-goroutines", "1,4,16", "comma-separated goroutine counts for the guard sweep")
+	guardReadPcts := flag.String("guard-read-pcts", "90,10", "comma-separated read percentages for the guard sweep")
+	guardOps := flag.Int("guard-ops", 20000, "operations per goroutine per guard cell")
+	guardFormList := flag.String("guard-forms", strings.Join(guardForms, ","), "comma-separated guard sweep forms")
 	flag.Parse()
 
 	if *insert+*remove > 100 {
@@ -183,6 +198,18 @@ func main() {
 				out.Wire = append(out.Wire, wr)
 			}
 		}
+	}
+
+	if *guardSweep {
+		gor, err := parseInts(*guardGoroutines)
+		if err != nil {
+			fatalf("bad -guard-goroutines: %v", err)
+		}
+		pcts, err := parseInts(*guardReadPcts)
+		if err != nil {
+			fatalf("bad -guard-read-pcts: %v", err)
+		}
+		out.Guard = runGuardSweep(splitList(*guardFormList), gor, pcts, *guardOps, *attempts, *seed)
 	}
 
 	if *jsonOut {

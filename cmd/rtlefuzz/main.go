@@ -16,6 +16,13 @@
 //	rtlefuzz -seed 1 -rounds 8                  # fuzz 8 random plans
 //	rtlefuzz -plan '{"seed":7,"begin_prob":0.5}' # replay one plan
 //	rtlefuzz -methods TLE,NOrec -adts bank       # restrict the matrix
+//	rtlefuzz -guards -rounds 4                   # fuzz the elision guards
+//
+// With -guards the roster becomes check.GuardVariants and every trial
+// drives the workload through rtle.Mutex / rtle.RWMutex sections (mixed
+// closure and bracket forms) instead of method threads; failing plans
+// shrink exactly as in method mode. Guard variant names ("Guard(TLE)",
+// "Guard(RW-TLE)") are also accepted directly in -methods.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"rtle/internal/check"
 	"rtle/internal/core"
 	"rtle/internal/fault"
+	"rtle/internal/guard"
 	"rtle/internal/harness"
 	"rtle/internal/htm"
 	"rtle/internal/mem"
@@ -41,7 +49,9 @@ func main() {
 		ops     = flag.Int("ops", 120, "operations per thread per trial")
 		methods = flag.String("methods", strings.Join(check.ChaosMethods, ","),
 			"comma-separated method names to fuzz")
-		adts    = flag.String("adts", strings.Join(check.Workloads, ","), "comma-separated ADT workloads")
+		adts   = flag.String("adts", strings.Join(check.Workloads, ","), "comma-separated ADT workloads")
+		guards = flag.Bool("guards", false,
+			"fuzz the elision guards (check.GuardVariants) instead of the method roster")
 		planStr = flag.String("plan", "", "replay this single plan (JSON) instead of fuzzing")
 		shrink  = flag.Bool("shrink", true, "shrink failing plans to minimal reproducers")
 		retries = flag.Int("retries", 3, "trials per plan when confirming a shrink step")
@@ -54,6 +64,9 @@ func main() {
 		methods: splitList(*methods),
 		adts:    splitList(*adts),
 		retries: *retries,
+	}
+	if *guards {
+		f.methods = append([]string(nil), check.GuardVariants...)
 	}
 	for _, kind := range f.adts {
 		found := false
@@ -122,14 +135,26 @@ func (f *fuzzer) trial(plan fault.Plan, methodName, kind string, run int) error 
 	policy := core.Policy{Attempts: 5, HTM: htm.Config{InterleaveEvery: 8}}
 	d.Configure(&policy)
 	m := mem.New(1 << 18)
-	method, err := harness.BuildMethod(methodName, m, policy)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	h, model, err := check.RunWorkload(kind, method, m, check.RunConfig{
+	cfg := check.RunConfig{
 		Threads: f.threads, OpsPerThread: f.ops,
 		Seed: plan.Seed + uint64(run)*0x9e3779b97f4a7c15,
-	})
+	}
+	var (
+		h     *check.History
+		model check.Model
+		err   error
+	)
+	if strings.HasPrefix(methodName, "Guard(") {
+		h, model, err = check.RunGuardWorkload(kind, methodName, m,
+			guard.Config{Policy: policy}, cfg)
+	} else {
+		var method core.Method
+		method, err = harness.BuildMethod(methodName, m, policy)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		h, model, err = check.RunWorkload(kind, method, m, cfg)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}

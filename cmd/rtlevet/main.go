@@ -1,6 +1,6 @@
 // Command rtlevet runs the rtle static-analysis suite (txbody, abortpath,
-// barrierdiscipline, statsatomic — see rtle/internal/analysis) over Go
-// packages. It works in two modes:
+// barrierdiscipline, guardmisuse, statsatomic — see rtle/internal/analysis)
+// over Go packages. It works in two modes:
 //
 // Standalone, with go list patterns:
 //
@@ -13,8 +13,8 @@
 //	go build -o /tmp/rtlevet rtle/cmd/rtlevet
 //	go vet -vettool=/tmp/rtlevet ./...
 //
-// Pass -txbody, -abortpath, -barrierdiscipline or -statsatomic to run a
-// subset of the suite; by default every pass runs. Diagnostics go to
+// Pass -txbody, -abortpath, -barrierdiscipline, -guardmisuse or
+// -statsatomic to run a subset of the suite; by default every pass runs. Diagnostics go to
 // stderr as file:line:col: analyzer: message; the exit status is nonzero
 // when any diagnostic is reported.
 package main

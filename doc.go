@@ -25,11 +25,40 @@
 // Bodies must route all shared access through the Context and be
 // re-executable (aborted speculative runs have no effect).
 //
+// # Elision guards
+//
+// For code structured around sync.Mutex rather than worker threads, the
+// guard API offers the same elision as drop-in locks: rtle.Mutex (TLE)
+// and rtle.RWMutex (RW-TLE) are callable from any goroutine,
+//
+//	g := rtle.MustNewRWMutex()
+//	counter := g.Memory().AllocLines(1)
+//	g.Do(func(c rtle.Context) {  // update section: elides
+//		c.Write(counter, c.Read(counter)+1)
+//	})
+//	g.RDo(func(c rtle.Context) { // read-only section: elides, and can
+//		_ = c.Read(counter)  // commit while a writing lock holder runs
+//	})
+//	g.Lock()                     // bracket form: always pessimistic
+//	g.Ctx().Write(counter, 0)
+//	g.Unlock()
+//
+// The closure forms speculate with lock subscription, an abort budget,
+// and an abort-rate-aware retreat; the bracket forms always take the real
+// lock (Go cannot re-execute the code between two calls after a hardware
+// abort) and interoperate with the closure forms through that same
+// subscription. Guards are assembled by NewMutex/NewRWMutex with
+// WithGuard* options, or derived from a TM (TM.NewMutex, TM.NewRWMutex)
+// to share its heap and policy. The guardmisuse pass of cmd/rtlevet
+// statically checks guard call sites (unbalanced brackets, nested
+// acquisition, HTM-unfriendly operations inside Do bodies).
+//
 // Statistics come in two forms: quiescent per-thread Stats (read after
-// workers stop, merged with Stats.Merge), and — when WithObserver attaches
-// a Registry — live coherent snapshots readable at any moment during a
-// run, with per-path latency histograms, path-transition traces, and
-// Prometheus/JSON export (see internal/obs and cmd/rtlemon).
+// workers stop, merged with Stats.Merge) or per-guard Stats, and — when
+// WithObserver attaches a Registry — live coherent snapshots readable at
+// any moment during a run, with per-path latency histograms,
+// path-transition traces, and Prometheus/JSON export (see internal/obs
+// and cmd/rtlemon).
 //
 // # Repository layout
 //
@@ -39,7 +68,9 @@
 // versioning (internal/mem), a TL2-style best-effort HTM with capacity
 // limits and abort codes (internal/htm), a subscribable spin lock
 // (internal/spinlock), standard TLE, RW-TLE, FG-TLE and adaptive FG-TLE
-// (internal/core), the NOrec STM and RHNOrec hybrid TM baselines
+// (internal/core), the goroutine-callable elision guards behind
+// rtle.Mutex and rtle.RWMutex (internal/guard), the NOrec STM and
+// RHNOrec hybrid TM baselines
 // (internal/norec, internal/rhnorec), the live-observability layer
 // (internal/obs), the AVL-tree set, bank-accounts and transaction-safe
 // hash-map benchmark structures (internal/avl, internal/bank,

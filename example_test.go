@@ -1,0 +1,98 @@
+package rtle_test
+
+import (
+	"fmt"
+
+	"rtle"
+)
+
+// ExampleNew assembles a transactional-memory instance and runs critical
+// sections through a Thread — the fixed-worker-identity shape the paper's
+// harness uses.
+func ExampleNew() {
+	tm, err := rtle.New(rtle.TLE, rtle.WithAttempts(5))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := tm.Memory()
+	counter := m.AllocLines(1)
+
+	th := tm.NewThread()
+	for i := 0; i < 100; i++ {
+		th.Atomic(func(c rtle.Context) {
+			c.Write(counter, c.Read(counter)+1)
+		})
+	}
+	fmt.Println(m.Load(counter))
+	// Output: 100
+}
+
+// ExampleNew_optionScope shows that New rejects options the chosen
+// algorithm would silently ignore.
+func ExampleNew_optionScope() {
+	_, err := rtle.New(rtle.TLE, rtle.WithOrecs(64))
+	fmt.Println(err)
+	// Output: rtle: WithOrecs has no effect under TLE (applies to FG-TLE, ALE)
+}
+
+// ExampleMutex shows the elision guard in both forms: the closure form
+// Do, which speculates, and the bracket form Lock/Ctx/Unlock, which is
+// always pessimistic — callable from any goroutine, like sync.Mutex.
+func ExampleMutex() {
+	g := rtle.MustNewMutex()
+	counter := g.Memory().AllocLines(1)
+
+	g.Do(func(c rtle.Context) { // elides: speculative, lock-subscribed
+		c.Write(counter, c.Read(counter)+1)
+	})
+
+	g.Lock() // bracket form: takes the real lock
+	g.Ctx().Write(counter, g.Ctx().Read(counter)+1)
+	g.Unlock()
+
+	fmt.Println(g.Memory().Load(counter))
+	// Output: 2
+}
+
+// ExampleRWMutex distinguishes read-only sections (RDo) from updates
+// (Do): under RW-TLE, read sections can commit even while a lock holder
+// is in a writing phase.
+func ExampleRWMutex() {
+	g := rtle.MustNewRWMutex()
+	m := g.Memory()
+	a, b := m.AllocLines(1), m.AllocLines(1)
+
+	g.Do(func(c rtle.Context) { // update section
+		c.Write(a, 40)
+		c.Write(b, 2)
+	})
+
+	var sum uint64
+	g.RDo(func(c rtle.Context) { // read-only section
+		sum = c.Read(a) + c.Read(b)
+	})
+	fmt.Println(sum)
+	// Output: 42
+}
+
+// ExampleTM_NewRWMutex derives a guard from an assembled TM: the guard
+// shares the TM's heap and policy, so guard sections and Thread sections
+// coexist in one address space.
+func ExampleTM_NewRWMutex() {
+	tm := rtle.MustNew(rtle.RWTLE)
+	g, err := tm.NewRWMutex()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	shared := tm.Memory().AllocLines(1)
+
+	th := tm.NewThread()
+	th.Atomic(func(c rtle.Context) { c.Write(shared, 7) }) // Thread section
+
+	var got uint64
+	g.RDo(func(c rtle.Context) { got = c.Read(shared) }) // guard section
+	fmt.Println(got)
+	// Output: 7
+}

@@ -17,9 +17,8 @@ import (
 	"text/tabwriter"
 	"time"
 
-	"rtle/internal/core"
+	"rtle"
 	"rtle/internal/harness"
-	"rtle/internal/mem"
 	"rtle/internal/rng"
 	"rtle/internal/vspace"
 )
@@ -35,22 +34,30 @@ func main() {
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "method\tops/ms\tfaults served\tmmaps\tslow commits\tlock runs")
-	for _, name := range []string{"Lock", "TLE", "RW-TLE", "FG-TLE(1024)"} {
-		m := mem.New(1 << 24)
+	for _, spec := range []struct {
+		alg  rtle.Algorithm
+		opts []rtle.Option
+	}{
+		{rtle.Lock, nil},
+		{rtle.TLE, nil},
+		{rtle.RWTLE, nil},
+		{rtle.FGTLE, []rtle.Option{rtle.WithOrecs(1024)}},
+	} {
+		m := rtle.NewMemory(1 << 24)
 		s := vspace.New(m, limit)
 		// Pre-map half the slots.
 		setup := s.NewHandle()
-		dc := core.Direct(m)
+		dc := rtle.Direct(m)
 		for i := uint64(0); i < slots; i += 2 {
 			if ok := setup.MapFixedCS(dc, i*2*slotSize, slotSize); ok {
 				setup.AfterMap(ok)
 			}
 		}
-		meth := harness.MustBuildMethod(name, m, core.Policy{})
+		tm := rtle.MustNew(spec.alg, append([]rtle.Option{rtle.WithMemory(m)}, spec.opts...)...)
 
 		var faults, mmaps atomic.Uint64
-		res := harness.Run(meth, harness.Config{Threads: *threads, Duration: *dur, Seed: 5},
-			func(id int, t core.Thread) harness.Worker {
+		res := harness.Run(tm.Method(), harness.Config{Threads: *threads, Duration: *dur, Seed: 5},
+			func(id int, t rtle.Thread) harness.Worker {
 				h := s.NewHandle()
 				return func(r *rng.Xoshiro256) {
 					slot := r.Uint64n(slots)
@@ -59,7 +66,7 @@ func main() {
 					case 0: // mmap, occasionally HTM-unfriendly
 						hostile := r.Intn(4) == 0
 						var ok bool
-						t.Atomic(func(c core.Context) {
+						t.Atomic(func(c rtle.Context) {
 							if hostile {
 								c.Unsupported()
 							}
@@ -76,13 +83,13 @@ func main() {
 					}
 				}
 			})
-		if err := s.CheckInvariants(core.Direct(m)); err != nil {
-			fmt.Fprintf(os.Stderr, "%s corrupted the address space: %v\n", name, err)
+		if err := s.CheckInvariants(rtle.Direct(m)); err != nil {
+			fmt.Fprintf(os.Stderr, "%s corrupted the address space: %v\n", tm.Name(), err)
 			os.Exit(1)
 		}
 		st := res.Total
 		fmt.Fprintf(w, "%s\t%.0f\t%d\t%d\t%d\t%d\n",
-			name, res.Throughput(), faults.Load(), mmaps.Load(), st.SlowCommits, st.LockRuns)
+			tm.Name(), res.Throughput(), faults.Load(), mmaps.Load(), st.SlowCommits, st.LockRuns)
 	}
 	w.Flush()
 	fmt.Println("\npage faults are read-only lookups: under refined TLE they commit on the")

@@ -14,10 +14,9 @@ import (
 	"fmt"
 	"os"
 
+	"rtle"
 	"rtle/internal/cctsa"
-	"rtle/internal/core"
 	"rtle/internal/harness"
-	"rtle/internal/mem"
 )
 
 func main() {
@@ -45,8 +44,8 @@ func main() {
 	orig := in.RunOriginal()
 	report(in, orig)
 
-	tx := in.RunTransactified(func(m *mem.Memory) core.Method {
-		return harness.MustBuildMethod(*methodName, m, core.Policy{})
+	tx := in.RunTransactified(func(m *rtle.Memory) rtle.Method {
+		return harness.MustBuildMethod(*methodName, m, rtle.Policy{})
 	})
 	report(in, tx)
 

@@ -2,7 +2,8 @@
 // runs the AVL-set workload (20% Insert, 20% Remove, 60% Find over an
 // 8192-key range — the contended configuration of Figs. 6 and 7) under
 // several synchronization methods and prints throughput side by side,
-// along with where the commits happened.
+// along with where the commits happened. Methods are assembled through
+// the public rtle.New constructor; the harness only drives the workload.
 //
 // Run with: go run ./examples/avlset [-threads 4] [-dur 300ms]
 package main
@@ -14,10 +15,9 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"rtle"
 	"rtle/internal/avl"
-	"rtle/internal/core"
 	"rtle/internal/harness"
-	"rtle/internal/mem"
 )
 
 func main() {
@@ -27,25 +27,36 @@ func main() {
 
 	const keyRange = 8192
 	mix := harness.SetMix{InsertPct: 20, RemovePct: 20}
-	methods := []string{"Lock", "TLE", "RW-TLE", "FG-TLE(16)", "FG-TLE(1024)", "NOrec", "RHNOrec"}
+	methods := []struct {
+		alg  rtle.Algorithm
+		opts []rtle.Option
+	}{
+		{rtle.Lock, nil},
+		{rtle.TLE, nil},
+		{rtle.RWTLE, nil},
+		{rtle.FGTLE, []rtle.Option{rtle.WithOrecs(16)}},
+		{rtle.FGTLE, []rtle.Option{rtle.WithOrecs(1024)}},
+		{rtle.NOrec, nil},
+		{rtle.RHNOrec, nil},
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "method\tops/ms\tfast\tslow\tlock\tstm")
-	for _, name := range methods {
-		m := mem.New(harness.DefaultSetHeapWords(keyRange, *threads) + 1<<18)
+	for _, spec := range methods {
+		m := rtle.NewMemory(harness.DefaultSetHeapWords(keyRange, *threads) + 1<<18)
 		set := avl.New(m)
 		harness.SeedSet(set, keyRange)
-		method := harness.MustBuildMethod(name, m, core.Policy{})
-		res := harness.Run(method, harness.Config{
+		tm := rtle.MustNew(spec.alg, append([]rtle.Option{rtle.WithMemory(m)}, spec.opts...)...)
+		res := harness.Run(tm.Method(), harness.Config{
 			Threads: *threads, Duration: *dur, Seed: 1,
 		}, harness.SetWorkerFactory(set, mix, keyRange))
-		if err := set.CheckInvariants(core.Direct(m)); err != nil {
-			fmt.Fprintf(os.Stderr, "%s corrupted the set: %v\n", name, err)
+		if err := set.CheckInvariants(rtle.Direct(m)); err != nil {
+			fmt.Fprintf(os.Stderr, "%s corrupted the set: %v\n", tm.Name(), err)
 			os.Exit(1)
 		}
 		st := res.Total
 		fmt.Fprintf(w, "%s\t%.0f\t%d\t%d\t%d\t%d\n",
-			name, res.Throughput(), st.FastCommits, st.SlowCommits, st.LockRuns,
+			tm.Name(), res.Throughput(), st.FastCommits, st.SlowCommits, st.LockRuns,
 			st.STMCommitsHTM+st.STMCommitsLock+st.STMCommitsRO)
 	}
 	w.Flush()

@@ -4,7 +4,7 @@
 // commit while the lock is held, and FG-TLE's orec granularity decides how
 // much concurrency survives contention. The example verifies conservation
 // of the total balance at the end — the invariant the synchronization must
-// protect.
+// protect. Methods are assembled through the public rtle.New constructor.
 //
 // Run with: go run ./examples/bank [-threads 4] [-dur 300ms]
 package main
@@ -16,10 +16,9 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"rtle"
 	"rtle/internal/bank"
-	"rtle/internal/core"
 	"rtle/internal/harness"
-	"rtle/internal/mem"
 )
 
 func main() {
@@ -29,25 +28,37 @@ func main() {
 
 	const accounts = 256
 	const initial = 10000
-	methods := []string{"Lock", "TLE", "RW-TLE", "FG-TLE(1)", "FG-TLE(256)", "FG-TLE(8192)", "NOrec", "RHNOrec"}
+	methods := []struct {
+		alg  rtle.Algorithm
+		opts []rtle.Option
+	}{
+		{rtle.Lock, nil},
+		{rtle.TLE, nil},
+		{rtle.RWTLE, nil},
+		{rtle.FGTLE, []rtle.Option{rtle.WithOrecs(1)}},
+		{rtle.FGTLE, []rtle.Option{rtle.WithOrecs(256)}},
+		{rtle.FGTLE, []rtle.Option{rtle.WithOrecs(8192)}},
+		{rtle.NOrec, nil},
+		{rtle.RHNOrec, nil},
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "method\ttransfers/ms\tfast\tslow\tlock\tconserved")
-	for _, name := range methods {
-		m := mem.New(1 << 20)
+	for _, spec := range methods {
+		m := rtle.NewMemory(1 << 20)
 		b := bank.New(m, accounts, initial)
-		method := harness.MustBuildMethod(name, m, core.Policy{})
-		res := harness.Run(method, harness.Config{
+		tm := rtle.MustNew(spec.alg, append([]rtle.Option{rtle.WithMemory(m)}, spec.opts...)...)
+		res := harness.Run(tm.Method(), harness.Config{
 			Threads: *threads, Duration: *dur, Seed: 7,
 		}, harness.BankFactory(b, 100))
-		err := b.CheckConservation(core.Direct(m), accounts*initial)
+		err := b.CheckConservation(rtle.Direct(m), accounts*initial)
 		ok := "yes"
 		if err != nil {
 			ok = "NO: " + err.Error()
 		}
 		st := res.Total
 		fmt.Fprintf(w, "%s\t%.0f\t%d\t%d\t%d\t%s\n",
-			name, res.Throughput(), st.FastCommits, st.SlowCommits, st.LockRuns, ok)
+			tm.Name(), res.Throughput(), st.FastCommits, st.SlowCommits, st.LockRuns, ok)
 	}
 	w.Flush()
 }

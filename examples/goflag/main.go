@@ -1,5 +1,5 @@
 // goflag demonstrates the paper's §5 limitation (Figure 4) and its
-// lazy-subscription remedy, live.
+// lazy-subscription remedy, live, entirely through the public rtle API.
 //
 // The scenario: Thread 1 takes the lock, sets GoFlag, and only later
 // initializes Ptr before unlocking. Thread 2 spins on GoFlag outside any
@@ -20,36 +20,39 @@ import (
 	"fmt"
 	"runtime"
 
-	"rtle/internal/core"
-	"rtle/internal/htm"
-	"rtle/internal/mem"
+	"rtle"
 )
 
 func run(lazy bool) (sawNull int) {
 	const rounds = 200
 	for i := 0; i < rounds; i++ {
-		m := mem.New(1 << 16)
-		meth := core.NewFGTLE(m, 64, core.Policy{
-			LazySubscription: lazy,
+		m := rtle.NewMemory(1 << 16)
+		opts := []rtle.Option{
+			rtle.WithMemory(m),
+			rtle.WithOrecs(64),
 			// Pace the lock holder so its critical section spans
 			// scheduler slices, as a long computation would.
-			HTM: htm.Config{InterleaveEvery: 2},
-		})
+			rtle.WithInterleave(2),
+		}
+		if lazy {
+			opts = append(opts, rtle.WithLazySubscription())
+		}
+		tm := rtle.MustNew(rtle.FGTLE, opts...)
 		goFlag := m.AllocLines(1)
 		ptr := m.AllocLines(1)
 		scratch := m.AllocLines(64)
 
-		t1 := meth.NewThread()
-		t2 := meth.NewThread()
+		t1 := tm.NewThread()
+		t2 := tm.NewThread()
 		done := make(chan struct{})
 		go func() {
-			t1.Atomic(func(c core.Context) {
+			t1.Atomic(func(c rtle.Context) {
 				c.Unsupported() // force the lock path, as a long CS would
 				c.Write(goFlag, 1)
 				// A long computation between the flag and the
 				// pointer initialization.
 				for w := 0; w < 64; w++ {
-					c.Write(scratch+mem.Addr(w*mem.WordsPerLine), uint64(w))
+					c.Write(scratch+rtle.Addr(w*rtle.WordsPerLine), uint64(w))
 				}
 				c.Write(ptr, 0xCAFE)
 			})
@@ -61,7 +64,7 @@ func run(lazy bool) (sawNull int) {
 			runtime.Gosched()
 		}
 		// Barrier: empty critical section.
-		t2.Atomic(func(core.Context) {})
+		t2.Atomic(func(rtle.Context) {})
 		// Expectation (under lock semantics): Ptr is non-null now.
 		if m.Load(ptr) == 0 {
 			sawNull++

@@ -1,0 +1,112 @@
+// guard demonstrates the elision-guard API: a plain Go struct whose
+// shared state lives on the guard's heap, protected by an rtle.RWMutex
+// exactly the way sync.RWMutex would protect native fields — except that
+// Do/RDo sections *elide*: they run as speculative hardware transactions
+// subscribed to the lock word, and only fall back to really taking the
+// lock when speculation fails.
+//
+// The demo is a temperature gauge: writers record samples (read-modify-
+// write sections through Do), readers aggregate (read-only sections
+// through RDo), and one maintenance goroutine occasionally resets the
+// gauge through the bracket form (Lock/Ctx/Unlock — always pessimistic,
+// interoperating with the speculative forms via lock subscription). At
+// the end the guard's Stats show where the sections actually ran.
+//
+// Run with: go run ./examples/guard
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"rtle"
+)
+
+// Gauge is an ordinary Go type; only its hot shared state lives in
+// simulated memory so the elided sections cover every access.
+type Gauge struct {
+	g *rtle.RWMutex
+
+	count rtle.Addr // samples recorded
+	sum   rtle.Addr // running sum
+	max   rtle.Addr // maximum sample
+}
+
+func NewGauge() *Gauge {
+	g := rtle.MustNewRWMutex()
+	m := g.Memory()
+	return &Gauge{g: g, count: m.AllocLines(1), sum: m.AllocLines(1), max: m.AllocLines(1)}
+}
+
+// Record adds one sample — a read-modify-write section, so it uses Do.
+func (t *Gauge) Record(sample uint64) {
+	t.g.Do(func(c rtle.Context) {
+		c.Write(t.count, c.Read(t.count)+1)
+		c.Write(t.sum, c.Read(t.sum)+sample)
+		if sample > c.Read(t.max) {
+			c.Write(t.max, sample)
+		}
+	})
+}
+
+// Mean aggregates — a read-only section, so it uses RDo and runs
+// concurrently with other readers even on the fallback path.
+func (t *Gauge) Mean() float64 {
+	var count, sum uint64
+	t.g.RDo(func(c rtle.Context) {
+		count, sum = c.Read(t.count), c.Read(t.sum)
+	})
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
+}
+
+// Reset clears the gauge through the bracket form: Lock/Unlock never
+// speculate (Go cannot re-execute the code between them after a hardware
+// abort), but they interoperate with Do/RDo via lock subscription.
+func (t *Gauge) Reset() {
+	t.g.Lock()
+	defer t.g.Unlock()
+	c := t.g.Ctx()
+	c.Write(t.count, 0)
+	c.Write(t.sum, 0)
+	c.Write(t.max, 0)
+}
+
+func main() {
+	gauge := NewGauge()
+
+	const writers, readers = 4, 4
+	const samples = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < samples; i++ {
+				gauge.Record(uint64(id*samples+i) % 373)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < samples; i++ {
+				_ = gauge.Mean()
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("mean after %d samples: %.1f\n", writers*samples, gauge.Mean())
+	gauge.Reset()
+	fmt.Printf("mean after reset: %.1f\n", gauge.Mean())
+
+	s := gauge.g.Stats()
+	fmt.Printf("sections: %d total — %d speculative commits, %d slow-path commits, %d under the lock\n",
+		s.Ops, s.FastCommits, s.SlowCommits, s.LockRuns)
+	fmt.Printf("speculation carried %.1f%% of the sections\n",
+		100*float64(s.FastCommits+s.SlowCommits)/float64(s.Ops))
+}

@@ -4,6 +4,7 @@ import (
 	"rtle/internal/analysis/abortpath"
 	"rtle/internal/analysis/barrierdiscipline"
 	"rtle/internal/analysis/framework"
+	"rtle/internal/analysis/guardmisuse"
 	"rtle/internal/analysis/statsatomic"
 	"rtle/internal/analysis/txbody"
 )
@@ -14,6 +15,7 @@ func Analyzers() []*framework.Analyzer {
 		txbody.Analyzer,
 		abortpath.Analyzer,
 		barrierdiscipline.Analyzer,
+		guardmisuse.Analyzer,
 		statsatomic.Analyzer,
 	}
 }

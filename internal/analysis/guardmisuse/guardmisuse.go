@@ -1,0 +1,282 @@
+// Package guardmisuse defines the rtlevet pass that checks call sites of
+// the elision guards (rtle.Mutex / rtle.RWMutex, implemented in
+// internal/guard) for the misuse patterns the guards cannot catch — or
+// can only catch — at runtime:
+//
+//   - Unbalanced brackets: a function whose Lock (or RLock) calls
+//     outnumber its Unlock (RUnlock) calls leaves the guard held on some
+//     path, and every later section — speculative or not — deadlocks.
+//     A `return` reached while a Lock is linearly held with no deferred
+//     Unlock is flagged too (the classic `Lock(); if err { return }`
+//     leak). Both checks scan the body in source order, so they are
+//     approximations: a helper that deliberately returns with the guard
+//     held must carry an //rtle:ignore guardmisuse pragma saying why.
+//   - `defer g.Lock()`: the classic typo for `defer g.Unlock()`. It
+//     compiles, then acquires at return instead of releasing.
+//   - Re-acquisition while held: g.Lock() with g already held in the
+//     same function self-deadlocks (the guards are not reentrant).
+//   - Inconsistent acquisition order: if one function brackets guard A
+//     then B and another brackets B then A, the two deadlock under
+//     contention. Orders are collected per package across function
+//     bodies, keyed by the receiver expression text.
+//   - Nested acquisition inside Do/RDo closures: acquiring any guard
+//     (closure or bracket form) inside a speculative body either
+//     self-deadlocks on the fallback path (same guard) or serializes the
+//     elision (other guards); acquisition belongs outside the closure.
+//   - HTM-unfriendly operations inside Do/RDo closures: the bodies run
+//     as hardware transactions, so the txbody rules apply verbatim —
+//     this pass reuses txbody.CheckBody on every closure argument.
+//
+// The internal/guard package itself is exempt: it implements the guards
+// and manipulates their innards under its own //rtle: path marks.
+package guardmisuse
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rtle/internal/analysis/framework"
+	"rtle/internal/analysis/txbody"
+)
+
+// Analyzer is the guardmisuse pass.
+var Analyzer = &framework.Analyzer{
+	Name: "guardmisuse",
+	Doc:  "flag unbalanced, misordered, or HTM-unfriendly use of the elision guards",
+	Run:  run,
+}
+
+// guardCall resolves call as a method call on a guard type, returning the
+// receiver expression text (the analysis key: "g", "s.mu", ...) and the
+// method name.
+func guardCall(info *types.Info, call *ast.CallExpr) (key, method string, ok bool) {
+	fn := framework.CalleeFunc(info, call)
+	if fn == nil {
+		return "", "", false
+	}
+	named := framework.ReceiverNamed(fn)
+	if named == nil {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !framework.PkgPathIs(obj.Pkg(), "internal/guard") {
+		return "", "", false
+	}
+	if name := obj.Name(); name != "Mutex" && name != "RWMutex" {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// acquires reports whether method takes the guard (in either form).
+func acquires(method string) bool {
+	switch method {
+	case "Lock", "RLock", "Do", "RDo":
+		return true
+	}
+	return false
+}
+
+// orderEdge records the first observed acquisition order between two
+// guard keys, for the package-wide inversion check.
+type orderEdge struct {
+	first, second string
+	pos           token.Pos
+}
+
+func run(pass *framework.Pass) error {
+	if framework.PkgPathIs(pass.Pkg, "internal/guard") {
+		return nil
+	}
+	orders := map[[2]string]orderEdge{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkScope(pass, fn.Body, orders)
+				}
+			case *ast.FuncLit:
+				checkScope(pass, fn.Body, orders)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkScope analyzes one function body. Nested func literals are skipped
+// (each gets its own checkScope via the outer Inspect) except that Do/RDo
+// closure arguments are additionally checked for nested acquisition and
+// HTM-unfriendly operations.
+func checkScope(pass *framework.Pass, body *ast.BlockStmt, orders map[[2]string]orderEdge) {
+	type sideCount struct {
+		locks, unlocks int
+		firstLock      token.Pos
+	}
+	write := map[string]*sideCount{} // Lock/Unlock
+	read := map[string]*sideCount{}  // RLock/RUnlock
+	count := func(m map[string]*sideCount, key string) *sideCount {
+		c := m[key]
+		if c == nil {
+			c = &sideCount{}
+			m[key] = c
+		}
+		return c
+	}
+	var held []string // writer-held keys, in acquisition order
+	deferredRelease := map[string]bool{}
+
+	walk := func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own scope
+		case *ast.DeferStmt:
+			if key, method, ok := guardCall(pass.TypesInfo, n.Call); ok {
+				switch method {
+				case "Lock":
+					pass.Report(n.Pos(),
+						"deferred %s.Lock acquires the guard at return instead of releasing it (did you mean defer %s.Unlock?)", key, key)
+				case "RLock":
+					pass.Report(n.Pos(),
+						"deferred %s.RLock acquires the guard at return instead of releasing it (did you mean defer %s.RUnlock?)", key, key)
+				case "Unlock":
+					count(write, key).unlocks++
+					deferredRelease[key] = true
+				case "RUnlock":
+					count(read, key).unlocks++
+				}
+				// A deferred release runs at return, so the guard stays
+				// held for ordering purposes below this statement.
+				return false
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, key := range held {
+				if !deferredRelease[key] {
+					pass.Report(n.Pos(),
+						"return while guard %s is held with no deferred Unlock: this path leaves the guard locked", key)
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			key, method, ok := guardCall(pass.TypesInfo, n)
+			if !ok {
+				return true
+			}
+			switch method {
+			case "Lock":
+				c := count(write, key)
+				if c.firstLock == token.NoPos {
+					c.firstLock = n.Pos()
+				}
+				c.locks++
+				for _, h := range held {
+					if h == key {
+						pass.Report(n.Pos(),
+							"guard %s locked again while already held in this function: the guards are not reentrant, this self-deadlocks", key)
+					} else {
+						recordOrder(pass, orders, h, key, n.Pos())
+					}
+				}
+				held = append(held, key)
+			case "Unlock":
+				count(write, key).unlocks++
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case "RLock":
+				c := count(read, key)
+				if c.firstLock == token.NoPos {
+					c.firstLock = n.Pos()
+				}
+				c.locks++
+			case "RUnlock":
+				count(read, key).unlocks++
+			case "Do", "RDo":
+				if len(n.Args) == 1 {
+					if lit, isLit := ast.Unparen(n.Args[0]).(*ast.FuncLit); isLit {
+						checkClosure(pass, key, method, lit)
+					}
+				}
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n == body {
+			return true
+		}
+		return walk(n)
+	})
+
+	for key, c := range write {
+		if c.locks > c.unlocks {
+			pass.Report(c.firstLock,
+				"guard %s: %d Lock call(s) but only %d Unlock call(s) in this function — some path returns with the guard held", key, c.locks, c.unlocks)
+		}
+	}
+	for key, c := range read {
+		if c.locks > c.unlocks {
+			pass.Report(c.firstLock,
+				"guard %s: %d RLock call(s) but only %d RUnlock call(s) in this function — some path returns with the read guard held", key, c.locks, c.unlocks)
+		}
+	}
+}
+
+// recordOrder notes that outer was held when inner was acquired and
+// reports a package-level inversion if the opposite order was seen first.
+func recordOrder(pass *framework.Pass, orders map[[2]string]orderEdge, outer, inner string, pos token.Pos) {
+	pair := [2]string{outer, inner}
+	if pair[0] > pair[1] {
+		pair[0], pair[1] = pair[1], pair[0]
+	}
+	prev, seen := orders[pair]
+	if !seen {
+		orders[pair] = orderEdge{first: outer, second: inner, pos: pos}
+		return
+	}
+	if prev.first != outer {
+		pass.Report(pos,
+			"guards %s and %s acquired in conflicting orders (%s then %s here, %s then %s at %s): lock-order inversion deadlocks under contention",
+			outer, inner, outer, inner, prev.first, prev.second,
+			pass.Fset.Position(prev.pos))
+	}
+}
+
+// checkClosure vets a Do/RDo closure body: no further guard acquisition,
+// and nothing a hardware transaction cannot speculate through.
+func checkClosure(pass *framework.Pass, outerKey, outerMethod string, lit *ast.FuncLit) {
+	where := "guard " + outerMethod + " body"
+	txbody.CheckBody(pass, lit.Body, where)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		key, method, ok := guardCall(pass.TypesInfo, call)
+		if !ok || !acquires(method) {
+			return true
+		}
+		if key == outerKey {
+			pass.Report(call.Pos(),
+				"nested acquisition %s.%s inside its own %s: the closure runs speculatively and again on the fallback lock, where this self-deadlocks", key, method, where)
+		} else {
+			pass.Report(call.Pos(),
+				"acquisition %s.%s inside %s: a speculative body must not take other guards (it aborts every hardware attempt and serializes the fallback); acquire before %s.%s", key, method, where, outerKey, outerMethod)
+		}
+		return true
+	})
+}

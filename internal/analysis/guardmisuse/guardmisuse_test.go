@@ -1,0 +1,15 @@
+package guardmisuse_test
+
+import (
+	"testing"
+
+	"rtle/internal/analysis/analysistest"
+	"rtle/internal/analysis/guardmisuse"
+)
+
+// TestGolden runs the analyzer over its golden package: every seeded
+// misuse must be reported (so the test fails if the pass is disabled)
+// and the clean idioms plus the //rtle:ignore site must stay silent.
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, guardmisuse.Analyzer, "guardmisuse")
+}

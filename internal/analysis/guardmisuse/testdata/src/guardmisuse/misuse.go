@@ -1,0 +1,122 @@
+// Package guardmisuse is the golden input for the guardmisuse analyzer:
+// each want comment seeds a true positive, the clean functions prove the
+// accepted idioms stay silent, and the //rtle:ignore site proves the
+// suppression route.
+package guardmisuse
+
+import (
+	"time"
+
+	"rtle/internal/core"
+	"rtle/internal/guard"
+	"rtle/internal/mem"
+)
+
+// --- balanced brackets ------------------------------------------------------
+
+func leak(g *guard.Mutex) {
+	g.Lock() // want `guard g: 1 Lock call\(s\) but only 0 Unlock call\(s\) in this function`
+}
+
+func leakOnBranch(g *guard.Mutex, a mem.Addr) uint64 {
+	g.Lock()
+	if a == mem.Nil {
+		return 0 // want `return while guard g is held with no deferred Unlock`
+	}
+	v := g.Ctx().Read(a)
+	g.Unlock()
+	return v
+}
+
+func leakRead(g *guard.RWMutex) {
+	g.RLock() // want `guard g: 1 RLock call\(s\) but only 0 RUnlock call\(s\) in this function`
+	_ = g.RCtx()
+}
+
+func reacquire(g *guard.Mutex) {
+	g.Lock()
+	g.Lock() // want `guard g locked again while already held in this function`
+	g.Unlock()
+	g.Unlock()
+}
+
+func deferTypo(g *guard.Mutex, rw *guard.RWMutex) {
+	g.Lock()
+	defer g.Lock() // want `deferred g\.Lock acquires the guard at return instead of releasing it`
+	g.Unlock()
+	rw.RLock()
+	defer rw.RLock() // want `deferred rw\.RLock acquires the guard at return instead of releasing it`
+	rw.RUnlock()
+}
+
+func balanced(g *guard.Mutex, a mem.Addr) {
+	g.Lock()
+	defer g.Unlock()
+	g.Ctx().Write(a, 1)
+}
+
+func balancedBranches(g *guard.RWMutex, a mem.Addr) uint64 {
+	g.RLock()
+	if a == mem.Nil {
+		g.RUnlock()
+		return 0
+	}
+	v := g.RCtx().Read(a)
+	g.RUnlock()
+	return v
+}
+
+// A helper that intentionally returns with the guard held must say so —
+// once for the count, once for the held return.
+func acquireHelper(g *guard.Mutex) core.Context {
+	g.Lock() //rtle:ignore guardmisuse acquire-helper: the caller releases
+	//rtle:ignore guardmisuse acquire-helper: the caller releases
+	return g.Ctx()
+}
+
+// --- acquisition order ------------------------------------------------------
+
+func orderAB(a, b *guard.Mutex) {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+func orderBA(a, b *guard.Mutex) {
+	b.Lock()
+	a.Lock() // want `guards b and a acquired in conflicting orders`
+	a.Unlock()
+	b.Unlock()
+}
+
+// --- closures ---------------------------------------------------------------
+
+func nested(g *guard.Mutex, other *guard.RWMutex, a mem.Addr) {
+	g.Do(func(c core.Context) {
+		g.Lock() // want `nested acquisition g\.Lock inside its own guard Do body`
+		g.Unlock()
+	})
+	g.Do(func(c core.Context) {
+		other.RDo(func(c2 core.Context) { // want `acquisition other\.RDo inside guard Do body`
+			_ = c2.Read(a)
+		})
+	})
+}
+
+func unfriendly(g *guard.RWMutex, a mem.Addr, ch chan int) {
+	g.Do(func(c core.Context) {
+		time.Sleep(time.Nanosecond) // want `call to time\.Sleep inside guard Do body`
+		c.Write(a, 1)
+	})
+	g.RDo(func(c core.Context) {
+		ch <- int(c.Read(a)) // want `channel send inside guard RDo body`
+	})
+}
+
+func friendly(g *guard.RWMutex, a mem.Addr) uint64 {
+	var v uint64
+	g.Do(func(c core.Context) { c.Write(a, c.Read(a)+1) })
+	g.RDo(func(c core.Context) { v = c.Read(a) })
+	return v
+}

@@ -99,6 +99,16 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
+// CheckBody reports every HTM-unfriendly operation in body, attributing
+// the diagnostics to pass's own analyzer and describing the location as
+// where (e.g. "transaction body", "guard Do body"). It is exported so
+// passes over other speculative-closure surfaces — the guardmisuse pass
+// checks rtle.Mutex.Do / rtle.RWMutex.RDo bodies — reuse one definition
+// of "HTM-unfriendly" instead of drifting from this one.
+func CheckBody(pass *framework.Pass, body *ast.BlockStmt, where string) {
+	checkBody(pass, body, where)
+}
+
 func checkBody(pass *framework.Pass, body *ast.BlockStmt, where string) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {

@@ -74,6 +74,11 @@ func (a *AIMDAttempts) Record(attempts int, elided bool) {
 	}
 }
 
+// AttemptPolicyFor materializes the per-thread attempt policy from a
+// Policy, for execution layers built outside this package (the elision
+// guards in internal/guard share the methods' attempt semantics).
+func AttemptPolicyFor(p Policy) AttemptPolicy { return attemptPolicyFor(p) }
+
 // attemptPolicyFor materializes the per-thread attempt policy from a
 // Policy: the adaptive one when requested, else the static budget.
 func attemptPolicyFor(p Policy) AttemptPolicy {

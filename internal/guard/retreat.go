@@ -1,0 +1,120 @@
+package guard
+
+import "sync/atomic"
+
+// RetreatConfig tunes a guard's abort-rate-aware retreat. The attempt
+// budget bounds retries *within* one atomic block; retreat works across
+// blocks: when a decision window shows speculation mostly aborting, the
+// guard stops speculating entirely for a span of operations, doubling the
+// span while the contention persists and shrinking it while windows stay
+// healthy. This is the guard-level analogue of the adaptive integration
+// policies the paper cites as orthogonal work (§2, [12][13]), keyed to
+// the observed abort *rate* rather than a per-block attempt count.
+type RetreatConfig struct {
+	// Window is the number of fast/slow attempts per decision window
+	// (default 128).
+	Window int
+	// AbortFraction is the windowed abort fraction (in percent, so the
+	// config stays integral) at or above which the guard retreats.
+	// Default 70.
+	AbortFraction int
+	// MinPause and MaxPause bound the pessimistic span, in operations
+	// (defaults 64 and 4096). Each consecutive retreat doubles the span
+	// up to MaxPause; healthy windows halve it down to MinPause.
+	MinPause, MaxPause int
+	// Disable turns retreat off (the per-block attempt budget still
+	// applies).
+	Disable bool
+}
+
+func (c RetreatConfig) withDefaults() RetreatConfig {
+	if c.Window <= 0 {
+		c.Window = 128
+	}
+	if c.AbortFraction <= 0 {
+		c.AbortFraction = 70
+	}
+	if c.MinPause <= 0 {
+		c.MinPause = 64
+	}
+	if c.MaxPause < c.MinPause {
+		c.MaxPause = 4096
+		if c.MaxPause < c.MinPause {
+			c.MaxPause = c.MinPause
+		}
+	}
+	return c
+}
+
+// retreat is the windowed abort-rate controller. All fields are atomics:
+// any goroutine inside the guard may tick it, and the occasional lost
+// update only perturbs a heuristic, never correctness.
+type retreat struct {
+	cfg RetreatConfig
+
+	attempts  atomic.Int64 // window attempt count
+	aborts    atomic.Int64 // window abort count
+	pause     atomic.Int64 // current retreat span (ops)
+	remaining atomic.Int64 // >0: pessimistic ops left in the current retreat
+}
+
+//rtle:init
+func (r *retreat) init(cfg RetreatConfig) {
+	r.cfg = cfg.withDefaults()
+	r.pause.Store(int64(r.cfg.MinPause))
+}
+
+// speculate reports whether the next block may attempt elision, consuming
+// one pessimistic operation when the guard is in retreat. The operation
+// that drains the retreat records the mode switch back to speculation.
+func (r *retreat) speculate(t *gthread) bool {
+	if r.cfg.Disable {
+		return true
+	}
+	for {
+		left := r.remaining.Load()
+		if left <= 0 {
+			return true
+		}
+		if r.remaining.CompareAndSwap(left, left-1) {
+			if left == 1 {
+				t.rec.ModeSwitch()
+			}
+			return false
+		}
+	}
+}
+
+// record feeds one finished block's attempt/abort counts into the current
+// window and, at window boundaries, decides whether to retreat. aborted is
+// the number of aborted attempts, total the number made.
+func (r *retreat) record(t *gthread, aborted, total int) {
+	if r.cfg.Disable || total == 0 {
+		return
+	}
+	r.aborts.Add(int64(aborted))
+	n := r.attempts.Add(int64(total))
+	if n < int64(r.cfg.Window) {
+		return
+	}
+	// One goroutine wins the reset and applies the window's verdict; the
+	// losers' counts fold into the next window.
+	if !r.attempts.CompareAndSwap(n, 0) {
+		return
+	}
+	a := r.aborts.Swap(0)
+	pause := r.pause.Load()
+	if a*100 >= n*int64(r.cfg.AbortFraction) {
+		// Speculation is mostly wasted work: retreat, and double the
+		// span for the next episode.
+		r.remaining.Store(pause)
+		if next := pause * 2; next <= int64(r.cfg.MaxPause) {
+			r.pause.Store(next)
+		}
+		t.rec.ModeSwitch()
+		return
+	}
+	if next := pause / 2; next >= int64(r.cfg.MinPause) {
+		r.pause.Store(next)
+	}
+}

@@ -2,10 +2,12 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Client is a pipelined rtled/1 client. Any number of goroutines may issue
@@ -20,8 +22,10 @@ type Client struct {
 	wmu sync.Mutex // one frame per Write call, serialized
 
 	mu      sync.Mutex
+	cond    *sync.Cond // signaled when pending shrinks or the client dies
 	nextID  uint32
 	pending map[uint32]chan Response
+	closing bool  // CloseContext called: refuse new requests, drain
 	err     error // sticky transport error, set by the read loop
 }
 
@@ -29,16 +33,63 @@ type Client struct {
 // Close was called.
 var ErrClosed = errors.New("server: client connection closed")
 
-// Dial connects to an rtled server at addr and runs the rtled/1 hello
-// exchange synchronously: the server's hello (version, features, shard
-// count) is available from the moment Dial returns. A server that rejects
-// the negotiation surfaces its explanation as the dial error.
-func Dial(addr string) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
+// DialOption configures DialContext. Options replace the positional
+// configuration of the original constructor: a zero-option dial behaves
+// exactly as the pre-option Dial(addr) did.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	timeout  time.Duration
+	features uint32
+}
+
+// WithDialTimeout bounds the whole connection setup — TCP connect plus
+// the hello exchange. Zero (the default) means no client-side bound
+// beyond the context handed to DialContext.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.timeout = d }
+}
+
+// WithHelloFeatures sets the feature bits the client advertises in its
+// hello frame. The default of zero advertises nothing, matching the
+// original constructor; servers ignore bits they do not know.
+func WithHelloFeatures(mask uint32) DialOption {
+	return func(c *dialConfig) { c.features = mask }
+}
+
+// helloDeadline derives the connection-setup deadline from the dial
+// context and the WithDialTimeout option, whichever is sooner.
+func helloDeadline(ctx context.Context, timeout time.Duration) (time.Time, bool) {
+	deadline, ok := ctx.Deadline()
+	if timeout > 0 {
+		if t := time.Now().Add(timeout); !ok || t.Before(deadline) {
+			deadline, ok = t, true
+		}
+	}
+	return deadline, ok
+}
+
+// DialContext connects to an rtled server at addr and runs the rtled/1
+// hello exchange synchronously: the server's hello (version, features,
+// shard count) is available from the moment DialContext returns. A server
+// that rejects the negotiation surfaces its explanation as the dial
+// error. The context and the WithDialTimeout option bound the TCP connect
+// and the hello exchange; the context does not govern the connection's
+// later life (use CloseContext for a bounded drain).
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	var cfg dialConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	d := net.Dialer{Timeout: cfg.timeout}
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := nc.Write(AppendClientHello(nil, &ClientHello{Version: ProtocolVersion})); err != nil {
+	if deadline, ok := helloDeadline(ctx, cfg.timeout); ok {
+		_ = nc.SetDeadline(deadline) // best effort; the read below surfaces real failures
+	}
+	if _, err := nc.Write(AppendClientHello(nil, &ClientHello{Version: ProtocolVersion, Features: cfg.features})); err != nil {
 		_ = nc.Close() // the dial failed; the close error adds nothing
 		return nil, fmt.Errorf("server: client hello: %w", err)
 	}
@@ -66,9 +117,21 @@ func Dial(addr string) (*Client, error) {
 		_ = nc.Close()
 		return nil, fmt.Errorf("server: server speaks rtled/%d, client speaks rtled/%d", sh.Version, ProtocolVersion)
 	}
+	_ = nc.SetDeadline(time.Time{}) // the setup bound does not govern the connection's life
 	c := &Client{nc: nc, hello: sh, pending: make(map[uint32]chan Response)}
+	c.cond = sync.NewCond(&c.mu)
 	go c.readLoop(fr)
 	return c, nil
+}
+
+// Dial is the original constructor, retained as a forwarding shim: it is
+// DialContext with a background context.
+//
+// Deprecated: new code should call DialContext, which accepts
+// cancellation; Dial remains so existing Dial(addr) call sites keep
+// compiling and behaving exactly as before (it also forwards options).
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	return DialContext(context.Background(), addr, opts...)
 }
 
 // ServerShards returns the shard count the server advertised at Dial.
@@ -94,6 +157,7 @@ func (c *Client) readLoop(fr frameReader) {
 		c.mu.Lock()
 		ch := c.pending[resp.ID]
 		delete(c.pending, resp.ID)
+		c.cond.Broadcast() // wake a draining CloseContext
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- resp
@@ -109,6 +173,7 @@ func (c *Client) fail(err error) {
 	}
 	pending := c.pending
 	c.pending = make(map[uint32]chan Response)
+	c.cond.Broadcast() // nothing left to drain
 	c.mu.Unlock()
 	for _, ch := range pending {
 		close(ch)
@@ -122,6 +187,34 @@ func (c *Client) Close() error {
 	return err
 }
 
+// CloseContext closes gracefully: it refuses new requests immediately,
+// waits for every in-flight request to receive its response, then tears
+// the connection down. The context bounds the drain — on expiry the
+// connection closes anyway (remaining in-flight requests fail with
+// ErrClosed) and CloseContext returns the context's error.
+func (c *Client) CloseContext(ctx context.Context) error {
+	c.mu.Lock()
+	c.closing = true
+	c.mu.Unlock()
+	// Cond waits cannot select on a context, so expiry pokes the waiter.
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	for len(c.pending) > 0 && c.err == nil && ctx.Err() == nil {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+	err := c.Close()
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
 // send registers a pending slot, encodes req with a fresh id, and writes
 // the frame.
 func (c *Client) send(req *Request) (chan Response, error) {
@@ -131,6 +224,10 @@ func (c *Client) send(req *Request) (chan Response, error) {
 		err := c.err
 		c.mu.Unlock()
 		return nil, err
+	}
+	if c.closing {
+		c.mu.Unlock()
+		return nil, ErrClosed
 	}
 	c.nextID++
 	req.ID = c.nextID

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -171,7 +172,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 
 	clients := make([]*Client, cfg.Conns)
 	for i := range clients {
-		c, err := Dial(cfg.Addr)
+		c, err := DialContext(context.Background(), cfg.Addr)
 		if err != nil {
 			for _, prev := range clients[:i] {
 				_ = prev.Close() // unwinding a failed dial; the dial error is the one to report

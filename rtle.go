@@ -2,6 +2,7 @@ package rtle
 
 import (
 	"fmt"
+	"strings"
 
 	"rtle/internal/core"
 	"rtle/internal/htm"
@@ -75,6 +76,10 @@ const (
 	PathSTM  = core.PathSTM
 )
 
+// WordsPerLine is the simulated cache-line size in words; Memory's
+// AllocLines hands out line-aligned blocks in these units.
+const WordsPerLine = mem.WordsPerLine
+
 // NewMemory allocates a simulated heap of the given word count.
 func NewMemory(words int) *Memory { return mem.New(words) }
 
@@ -142,14 +147,19 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// config collects what the options assemble.
+// config collects what the options assemble. applied records each
+// algorithm-scoped option by name so New can reject combinations the
+// chosen algorithm ignores.
 type config struct {
 	memory   *Memory
 	words    int
 	policy   Policy
 	orecs    int
 	adaptive AdaptiveConfig
+	applied  []string
 }
+
+func (c *config) mark(name string) { c.applied = append(c.applied, name) }
 
 // Option configures New.
 type Option func(*config)
@@ -163,18 +173,24 @@ func WithMemory(m *Memory) Option { return func(c *config) { c.memory = m } }
 func WithMemoryWords(words int) Option { return func(c *config) { c.words = words } }
 
 // WithAttempts sets the fast-path HTM retry budget (paper default 5).
-func WithAttempts(n int) Option { return func(c *config) { c.policy.Attempts = n } }
+// Applies to the algorithms with an attempt loop: TLE, RWTLE, FGTLE,
+// AdaptiveFGTLE, ALE, and RHNOrec.
+func WithAttempts(n int) Option {
+	return func(c *config) { c.policy.Attempts = n; c.mark("WithAttempts") }
+}
 
 // WithLazySubscription makes slow-path transactions subscribe to the lock
-// just before committing (§5).
+// just before committing (§5). Applies to the algorithms with an
+// instrumented slow path: RWTLE, FGTLE, and AdaptiveFGTLE.
 func WithLazySubscription() Option {
-	return func(c *config) { c.policy.LazySubscription = true }
+	return func(c *config) { c.policy.LazySubscription = true; c.mark("WithLazySubscription") }
 }
 
 // WithAdaptiveAttempts replaces the static retry budget with a per-thread
-// AIMD policy seeded by the WithAttempts value.
+// AIMD policy seeded by the WithAttempts value. Applies to TLE, RWTLE,
+// FGTLE, AdaptiveFGTLE, and ALE.
 func WithAdaptiveAttempts() Option {
-	return func(c *config) { c.policy.AdaptiveAttempts = true }
+	return func(c *config) { c.policy.AdaptiveAttempts = true; c.mark("WithAdaptiveAttempts") }
 }
 
 // WithObserver streams every thread's execution events into obs (commits
@@ -195,10 +211,50 @@ func WithInterleave(n int) Option {
 
 // WithOrecs sets the ownership-record count for FGTLE and ALE (a power of
 // two in [1, 1<<20]; default 256).
-func WithOrecs(n int) Option { return func(c *config) { c.orecs = n } }
+func WithOrecs(n int) Option {
+	return func(c *config) { c.orecs = n; c.mark("WithOrecs") }
+}
 
-// WithAdaptive tunes the AdaptiveFGTLE variant.
-func WithAdaptive(cfg AdaptiveConfig) Option { return func(c *config) { c.adaptive = cfg } }
+// WithAdaptive tunes the AdaptiveFGTLE variant (only).
+func WithAdaptive(cfg AdaptiveConfig) Option {
+	return func(c *config) { c.adaptive = cfg; c.mark("WithAdaptive") }
+}
+
+// optionScope lists, for every option whose effect is algorithm-specific,
+// the algorithms that consume it. New rejects an out-of-scope option with
+// a descriptive error instead of silently ignoring it; options absent
+// from this table (memory sizing, observer, HTM configuration) apply to
+// every algorithm. TestNewOptionValidation pins the full matrix.
+var optionScope = map[string][]Algorithm{
+	"WithAttempts":         {TLE, RWTLE, FGTLE, AdaptiveFGTLE, ALE, RHNOrec},
+	"WithAdaptiveAttempts": {TLE, RWTLE, FGTLE, AdaptiveFGTLE, ALE},
+	"WithLazySubscription": {RWTLE, FGTLE, AdaptiveFGTLE},
+	"WithOrecs":            {FGTLE, ALE},
+	"WithAdaptive":         {AdaptiveFGTLE},
+}
+
+// checkOptionScope rejects applied options the chosen algorithm ignores.
+func checkOptionScope(alg Algorithm, applied []string) error {
+	for _, name := range applied {
+		scope := optionScope[name]
+		ok := false
+		for _, a := range scope {
+			if a == alg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			names := make([]string, len(scope))
+			for i, a := range scope {
+				names[i] = a.String()
+			}
+			return fmt.Errorf("rtle: %s has no effect under %v (applies to %s)",
+				name, alg, strings.Join(names, ", "))
+		}
+	}
+	return nil
+}
 
 // DefaultOrecs is the orec-array size New uses for FGTLE and ALE when
 // WithOrecs is not given (the paper's middle-of-the-sweep configuration).
@@ -209,14 +265,20 @@ const DefaultOrecs = 256
 type TM struct {
 	m      *Memory
 	method Method
+	policy Policy
 }
 
 // New assembles a heap (unless WithMemory supplies one) and a
-// synchronization method of the chosen algorithm over it.
+// synchronization method of the chosen algorithm over it. An option the
+// chosen algorithm ignores (say WithOrecs under plain TLE) is a
+// configuration error, not a no-op.
 func New(alg Algorithm, opts ...Option) (*TM, error) {
 	c := config{words: 1 << 20, orecs: DefaultOrecs}
 	for _, opt := range opts {
 		opt(&c)
+	}
+	if err := checkOptionScope(alg, c.applied); err != nil {
+		return nil, err
 	}
 	m := c.memory
 	if m == nil {
@@ -255,7 +317,7 @@ func New(alg Algorithm, opts ...Option) (*TM, error) {
 	default:
 		return nil, fmt.Errorf("rtle: unknown algorithm %v", alg)
 	}
-	return &TM{m: m, method: method}, nil
+	return &TM{m: m, method: method, policy: c.policy}, nil
 }
 
 func checkOrecs(n int) error {

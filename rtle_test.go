@@ -18,7 +18,14 @@ func TestNewAllAlgorithms(t *testing.T) {
 	}
 	for _, alg := range algs {
 		t.Run(alg.String(), func(t *testing.T) {
-			tm, err := rtle.New(alg, rtle.WithMemoryWords(1<<16), rtle.WithAttempts(3))
+			opts := []rtle.Option{rtle.WithMemoryWords(1 << 16)}
+			switch alg {
+			case rtle.Lock, rtle.HLE, rtle.NOrec:
+				// No attempt loop; WithAttempts would be rejected.
+			default:
+				opts = append(opts, rtle.WithAttempts(3))
+			}
+			tm, err := rtle.New(alg, opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -55,6 +62,69 @@ func TestNewAllAlgorithms(t *testing.T) {
 				t.Fatalf("stats report %d ops, want %d", total.Ops, goroutines*opsEach)
 			}
 		})
+	}
+}
+
+// TestNewOptionValidation covers every Algorithm × option pair: options
+// an algorithm consumes are accepted, options it would silently ignore
+// are rejected with a descriptive error.
+func TestNewOptionValidation(t *testing.T) {
+	algs := []rtle.Algorithm{
+		rtle.Lock, rtle.TLE, rtle.HLE, rtle.RWTLE, rtle.FGTLE,
+		rtle.AdaptiveFGTLE, rtle.ALE, rtle.NOrec, rtle.RHNOrec,
+	}
+	all := func() map[rtle.Algorithm]bool {
+		m := map[rtle.Algorithm]bool{}
+		for _, a := range algs {
+			m[a] = true
+		}
+		return m
+	}
+	only := func(as ...rtle.Algorithm) map[rtle.Algorithm]bool {
+		m := map[rtle.Algorithm]bool{}
+		for _, a := range as {
+			m[a] = true
+		}
+		return m
+	}
+	shared := rtle.NewMemory(1 << 18)
+	cases := []struct {
+		name  string
+		opt   rtle.Option
+		valid map[rtle.Algorithm]bool
+	}{
+		{"WithMemory", rtle.WithMemory(shared), all()},
+		{"WithMemoryWords", rtle.WithMemoryWords(1 << 16), all()},
+		{"WithObserver", rtle.WithObserver(rtle.NewRegistry()), all()},
+		{"WithHTM", rtle.WithHTM(rtle.HTMConfig{InterleaveEvery: 2}), all()},
+		{"WithInterleave", rtle.WithInterleave(2), all()},
+		{"WithAttempts", rtle.WithAttempts(3),
+			only(rtle.TLE, rtle.RWTLE, rtle.FGTLE, rtle.AdaptiveFGTLE, rtle.ALE, rtle.RHNOrec)},
+		{"WithAdaptiveAttempts", rtle.WithAdaptiveAttempts(),
+			only(rtle.TLE, rtle.RWTLE, rtle.FGTLE, rtle.AdaptiveFGTLE, rtle.ALE)},
+		{"WithLazySubscription", rtle.WithLazySubscription(),
+			only(rtle.RWTLE, rtle.FGTLE, rtle.AdaptiveFGTLE)},
+		{"WithOrecs", rtle.WithOrecs(64), only(rtle.FGTLE, rtle.ALE)},
+		{"WithAdaptive", rtle.WithAdaptive(rtle.AdaptiveConfig{MinOrecs: 1, MaxOrecs: 64}),
+			only(rtle.AdaptiveFGTLE)},
+	}
+	for _, tc := range cases {
+		for _, alg := range algs {
+			t.Run(tc.name+"/"+alg.String(), func(t *testing.T) {
+				_, err := rtle.New(alg, rtle.WithMemoryWords(1<<16), tc.opt)
+				if tc.valid[alg] && err != nil {
+					t.Fatalf("New(%v, %s) rejected a valid option: %v", alg, tc.name, err)
+				}
+				if !tc.valid[alg] {
+					if err == nil {
+						t.Fatalf("New(%v, %s) accepted an option %v ignores", alg, tc.name, alg)
+					}
+					if !strings.Contains(err.Error(), tc.name) {
+						t.Fatalf("error %q does not name the offending option %s", err, tc.name)
+					}
+				}
+			})
+		}
 	}
 }
 
