@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet rtlevet e2e bench-json bench-wire bench-guard all
+.PHONY: build test race vet rtlevet e2e bench-json bench-wire bench-guard bench-repl all
 
 all: build vet test
 
@@ -46,3 +46,10 @@ bench-wire:
 bench-guard:
 	$(GO) run ./cmd/rtlebench -methods '' -json -outdir . \
 		-guard -guard-goroutines 1,4,16 -guard-read-pcts 90,10 -guard-ops 20000
+
+# bench-repl sweeps the replication ack modes (off, async, sync) into a
+# BENCH_<n>.json "repl" section: the same closed-loop load against an
+# unreplicated server, an async pair, and a sync pair.
+bench-repl:
+	$(GO) run ./cmd/rtlebench -methods '' -json -outdir . \
+		-repl -repl-ops 60000 -repl-read-pct 50

@@ -19,6 +19,12 @@
 // counts and read mixes, recording throughput and the fast-path commit
 // ratio into the file's "guard" section.
 //
+// With -repl it additionally sweeps the replication ack spectrum: the same
+// closed-loop load against an unreplicated server ("off"), an
+// async-replicated pair, and a sync-replicated pair, recording throughput,
+// latency, and the replica's final apply lag into the file's "repl"
+// section — the price of each durability level, measured on one machine.
+//
 // The JSON schema is documented in README.md ("Benchmark JSON schema").
 //
 // Examples:
@@ -26,6 +32,7 @@
 //	rtlebench -methods TLE,RW-TLE,FG-TLE(256) -threads 1,2,4,8 -dur 500ms -json
 //	rtlebench -wire -wire-shards 1,2,4 -wire-rate 40000 -json
 //	rtlebench -methods '' -guard -json
+//	rtlebench -methods '' -repl -repl-ops 60000 -json
 package main
 
 import (
@@ -58,6 +65,10 @@ type benchFile struct {
 	// Guard holds the elision-guard sweep (-guard), absent otherwise:
 	// rtle.Mutex/rtle.RWMutex vs sync locks vs raw Methods.
 	Guard []guardResult `json:"guard,omitempty"`
+	// Repl holds the replication sweep (-repl), absent otherwise: the same
+	// closed-loop load against an unreplicated server, an async-replicated
+	// pair, and a sync-replicated pair.
+	Repl []replResult `json:"repl,omitempty"`
 }
 
 type benchConfig struct {
@@ -142,6 +153,16 @@ func main() {
 	guardReadPcts := flag.String("guard-read-pcts", "90,10", "comma-separated read percentages for the guard sweep")
 	guardOps := flag.Int("guard-ops", 20000, "operations per goroutine per guard cell")
 	guardFormList := flag.String("guard-forms", strings.Join(guardForms, ","), "comma-separated guard sweep forms")
+	replSweep := flag.Bool("repl", false, "also sweep replication ack modes (off, async, sync) over loopback TCP")
+	replShards := flag.Int("repl-shards", 2, "shard count for the replication sweep")
+	replWorkload := flag.String("repl-workload", "map", "replication sweep workload")
+	replMethod := flag.String("repl-method", "FG-TLE(256)", "replication sweep method")
+	replWorkers := flag.Int("repl-workers", 2, "workers per shard in the replication sweep")
+	replConns := flag.Int("repl-conns", 4, "load generator connections in the replication sweep")
+	replPipeline := flag.Int("repl-pipeline", 4, "pipelined slots per connection in the replication sweep")
+	replOps := flag.Int("repl-ops", 30000, "single operations per replication cell")
+	replReadPct := flag.Int("repl-read-pct", 50, "read percentage in the replication sweep (writes are what replication prices)")
+	replKeys := flag.Int("repl-keys", 1024, "key space in the replication sweep")
 	flag.Parse()
 
 	if *insert+*remove > 100 {
@@ -210,6 +231,16 @@ func main() {
 			fatalf("bad -guard-read-pcts: %v", err)
 		}
 		out.Guard = runGuardSweep(splitList(*guardFormList), gor, pcts, *guardOps, *attempts, *seed)
+	}
+
+	if *replSweep {
+		out.Repl = runReplSweep(replCellConfig{
+			workload: *replWorkload, method: *replMethod,
+			shards: *replShards, workers: *replWorkers,
+			conns: *replConns, pipeline: *replPipeline,
+			ops: *replOps, readPct: *replReadPct,
+			keys: *replKeys, seed: *seed,
+		})
 	}
 
 	if *jsonOut {

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rtle/internal/server"
+)
+
+// replResult is one replication sweep cell: a fresh in-process primary
+// (plus a live replica unless the mode is "off") driven closed-loop over
+// loopback TCP. Comparing the three modes prices the replication spectrum:
+// "off" is the baseline, "async" pays only the log append on the commit
+// path, "sync" additionally holds every write until the replica
+// acknowledged its entry.
+type replResult struct {
+	Workload string `json:"workload"`
+	Method   string `json:"method"`
+	// Mode is "off", "async", or "sync".
+	Mode     string `json:"mode"`
+	Shards   int    `json:"shards"`
+	Conns    int    `json:"conns"`
+	Pipeline int    `json:"pipeline"`
+	ReadPct  int    `json:"read_pct"`
+	// Ops is completed single operations; ElapsedNS the issuing wall time.
+	Ops                 uint64  `json:"ops"`
+	ElapsedNS           int64   `json:"elapsed_ns"`
+	ThroughputOpsPerSec float64 `json:"throughput_ops_per_sec"`
+	P50MS               float64 `json:"p50_ms"`
+	P99MS               float64 `json:"p99_ms"`
+	// LogEntries is the primary's final log high-water mark; FinalLagEntries
+	// how many of those the replica had not yet applied when the run ended
+	// (0 in sync mode by construction, and always 0 with mode "off").
+	LogEntries      uint64 `json:"log_entries"`
+	FinalLagEntries uint64 `json:"final_lag_entries"`
+	// SyncDegraded counts sync commits released without a live subscriber;
+	// nonzero means the cell measured a degraded primary, not sync cost.
+	SyncDegraded uint64 `json:"sync_degraded"`
+}
+
+// replCellConfig parameterizes one replication sweep cell.
+type replCellConfig struct {
+	workload, method, mode       string
+	shards, workers, conns       int
+	pipeline, ops, readPct, keys int
+	seed                         uint64
+}
+
+// runReplCell boots a fresh primary (and, unless mode is "off", a fresh
+// replica subscribed to it), drives the primary closed-loop, drains both,
+// and reports the cell.
+func runReplCell(c replCellConfig) replResult {
+	pcfg := server.Config{
+		Addr:     "127.0.0.1:0",
+		Workload: c.workload,
+		Method:   c.method,
+		Shards:   c.shards,
+		Workers:  c.workers,
+		Keys:     c.keys,
+	}
+	if c.mode != "off" {
+		pcfg.ReplAck = c.mode
+	}
+	primary, err := server.New(pcfg)
+	if err != nil {
+		fatalf("repl cell: %v", err)
+	}
+	pAddr, err := primary.Listen()
+	if err != nil {
+		fatalf("repl cell: %v", err)
+	}
+	pDone := make(chan struct{})
+	// Serve returns nil on graceful Shutdown; any accept error after the
+	// drain below is benign for a measurement cell.
+	go func() { defer close(pDone); _ = primary.Serve() }()
+
+	var replica *server.Server
+	var rDone chan struct{}
+	if c.mode != "off" {
+		rcfg := pcfg
+		rcfg.ReplAck = ""
+		rcfg.ReplicaOf = pAddr.String()
+		replica, err = server.New(rcfg)
+		if err != nil {
+			fatalf("repl cell replica: %v", err)
+		}
+		if _, err := replica.Listen(); err != nil {
+			fatalf("repl cell replica: %v", err)
+		}
+		rDone = make(chan struct{})
+		// Serve returns nil on graceful Shutdown, same as the primary's.
+		go func() { defer close(rDone); _ = replica.Serve() }()
+		// Measure a subscribed pair, not a connecting one: writes issued
+		// before the stream is up would degrade (sync) or go unreplicated.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if st, ok := primary.ReplStats(); ok && st.Subscribers == 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				fatalf("repl cell: replica never subscribed")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	res, err := server.RunLoad(server.LoadConfig{
+		Addr:     pAddr.String(),
+		Workload: c.workload,
+		Conns:    c.conns,
+		Pipeline: c.pipeline,
+		Ops:      c.ops,
+		ReadPct:  c.readPct,
+		Keys:     c.keys,
+		Seed:     c.seed,
+		Check:    false, // measurement cell; correctness runs live in e2e and tests
+	})
+	if err != nil {
+		fatalf("repl cell load: %v", err)
+	}
+
+	out := replResult{
+		Workload: c.workload, Method: c.method, Mode: c.mode,
+		Shards: c.shards, Conns: c.conns, Pipeline: c.pipeline,
+		ReadPct: c.readPct,
+		Ops:     res.Ops, ElapsedNS: res.Elapsed.Nanoseconds(),
+		ThroughputOpsPerSec: res.Throughput(),
+		P50MS:               res.Percentile(0.50) * 1e3,
+		P99MS:               res.Percentile(0.99) * 1e3,
+	}
+	if pst, ok := primary.ReplStats(); ok {
+		out.LogEntries = pst.LogSeq
+		out.SyncDegraded = pst.SyncDegraded
+		if replica != nil {
+			rst, _ := replica.ReplStats()
+			if pst.LogSeq > rst.AppliedSeq {
+				out.FinalLagEntries = pst.LogSeq - rst.AppliedSeq
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := primary.Shutdown(ctx); err != nil {
+		fatalf("repl cell drain: %v", err)
+	}
+	<-pDone
+	if replica != nil {
+		if err := replica.Shutdown(ctx); err != nil {
+			fatalf("repl cell replica drain: %v", err)
+		}
+		<-rDone
+	}
+	return out
+}
+
+// runReplSweep runs one cell per ack mode and prints the comparison.
+func runReplSweep(c replCellConfig) []replResult {
+	fmt.Printf("\n%-8s %8s %14s %10s %10s %10s %10s\n",
+		"mode", "ops", "ops/sec", "p50 ms", "p99 ms", "lag", "degraded")
+	var out []replResult
+	for _, mode := range []string{"off", "async", "sync"} {
+		cell := c
+		cell.mode = mode
+		rr := runReplCell(cell)
+		fmt.Printf("%-8s %8d %14.0f %10.3f %10.3f %10d %10d\n",
+			rr.Mode, rr.Ops, rr.ThroughputOpsPerSec, rr.P50MS, rr.P99MS,
+			rr.FinalLagEntries, rr.SyncDegraded)
+		out = append(out, rr)
+	}
+	return out
+}

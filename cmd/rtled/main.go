@@ -17,12 +17,23 @@
 // @file) a fault director is wired into the method, so chaos experiments
 // run over the wire exactly as they do in-process.
 //
+// Replication: a primary started with -repl-ack or -repl-log appends every
+// committed mutating block to an ordered log (file-backed when -repl-log
+// names a path) and streams it to subscribed replicas; -repl-ack sync
+// holds each write's response until a replica acknowledged its entry. A
+// server started with -replica-of follows that primary, answering
+// StatusNotPrimary to clients until SIGUSR1 or POST /promote flips it to
+// primary — the failover handshake scripts/e2e.sh exercises with a SIGKILL
+// mid-run.
+//
 // Examples:
 //
 //	rtled -workload set -method "FG-TLE(256)" -workers 8
 //	rtled -workload map -shards 4 -workers 2 -http :9090
 //	rtled -workload bank -keys 16 -method RHNOrec -http :9090
 //	rtled -addr 127.0.0.1:0 -fault-plan '{"seed":7,"begin_prob":0.1}'
+//	rtled -workload map -repl-ack sync -repl-log /tmp/rtle.log
+//	rtled -addr 127.0.0.1:7633 -workload map -replica-of 127.0.0.1:7632
 package main
 
 import (
@@ -54,8 +65,11 @@ func main() {
 	attempts := flag.Int("attempts", core.DefaultAttempts, "HTM attempts before lock fallback")
 	lazy := flag.Bool("lazy", false, "lazy lock subscription on the slow path")
 	planStr := flag.String("fault-plan", "", "fault plan: inline JSON or @file")
-	httpAddr := flag.String("http", "", "serve /metrics and /snapshot on this address (e.g. :9090)")
+	httpAddr := flag.String("http", "", "serve /metrics, /snapshot and /promote on this address (e.g. :9090)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	replicaOf := flag.String("replica-of", "", "follow the primary at this address (serve StatusNotPrimary until promoted)")
+	replAck := flag.String("repl-ack", "", "replication ack mode: async or sync (implies replication)")
+	replLog := flag.String("repl-log", "", "file-backed replication log path (implies replication; empty keeps the log in memory)")
 	flag.Parse()
 
 	var plan *fault.Plan
@@ -88,6 +102,9 @@ func main() {
 		Policy:     core.Policy{Attempts: *attempts, LazySubscription: *lazy},
 		Registry:   reg,
 		Plan:       plan,
+		ReplicaOf:  *replicaOf,
+		ReplAck:    *replAck,
+		ReplLog:    *replLog,
 	})
 	if err != nil {
 		fatal(err)
@@ -100,6 +117,9 @@ func main() {
 	// The e2e harness parses this line to find the bound port.
 	fmt.Printf("rtled: listening on %s (%s over %s, %d shards x %d workers)\n",
 		bound, srv.MethodName(), srv.Workload(), srv.Shards(), *workers)
+	if *replicaOf != "" {
+		fmt.Fprintf(os.Stderr, "rtled: replica of %s (SIGUSR1 or POST /promote to take over)\n", *replicaOf)
+	}
 
 	var admin *server.AdminServer
 	if *httpAddr != "" {
@@ -114,24 +134,33 @@ func main() {
 	go func() { done <- srv.Serve() }()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "rtled: %v, draining\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "rtled: drain:", err)
-		}
-		if admin != nil {
-			if err := admin.Shutdown(ctx); err != nil {
-				fmt.Fprintln(os.Stderr, "rtled: admin drain:", err)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1)
+loop:
+	for {
+		select {
+		case s := <-sig:
+			if s == syscall.SIGUSR1 {
+				promote(srv)
+				continue
 			}
-		}
-		<-done
-	case err := <-done:
-		if err != nil {
-			fatal(err)
+			fmt.Fprintf(os.Stderr, "rtled: %v, draining\n", s)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "rtled: drain:", err)
+			}
+			if admin != nil {
+				if err := admin.Shutdown(ctx); err != nil {
+					fmt.Fprintln(os.Stderr, "rtled: admin drain:", err)
+				}
+			}
+			<-done
+			break loop
+		case err := <-done:
+			if err != nil {
+				fatal(err)
+			}
+			break loop
 		}
 	}
 
@@ -144,9 +173,24 @@ func main() {
 	}
 }
 
+// promote flips a replica to primary, logging the takeover sequence on
+// stdout so harnesses can confirm the handoff landed.
+func promote(srv *server.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	seq, err := srv.Promote(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtled: promote:", err)
+		return
+	}
+	fmt.Printf("rtled: promoted to primary at seq %d\n", seq)
+}
+
 // newMux builds the admin handler: /metrics concatenates the execution
 // registry's Prometheus series with the wire-level server series under one
-// scrape; /snapshot serves the registry as JSON.
+// scrape; /snapshot serves the registry as JSON; POST /promote flips a
+// replica to primary (the HTTP twin of SIGUSR1, for orchestrators without
+// signal access).
 func newMux(reg *obs.Registry, srv *server.Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -160,6 +204,19 @@ func newMux(reg *obs.Registry, srv *server.Server) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		// A write error here means the client hung up; nothing to do.
 		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "promote requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		seq, err := srv.Promote(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Printf("rtled: promoted to primary at seq %d\n", seq)
+		fmt.Fprintf(w, "promoted to primary at seq %d\n", seq)
 	})
 	return mux
 }

@@ -18,12 +18,22 @@
 // reports false violations — reads would observe state no operation in the
 // recorded history wrote. Load without -check has no such restriction.
 //
+// Failover runs: -addr accepts a comma-separated address list (primary
+// first). With more than one address each connection becomes a failover
+// client that rides through server death, an operation whose response was
+// lost is recorded as pending — the checker must then explain it both as
+// executed and as never-executed — and StatusNotPrimary rejections are
+// retried until a promotion lands. The longest disruption window and the
+// pending/retry counts are reported after the run.
+//
 // Examples:
 //
 //	rtleload -addr 127.0.0.1:7632 -workload set -conns 4 -pipeline 8 -ops 20000
 //	rtleload -workload map -read-pct 50 -batch-pct 10 -check=true
 //	rtleload -workload bank -keys 16 -conns 2 -pipeline 4 -ops 2000
 //	rtleload -workload set -rate 50000 -duration 5s -check=false
+//	rtleload -addr 127.0.0.1:7632,127.0.0.1:7633 -workload map -ops 40000
+//	rtleload -workload set -key-dist zipf -zipf-s 1.2
 package main
 
 import (
@@ -37,7 +47,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7632", "rtled server address")
+	addr := flag.String("addr", "127.0.0.1:7632", "rtled server address, or a comma-separated failover list (primary first)")
 	workload := flag.String("workload", "set", "served data structure: "+strings.Join(server.Workloads, ", "))
 	conns := flag.Int("conns", 4, "TCP connections")
 	pipeline := flag.Int("pipeline", 8, "pipelined slots per connection")
@@ -48,12 +58,15 @@ func main() {
 	batchPct := flag.Int("batch-pct", 0, "percentage of issues that send a witness batch")
 	batchSize := flag.Int("batch-size", 8, "witness batch length (set/map)")
 	keys := flag.Int("keys", 0, "key space (set/map) or account count (bank); must match the server; 0 picks the default")
+	keyDist := flag.String("key-dist", "uniform", "key distribution: uniform or zipf (key 0 hottest)")
+	zipfS := flag.Float64("zipf-s", 1.1, "zipf exponent (with -key-dist zipf; larger is more skewed)")
 	seed := flag.Uint64("seed", 1, "PRNG seed")
 	checkFlag := flag.Bool("check", true, "check the recorded history for linearizability")
 	flag.Parse()
 
+	addrs := strings.Split(*addr, ",")
 	cfg := server.LoadConfig{
-		Addr:       *addr,
+		Addrs:      addrs,
 		Workload:   *workload,
 		Conns:      *conns,
 		Pipeline:   *pipeline,
@@ -64,6 +77,8 @@ func main() {
 		BatchPct:   *batchPct,
 		BatchSize:  *batchSize,
 		Keys:       *keys,
+		KeyDist:    *keyDist,
+		ZipfS:      *zipfS,
 		Seed:       *seed,
 		Check:      *checkFlag,
 	}
@@ -80,6 +95,10 @@ func main() {
 		res.Ops, res.Elapsed.Round(time.Millisecond), res.Throughput(), res.Batches, res.BusyRetries, res.Rejected)
 	fmt.Printf("rtleload: latency p50 %.3gms p99 %.3gms max-bucket %.3gms\n",
 		res.Percentile(0.50)*1e3, res.Percentile(0.99)*1e3, res.Percentile(1.0)*1e3)
+	if len(addrs) > 1 {
+		fmt.Printf("rtleload: failover: %d reconnects, %d pending (cut) ops, %d not-primary retries, longest outage %v\n",
+			res.Reconnects, res.Cut, res.NotPrimaryRetries, res.FailoverWindow.Round(time.Millisecond))
+	}
 
 	exit := 0
 	if len(res.WitnessViolations) > 0 {

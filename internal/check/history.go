@@ -64,19 +64,28 @@ func (o Op) String() string {
 	}
 }
 
-// Event is one completed operation: its invocation arguments, its observed
-// response, and the ticket interval during which it was pending.
+// Event is one recorded operation: its invocation arguments, its observed
+// response, and the ticket interval during which it was pending. A
+// Pending event never observed a response (the connection died with the
+// request in flight — see ThreadRecorder.Cut); its Ret/Ok are meaningless
+// and its Return ticket is unset, placing it after every completed
+// operation for the checker.
 type Event struct {
 	Thread           int
 	Op               Op
 	Arg1, Arg2, Arg3 uint64
 	Ret              uint64
 	Ok               bool
+	Pending          bool
 	Invoke, Return   int64 // tickets from the history's shared counter
 }
 
 // String renders the event for failure reports.
 func (e Event) String() string {
+	if e.Pending {
+		return fmt.Sprintf("t%d %s(%d,%d,%d) -> ? @[%d,∞)",
+			e.Thread, e.Op, e.Arg1, e.Arg2, e.Arg3, e.Invoke)
+	}
 	return fmt.Sprintf("t%d %s(%d,%d,%d) -> (%d,%v) @[%d,%d]",
 		e.Thread, e.Op, e.Arg1, e.Arg2, e.Arg3, e.Ret, e.Ok, e.Invoke, e.Return)
 }
@@ -145,6 +154,22 @@ func (r *ThreadRecorder) Abandon() {
 		panic("check: Abandon without a pending Invoke")
 	}
 	r.events = r.events[:len(r.events)-1]
+	r.pending = false
+}
+
+// Cut closes the pending operation as incomplete: the response was lost
+// (a connection died with the request in flight), so whether the
+// operation executed is unknowable. The event stays in the history marked
+// Pending; the checker may linearize it with any legal effect or drop it
+// entirely — exactly the ambiguity a crashed server leaves. This is the
+// sound counterpart to Abandon when the operation MAY have executed: an
+// executed-but-discarded mutation would falsify the history, an
+// executed-but-pending one cannot.
+func (r *ThreadRecorder) Cut() {
+	if !r.pending {
+		panic("check: Cut without a pending Invoke")
+	}
+	r.events[len(r.events)-1].Pending = true
 	r.pending = false
 }
 

@@ -12,6 +12,14 @@ type Model struct {
 	// Step applies e to state. It returns the successor state and whether
 	// e's recorded response (Ret, Ok) is legal from state.
 	Step func(state any, e Event) (any, bool)
+	// Apply returns the successor state of e's operation regardless of its
+	// response — the completion the checker assumes when linearizing a
+	// Pending event, whose response was lost. It is well-defined for the
+	// repository's models because every operation's state effect is a
+	// function of (state, op, args) alone; the response only reports what
+	// happened. A model with Apply == nil rejects pending events (Step
+	// judges their zeroed response, which typically fails).
+	Apply func(state any, e Event) any
 	// Hash returns a value equal for equal states (used to bucket the
 	// memoization cache).
 	Hash func(state any) uint64
@@ -28,10 +36,48 @@ type Model struct {
 // (the algorithm behind porcupine/knossos): entries sorted by ticket, a
 // linked list of pending operations, an undo stack, and a cache of
 // (linearized-set, state) configurations already proven fruitless.
+//
+// Events marked Pending (see ThreadRecorder.Cut) never observed a
+// response: each is given a synthetic return ticket after every real
+// stamp, may linearize with any legal effect (model.Apply) or not at all,
+// and the history is linearizable once every completed operation is
+// placed. This is exactly the crash semantics a failover run records — an
+// in-flight write at the kill may or may not have executed, and either
+// completion must be accepted; a write whose OK response was recorded
+// remains obligatory, so an acknowledged write lost by the promotion is
+// still a verdict of non-linearizable.
 func CheckLinearizable(model Model, events []Event) bool {
 	n := len(events)
 	if n == 0 {
 		return true
+	}
+
+	// Synthetic return tickets place every pending operation's return
+	// after all real stamps: nothing is ordered after a pending op, which
+	// is what "still in flight at the crash" means.
+	var maxTicket int64
+	complete := 0
+	for _, e := range events {
+		if e.Invoke > maxTicket {
+			maxTicket = e.Invoke
+		}
+		if !e.Pending {
+			complete++
+			if e.Return > maxTicket {
+				maxTicket = e.Return
+			}
+		}
+	}
+	if complete == 0 {
+		return true // nothing observed a response; any completion works
+	}
+	returns := make([]int64, n)
+	for i, e := range events {
+		returns[i] = e.Return
+		if e.Pending {
+			maxTicket++
+			returns[i] = maxTicket
+		}
 	}
 
 	type stamp struct {
@@ -42,7 +88,7 @@ func CheckLinearizable(model Model, events []Event) bool {
 	stamps := make([]stamp, 0, 2*n)
 	for i, e := range events {
 		stamps = append(stamps,
-			stamp{i, true, e.Invoke}, stamp{i, false, e.Return})
+			stamp{i, true, e.Invoke}, stamp{i, false, returns[i]})
 	}
 	sort.Slice(stamps, func(i, j int) bool { return stamps[i].time < stamps[j].time })
 
@@ -107,16 +153,35 @@ func CheckLinearizable(model Model, events []Event) bool {
 	}
 	var calls []frame
 	state := model.Init()
+	// completeRemaining counts completed (non-Pending) operations not yet
+	// linearized: the history is linearizable once it reaches zero —
+	// remaining pending operations are the ones that never executed.
+	completeRemaining := complete
 	entry := head.next
 	for head.next != nil {
 		if entry.match != nil { // invoke: try to linearize this op next
-			newState, legal := model.Step(state, events[entry.id])
+			e := events[entry.id]
+			var newState any
+			var legal bool
+			if e.Pending && model.Apply != nil {
+				// No response to judge: the operation executes with
+				// whatever effect the model assigns it.
+				newState, legal = model.Apply(state, e), true
+			} else {
+				newState, legal = model.Step(state, e)
+			}
 			if legal {
 				linearized.set(entry.id)
 				key := linearized.hash() ^ model.Hash(newState)
 				if !cacheHas(key, newState) {
 					cache[key] = append(cache[key],
 						cacheEntry{linearized.clone(), newState})
+					if !e.Pending {
+						completeRemaining--
+						if completeRemaining == 0 {
+							return true
+						}
+					}
 					calls = append(calls, frame{entry, state})
 					state = newState
 					lift(entry)
@@ -134,6 +199,9 @@ func CheckLinearizable(model Model, events []Event) bool {
 			calls = calls[:len(calls)-1]
 			entry, state = f.entry, f.state
 			linearized.clear(entry.id)
+			if !events[entry.id].Pending {
+				completeRemaining++
+			}
 			unlift(entry)
 			entry = entry.next
 		}

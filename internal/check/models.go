@@ -41,6 +41,24 @@ func SetModel() Model {
 			}
 			return state, false
 		},
+		Apply: func(state any, e Event) any {
+			s := state.(map[uint64]bool)
+			switch e.Op {
+			case OpInsert:
+				if !s[e.Arg1] {
+					ns := maps.Clone(s)
+					ns[e.Arg1] = true
+					return ns
+				}
+			case OpRemove:
+				if s[e.Arg1] {
+					ns := maps.Clone(s)
+					delete(ns, e.Arg1)
+					return ns
+				}
+			}
+			return state
+		},
 		Hash: func(state any) uint64 {
 			var h uint64
 			for k := range state.(map[uint64]bool) {
@@ -97,6 +115,27 @@ func MapModel() Model {
 			}
 			return state, false
 		},
+		Apply: func(state any, e Event) any {
+			s := state.(map[uint64]uint64)
+			cur, present := s[e.Arg1]
+			switch e.Op {
+			case OpPut:
+				ns := maps.Clone(s)
+				ns[e.Arg1] = e.Arg2
+				return ns
+			case OpDelete:
+				if present {
+					ns := maps.Clone(s)
+					delete(ns, e.Arg1)
+					return ns
+				}
+			case OpAdd:
+				ns := maps.Clone(s)
+				ns[e.Arg1] = cur + e.Arg2
+				return ns
+			}
+			return state
+		},
 		Hash: func(state any) uint64 {
 			var h uint64
 			for k, v := range state.(map[uint64]uint64) {
@@ -142,6 +181,21 @@ func BankModel(accounts int, initial uint64) Model {
 				return ns, true
 			}
 			return state, false
+		},
+		Apply: func(state any, e Event) any {
+			s := state.([]uint64)
+			if e.Op != OpTransfer {
+				return state
+			}
+			from, to, amount := int(e.Arg1), int(e.Arg2), e.Arg3
+			moved := min(amount, s[from])
+			if moved == 0 || from == to {
+				return state
+			}
+			ns := slices.Clone(s)
+			ns[from] -= moved
+			ns[to] += moved
+			return ns
 		},
 		Hash: func(state any) uint64 {
 			var h uint64

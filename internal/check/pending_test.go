@@ -1,0 +1,142 @@
+package check
+
+import "testing"
+
+// cev builds a completed event.
+func cev(thread int, op Op, a1, a2, a3, ret uint64, ok bool, inv, ret2 int64) Event {
+	return Event{Thread: thread, Op: op, Arg1: a1, Arg2: a2, Arg3: a3,
+		Ret: ret, Ok: ok, Invoke: inv, Return: ret2}
+}
+
+// pend builds a pending (cut) event: invoked, response lost.
+func pend(thread int, op Op, a1, a2, a3 uint64, inv int64) Event {
+	return Event{Thread: thread, Op: op, Arg1: a1, Arg2: a2, Arg3: a3,
+		Pending: true, Invoke: inv}
+}
+
+// TestPendingEitherWay checks a cut write is accepted whether a later read
+// observes it or not: the crash left both completions possible.
+func TestPendingEitherWay(t *testing.T) {
+	// t0 cuts put(k=1, v=5); t1 then reads k=1.
+	for _, read := range []struct {
+		name    string
+		ret     uint64
+		ok      bool
+		applied bool
+	}{
+		{"write-applied", 5, true, true},
+		{"write-lost", 0, false, false},
+	} {
+		events := []Event{
+			pend(0, OpPut, 1, 5, 0, 1),
+			cev(1, OpGet, 1, 0, 0, read.ret, read.ok, 2, 3),
+		}
+		if !CheckLinearizable(MapModel(), events) {
+			t.Errorf("%s: history rejected; a pending write must admit both completions", read.name)
+		}
+	}
+}
+
+// TestPendingOnly checks a history whose every event is pending passes
+// trivially: nothing observed a response, so nothing constrains the state.
+func TestPendingOnly(t *testing.T) {
+	events := []Event{
+		pend(0, OpPut, 1, 5, 0, 1),
+		pend(1, OpDelete, 1, 0, 0, 2),
+	}
+	if !CheckLinearizable(MapModel(), events) {
+		t.Fatal("all-pending history rejected")
+	}
+}
+
+// TestAcknowledgedWriteRemainsObligatory checks that marking ONE write
+// pending does not excuse losing a DIFFERENT, acknowledged write: the
+// failover soundness property the wire checker enforces.
+func TestAcknowledgedWriteRemainsObligatory(t *testing.T) {
+	events := []Event{
+		// t0's put(k=1,v=7) was acknowledged (newly inserted) ...
+		cev(0, OpPut, 1, 7, 0, 0, true, 1, 2),
+		// ... t1's put(k=2,v=9) was in flight at the crash ...
+		pend(1, OpPut, 2, 9, 0, 3),
+		// ... and after failover t0 reads k=1 as absent: the acknowledged
+		// write was lost. No completion choice for the pending op fixes it.
+		cev(0, OpGet, 1, 0, 0, 0, false, 4, 5),
+	}
+	if CheckLinearizable(MapModel(), events) {
+		t.Fatal("lost acknowledged write accepted")
+	}
+}
+
+// TestPendingCannotExplainContradiction checks a pending write linearizes
+// at most once: two reads that disagree in a way requiring the write to
+// both happen and not happen stay non-linearizable.
+func TestPendingCannotExplainContradiction(t *testing.T) {
+	events := []Event{
+		pend(0, OpPut, 1, 5, 0, 1),
+		// Sequential reads on t1: first sees the write, then doesn't.
+		// No single placement of the pending put explains both.
+		cev(1, OpGet, 1, 0, 0, 5, true, 2, 3),
+		cev(1, OpGet, 1, 0, 0, 0, false, 4, 5),
+	}
+	if CheckLinearizable(MapModel(), events) {
+		t.Fatal("contradictory reads around a pending write accepted")
+	}
+}
+
+// TestPendingBankTransfer checks the bank model's pending semantics: a cut
+// transfer may or may not have moved funds, and balance reads consistent
+// with either outcome pass.
+func TestPendingBankTransfer(t *testing.T) {
+	model := BankModel(2, 100)
+	for _, c := range []struct {
+		name string
+		bal0 uint64
+	}{
+		{"transfer-applied", 70},
+		{"transfer-lost", 100},
+	} {
+		events := []Event{
+			pend(0, OpTransfer, 0, 1, 30, 1),
+			cev(1, OpBalance, 0, 0, 0, c.bal0, true, 2, 3),
+		}
+		if !CheckLinearizable(model, events) {
+			t.Errorf("%s: rejected", c.name)
+		}
+	}
+	// A balance neither outcome produces stays rejected.
+	events := []Event{
+		pend(0, OpTransfer, 0, 1, 30, 1),
+		cev(1, OpBalance, 0, 0, 0, 55, true, 2, 3),
+	}
+	if CheckLinearizable(model, events) {
+		t.Fatal("impossible balance accepted alongside a pending transfer")
+	}
+}
+
+// TestCutRecorder checks the ThreadRecorder Cut flow: the event survives
+// with Pending set, and the recorder accepts a fresh Invoke afterwards.
+func TestCutRecorder(t *testing.T) {
+	h := NewHistory(1)
+	r := h.Recorder(0)
+	r.Invoke(OpPut, 1, 5, 0)
+	r.Cut()
+	r.Invoke(OpGet, 1, 0, 0)
+	r.Return(0, false)
+	events := h.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if !events[0].Pending || events[1].Pending {
+		t.Fatalf("pending flags: %v, %v", events[0].Pending, events[1].Pending)
+	}
+	if !CheckLinearizable(MapModel(), events) {
+		t.Fatal("cut history rejected")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Cut without a pending Invoke did not panic")
+		}
+	}()
+	r.Cut()
+}

@@ -1,0 +1,221 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Log is the ordered block log. Entries are immutable once appended and
+// sequence numbers are contiguous from 1, so readers can stream any
+// suffix without coordination beyond the high-water mark. A primary
+// assigns sequence numbers with Append; a replica mirrors the primary's
+// numbering with AppendEntry, which enforces contiguity — a gap means the
+// stream desynchronized and the subscriber must resubscribe from its own
+// high-water mark.
+type Log struct {
+	mu      sync.Mutex
+	entries []Entry // entries[i].Seq == uint64(i)+1
+	f       *os.File
+	bw      *bufio.Writer
+	err     error // sticky file-append error; the memory log stays authoritative
+	subs    map[chan struct{}]struct{}
+}
+
+// Open returns a Log mirrored to the append-only file at path, loading
+// any entries a previous process left there (a torn tail is dropped). An
+// empty path keeps the log memory-only.
+func Open(path string) (*Log, error) {
+	l := &Log{subs: make(map[chan struct{}]struct{})}
+	if path == "" {
+		return l, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	n, err := l.load(f)
+	if err != nil {
+		_ = f.Close() // the load error is the one to report
+		return nil, err
+	}
+	// Truncate a torn tail (or trailing garbage) so appends resume from a
+	// clean record boundary.
+	if err := f.Truncate(n); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(n, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	l.f = f
+	l.bw = bufio.NewWriterSize(f, 1<<16)
+	return l, nil
+}
+
+// load reads records from f until EOF or the first torn/corrupt record,
+// returning the byte offset of the last intact record's end.
+func (l *Log) load(f *os.File) (int64, error) {
+	br := bufio.NewReaderSize(f, 1<<16)
+	var good int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return good, nil // EOF or torn header: keep the intact prefix
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if n < 10 || n > 10+MaxOps*opBytes {
+			return good, nil // corrupt length: stop at the intact prefix
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return good, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return good, nil // bit rot or torn rewrite
+		}
+		e, err := DecodeEntryPayload(payload)
+		if err != nil {
+			return good, nil
+		}
+		if e.Seq != uint64(len(l.entries))+1 {
+			return 0, fmt.Errorf("repl: log file record %d carries seq %d", len(l.entries)+1, e.Seq)
+		}
+		l.entries = append(l.entries, e)
+		good += int64(8 + n)
+	}
+}
+
+// Append assigns the next sequence number to one committed block's
+// mutating operations and appends it. ops is copied; the caller may reuse
+// its slice. len(ops) must be in [1, MaxOps] (the serving layer chunks
+// larger blocks).
+func (l *Log) Append(ops []Op) uint64 {
+	if len(ops) == 0 || len(ops) > MaxOps {
+		panic(fmt.Sprintf("repl: Append with %d ops", len(ops)))
+	}
+	e := Entry{Ops: append([]Op(nil), ops...)}
+	l.mu.Lock()
+	e.Seq = uint64(len(l.entries)) + 1
+	l.append(e)
+	l.mu.Unlock()
+	return e.Seq
+}
+
+// AppendEntry appends an entry carrying its primary-assigned sequence
+// number (the replica path). The sequence must be exactly the current
+// high-water mark plus one.
+func (l *Log) AppendEntry(e Entry) error {
+	if len(e.Ops) == 0 || len(e.Ops) > MaxOps {
+		return fmt.Errorf("repl: entry with %d ops", len(e.Ops))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if want := uint64(len(l.entries)) + 1; e.Seq != want {
+		return fmt.Errorf("repl: appending seq %d at high-water %d", e.Seq, want-1)
+	}
+	l.append(e)
+	return nil
+}
+
+// append installs e (seq already assigned and checked), mirrors it to the
+// file, and wakes streamers. Called with mu held.
+func (l *Log) append(e Entry) {
+	l.entries = append(l.entries, e)
+	if l.bw != nil && l.err == nil {
+		payload := AppendEntryPayload(nil, &e)
+		var hdr [8]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+		if _, err := l.bw.Write(hdr[:]); err != nil {
+			l.err = err
+		} else if _, err := l.bw.Write(payload); err != nil {
+			l.err = err
+		} else if err := l.bw.Flush(); err != nil {
+			// Flush per append: the file is only useful if it tracks the
+			// memory log closely. The mirror is best-effort (see package
+			// doc), so a failure is sticky and surfaced via Err, not fatal.
+			l.err = err
+		}
+	}
+	for ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // the subscriber already has a wakeup pending
+		}
+	}
+}
+
+// HighWater returns the sequence of the latest entry (0 when empty).
+func (l *Log) HighWater() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.entries))
+}
+
+// From returns up to max entries starting at sequence seq (1-based). The
+// returned entries are immutable; callers must not modify their Ops.
+func (l *Log) From(seq uint64, max int) []Entry {
+	if seq == 0 {
+		seq = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > uint64(len(l.entries)) {
+		return nil
+	}
+	end := seq - 1 + uint64(max)
+	if end > uint64(len(l.entries)) {
+		end = uint64(len(l.entries))
+	}
+	return l.entries[seq-1 : end]
+}
+
+// Subscribe returns a channel that receives a wakeup after every append.
+// Pair with Unsubscribe.
+func (l *Log) Subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	l.mu.Lock()
+	l.subs[ch] = struct{}{}
+	l.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes a Subscribe channel.
+func (l *Log) Unsubscribe(ch chan struct{}) {
+	l.mu.Lock()
+	delete(l.subs, ch)
+	l.mu.Unlock()
+}
+
+// Err returns the sticky file-mirror error, if any. The in-memory log
+// (and therefore replication) keeps working after a mirror failure.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes and closes the file mirror. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return l.err
+	}
+	ferr := l.bw.Flush()
+	if cerr := l.f.Close(); ferr == nil {
+		ferr = cerr
+	}
+	l.f, l.bw = nil, nil
+	if l.err == nil {
+		l.err = ferr
+	}
+	return ferr
+}

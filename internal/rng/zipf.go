@@ -1,0 +1,45 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples keys in [0, n) with probability P(k) proportional to
+// 1/(k+1)^s — the standard skewed key-popularity model, with key 0 the
+// hottest. It is implemented as a precomputed CDF table plus binary
+// search: construction is O(n), each sample O(log n) with no allocation,
+// and sampling is deterministic under the caller's generator — exactly
+// the contract the load generator's seeded runs need. (math/rand's Zipf
+// exists but draws from its own source type; this one composes with
+// Xoshiro256.)
+type Zipf struct {
+	cum []float64 // cum[k] = P(key <= k), cum[n-1] == 1
+}
+
+// NewZipf builds the table for n keys with exponent s > 0. Larger s is
+// more skewed; s near 0 degenerates toward uniform.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with n <= 0")
+	}
+	if s <= 0 || math.IsNaN(s) {
+		panic("rng: NewZipf with s <= 0")
+	}
+	cum := make([]float64, n)
+	var total float64
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	return &Zipf{cum: cum}
+}
+
+// Sample draws one key from x.
+func (z *Zipf) Sample(x *Xoshiro256) uint64 {
+	r := x.Float64()
+	return uint64(sort.SearchFloat64s(z.cum, r))
+}

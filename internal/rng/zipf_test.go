@@ -1,0 +1,50 @@
+package rng
+
+import "testing"
+
+// TestZipfBoundsAndDeterminism checks every sample lands in [0, n) and
+// that the same seed reproduces the same stream.
+func TestZipfBoundsAndDeterminism(t *testing.T) {
+	const n = 64
+	z := NewZipf(n, 1.1)
+	a, b := NewXoshiro256(7), NewXoshiro256(7)
+	for i := 0; i < 10_000; i++ {
+		ka, kb := z.Sample(a), z.Sample(b)
+		if ka != kb {
+			t.Fatalf("sample %d diverged under the same seed: %d vs %d", i, ka, kb)
+		}
+		if ka >= n {
+			t.Fatalf("sample %d out of range: %d", i, ka)
+		}
+	}
+}
+
+// TestZipfSkew checks the popularity ordering (key 0 hottest) and that a
+// larger exponent concentrates more mass on the head.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 32, 200_000
+	head := func(s float64) (k0, k1 int) {
+		z := NewZipf(n, s)
+		x := NewXoshiro256(42)
+		for i := 0; i < draws; i++ {
+			switch z.Sample(x) {
+			case 0:
+				k0++
+			case 1:
+				k1++
+			}
+		}
+		return k0, k1
+	}
+	k0, k1 := head(1.1)
+	if k0 <= k1 {
+		t.Fatalf("key 0 (%d draws) not hotter than key 1 (%d draws)", k0, k1)
+	}
+	if frac := float64(k0) / draws; frac < 0.2 {
+		t.Fatalf("key 0 drew only %.1f%% of samples at s=1.1", 100*frac)
+	}
+	h0, _ := head(2.0)
+	if h0 <= k0 {
+		t.Fatalf("s=2.0 head mass (%d) not above s=1.1 head mass (%d)", h0, k0)
+	}
+}

@@ -8,6 +8,18 @@ import "sync/atomic"
 // without letting tail latency grow unboundedly under a slow method.
 const maxSectionNanos = 2_000_000
 
+// Abort-rate thresholds, in aborts per 1000 attempts (the shard's decayed
+// EWMA). A wide window under abort pressure is counterproductive twice
+// over: every retry re-executes the whole shared block, and a bigger
+// read/write footprint aborts more — so the controller refuses to widen
+// early and actively narrows when contention is severe.
+const (
+	// widenAbortPerMille refuses widening at or above 20% aborts.
+	widenAbortPerMille = 200
+	// shrinkAbortPerMille halves the window at or above 50% aborts.
+	shrinkAbortPerMille = 500
+)
+
 // coalescer is one shard's adaptive coalesce-window controller, the
 // serving-layer analogue of the paper's adaptive FG-TLE policy: instead of
 // a fixed operator-chosen knob (the old fixed -coalesce window), the
@@ -48,13 +60,18 @@ func newCoalescer(max int) *coalescer {
 // Window returns the current coalesce window in [1, max].
 func (c *coalescer) Window() int { return int(c.window.Load()) }
 
-// Observe folds one post-section sample of the shard's queue depth and
-// EWMA service time into the window.
-func (c *coalescer) Observe(depth, svcNanos int64) {
+// Observe folds one post-section sample of the shard's queue depth, EWMA
+// service time, and EWMA abort rate (aborts per 1000 attempts) into the
+// window. Severe abort pressure narrows the window even under backlog;
+// moderate pressure just refuses to widen.
+func (c *coalescer) Observe(depth, svcNanos, abortPerMille int64) {
 	prev := c.prevDepth.Swap(depth)
 	w := c.window.Load()
 	switch {
-	case depth >= w && depth >= prev && w < c.max && 2*svcNanos < maxSectionNanos:
+	case abortPerMille >= shrinkAbortPerMille && w > 1:
+		c.window.Store(w / 2)
+	case depth >= w && depth >= prev && w < c.max &&
+		2*svcNanos < maxSectionNanos && abortPerMille < widenAbortPerMille:
 		nw := w * 2
 		if nw > c.max {
 			nw = c.max

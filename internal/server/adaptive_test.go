@@ -10,13 +10,13 @@ func TestCoalescerWidens(t *testing.T) {
 		t.Fatalf("initial window %d, want 1", c.Window())
 	}
 	for depth := int64(4); depth <= 64; depth *= 2 {
-		c.Observe(depth, 10_000) // deep, growing queue; 10us sections
+		c.Observe(depth, 10_000, 0) // deep, growing queue; 10us sections
 	}
 	if c.Window() != 8 {
 		t.Fatalf("window %d after sustained backlog, want the cap 8", c.Window())
 	}
 	// Further pressure must not push past the cap.
-	c.Observe(1024, 10_000)
+	c.Observe(1024, 10_000, 0)
 	if c.Window() != 8 {
 		t.Fatalf("window %d exceeded the cap", c.Window())
 	}
@@ -27,13 +27,13 @@ func TestCoalescerWidens(t *testing.T) {
 func TestCoalescerShrinksIdle(t *testing.T) {
 	c := newCoalescer(8)
 	for depth := int64(8); depth <= 64; depth *= 2 {
-		c.Observe(depth, 10_000)
+		c.Observe(depth, 10_000, 0)
 	}
 	if c.Window() < 2 {
 		t.Fatalf("setup failed to widen: window %d", c.Window())
 	}
 	for i := 0; i < 10; i++ {
-		c.Observe(0, 10_000)
+		c.Observe(0, 10_000, 0)
 	}
 	if c.Window() != 1 {
 		t.Fatalf("window %d after an idle queue, want 1", c.Window())
@@ -46,7 +46,7 @@ func TestCoalescerShrinksIdle(t *testing.T) {
 func TestCoalescerRefusesSlowSections(t *testing.T) {
 	c := newCoalescer(8)
 	for i := 0; i < 10; i++ {
-		c.Observe(64, maxSectionNanos) // deep queue, but sections at the cap
+		c.Observe(64, maxSectionNanos, 0) // deep queue, but sections at the cap
 	}
 	if c.Window() != 1 {
 		t.Fatalf("window %d widened despite sections at the latency budget", c.Window())
@@ -58,11 +58,11 @@ func TestCoalescerRefusesSlowSections(t *testing.T) {
 func TestCoalescerNotShrinkSteady(t *testing.T) {
 	c := newCoalescer(8)
 	for depth := int64(8); depth <= 64; depth *= 2 {
-		c.Observe(depth, 10_000)
+		c.Observe(depth, 10_000, 0)
 	}
 	w := c.Window()
 	for i := 0; i < 10; i++ {
-		c.Observe(int64(w), 10_000) // steady backlog of one window
+		c.Observe(int64(w), 10_000, 0) // steady backlog of one window
 	}
 	if c.Window() < w {
 		t.Fatalf("window shrank from %d to %d under a steady one-window backlog", w, c.Window())
@@ -74,9 +74,55 @@ func TestCoalescerNotShrinkSteady(t *testing.T) {
 func TestCoalescerCapOne(t *testing.T) {
 	c := newCoalescer(1)
 	for i := 0; i < 10; i++ {
-		c.Observe(1024, 1_000)
+		c.Observe(1024, 1_000, 0)
 	}
 	if c.Window() != 1 {
 		t.Fatalf("window %d with a cap of 1", c.Window())
+	}
+}
+
+// TestCoalescerRefusesWidenUnderAborts checks the contention guard: a deep
+// queue must not widen the window while the abort EWMA sits at or above
+// the widen threshold — a bigger shared block under abort pressure only
+// grows the retry tail.
+func TestCoalescerRefusesWidenUnderAborts(t *testing.T) {
+	c := newCoalescer(8)
+	for depth := int64(4); depth <= 64; depth *= 2 {
+		c.Observe(depth, 10_000, widenAbortPerMille)
+	}
+	if c.Window() != 1 {
+		t.Fatalf("window %d widened despite a %d per-mille abort rate", c.Window(), widenAbortPerMille)
+	}
+	// Just under the threshold the same backlog widens as before.
+	for depth := int64(4); depth <= 64; depth *= 2 {
+		c.Observe(depth, 10_000, widenAbortPerMille-1)
+	}
+	if c.Window() != 8 {
+		t.Fatalf("window %d under threshold aborts, want the cap 8", c.Window())
+	}
+}
+
+// TestCoalescerNarrowsUnderSevereAborts checks active narrowing: severe
+// abort pressure halves the window per observation even with a deep,
+// growing queue, all the way back to 1.
+func TestCoalescerNarrowsUnderSevereAborts(t *testing.T) {
+	c := newCoalescer(8)
+	for depth := int64(4); depth <= 64; depth *= 2 {
+		c.Observe(depth, 10_000, 0)
+	}
+	if c.Window() != 8 {
+		t.Fatalf("setup failed to widen: window %d", c.Window())
+	}
+	for i := 0; i < 2; i++ {
+		c.Observe(1024, 10_000, shrinkAbortPerMille)
+	}
+	if c.Window() != 2 {
+		t.Fatalf("window %d after two severe-abort samples, want 2", c.Window())
+	}
+	for i := 0; i < 4; i++ {
+		c.Observe(1024, 10_000, shrinkAbortPerMille)
+	}
+	if c.Window() != 1 {
+		t.Fatalf("window %d under sustained severe aborts, want 1", c.Window())
 	}
 }

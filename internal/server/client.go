@@ -33,6 +33,14 @@ type Client struct {
 // Close was called.
 var ErrClosed = errors.New("server: client connection closed")
 
+// ErrConnClosed reports a transport-level failure: the server (or the
+// network) closed the connection out from under the client — EOF, reset,
+// or a failed write. It is distinguishable with errors.Is from both a
+// local Close (ErrClosed) and protocol errors (malformed frames), which
+// is what a failover-aware caller needs: only transport death means the
+// same request might succeed against another server.
+var ErrConnClosed = errors.New("server: connection closed by peer")
+
 // DialOption configures DialContext. Options replace the positional
 // configuration of the original constructor: a zero-option dial behaves
 // exactly as the pre-option Dial(addr) did.
@@ -146,12 +154,14 @@ func (c *Client) readLoop(fr frameReader) {
 	for {
 		payload, err := fr.next()
 		if err != nil {
-			c.fail(fmt.Errorf("server: client read: %w", err))
+			// A read error is transport death (EOF, reset, a torn frame
+			// header): wrap it so callers can tell it from protocol errors.
+			c.fail(fmt.Errorf("%w: %v", ErrConnClosed, err))
 			return
 		}
 		resp, err := DecodeResponse(payload)
 		if err != nil {
-			c.fail(err)
+			c.fail(err) // a protocol error, not transport death: no wrap
 			return
 		}
 		c.mu.Lock()
@@ -180,11 +190,13 @@ func (c *Client) fail(err error) {
 	}
 }
 
-// Close tears the connection down; in-flight requests fail.
+// Close tears the connection down; in-flight requests fail. The sticky
+// error is set before the socket closes, so a local Close reports
+// ErrClosed, never ErrConnClosed — the distinction failover policy keys
+// on.
 func (c *Client) Close() error {
-	err := c.nc.Close()
 	c.fail(ErrClosed)
-	return err
+	return c.nc.Close()
 }
 
 // CloseContext closes gracefully: it refuses new requests immediately,
@@ -242,7 +254,7 @@ func (c *Client) send(req *Request) (chan Response, error) {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrConnClosed, err)
 	}
 	return ch, nil
 }

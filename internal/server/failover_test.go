@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"rtle/internal/check"
+)
+
+// fakeHelloServer accepts one connection, answers the hello with the
+// given ServerHello, and hands the connection to serve (nil serve just
+// holds the connection open until the test ends).
+func fakeHelloServer(t *testing.T, hello ServerHello, serve func(nc net.Conn)) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	t.Cleanup(func() {
+		_ = lis.Close()
+		close(done)
+	})
+	go func() {
+		nc, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		fr := frameReader{r: bufio.NewReader(nc)}
+		if _, err := fr.next(); err != nil { // the client hello; content irrelevant here
+			return
+		}
+		if _, err := nc.Write(AppendServerHello(nil, &hello)); err != nil {
+			return
+		}
+		if serve == nil {
+			<-done // hold the connection open until the test ends
+			return
+		}
+		serve(nc)
+	}()
+	return lis.Addr().String()
+}
+
+// TestClientIgnoresUnknownServerHelloBits pins the negotiation contract
+// from the client side: a server advertising feature bits this client
+// does not know must still be usable — the bits are reported verbatim,
+// not rejected.
+func TestClientIgnoresUnknownServerHelloBits(t *testing.T) {
+	const unknown = uint32(1 << 30)
+	addr := fakeHelloServer(t, ServerHello{
+		Version:  ProtocolVersion,
+		Features: FeatureSharded | FeatureReplicated | unknown,
+		Shards:   3,
+	}, nil)
+
+	c, err := DialContext(context.Background(), addr, WithDialTimeout(5*time.Second))
+	if err != nil {
+		t.Fatalf("dial against unknown feature bits failed: %v", err)
+	}
+	defer c.Close()
+	if c.ServerFeatures()&unknown == 0 {
+		t.Error("unknown feature bit not reported verbatim")
+	}
+	if c.ServerShards() != 3 {
+		t.Errorf("shards = %d, want 3", c.ServerShards())
+	}
+}
+
+// TestErrConnClosedTyping pins the error taxonomy failover policy keys
+// on: a peer-closed connection surfaces ErrConnClosed, a local Close
+// surfaces ErrClosed, and the two are distinguishable with errors.Is.
+func TestErrConnClosedTyping(t *testing.T) {
+	// Peer close: the fake server drops the connection right after hello.
+	addr := fakeHelloServer(t, ServerHello{Version: ProtocolVersion, Shards: 1},
+		func(nc net.Conn) { _ = nc.Close() })
+	c, err := DialContext(context.Background(), addr, WithDialTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Op(check.OpGet, 1, 0, 0)
+	if !errors.Is(err, ErrConnClosed) {
+		t.Errorf("peer close surfaced %v, want ErrConnClosed", err)
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Errorf("peer close error %v also matches ErrClosed; the taxonomy must distinguish them", err)
+	}
+	_ = c.Close()
+
+	// Local close: a real server stays healthy; only the client hangs up.
+	_, srvAddr := startServer(t, Config{Workload: "map", Keys: 32})
+	c2, err := DialContext(context.Background(), srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c2.Close()
+	_, err = c2.Op(check.OpGet, 1, 0, 0)
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("local close surfaced %v, want ErrClosed", err)
+	}
+	if errors.Is(err, ErrConnClosed) {
+		t.Errorf("local close error %v also matches ErrConnClosed", err)
+	}
+}
+
+// TestFailoverClientReconnects checks the basic ride-through: the client
+// survives its server dying and a successor appearing at another address.
+func TestFailoverClientReconnects(t *testing.T) {
+	cfg := Config{Workload: "map", Keys: 32, Addr: "127.0.0.1:0"}
+	srvA, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrA, err := srvA.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srvA.Serve() }() // killed abruptly below; the error carries no signal
+	_, addrB := startServer(t, Config{Workload: "map", Keys: 32})
+
+	fc, err := NewFailoverClient(FailoverConfig{Addrs: []string{addrA.String(), addrB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if _, err := fc.Op(check.OpPut, 1, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	_ = srvA.Close()
+	// The in-flight connection dies; the first error is the ambiguous one
+	// and must surface unretried. Subsequent requests flow to server B.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := fc.Op(check.OpGet, 1, 0, 0)
+		if err == nil && resp.Status == StatusOK {
+			break
+		}
+		if err != nil && !errors.Is(err, ErrConnClosed) {
+			t.Fatalf("mid-failover error %v, want ErrConnClosed", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("failover never completed")
+		}
+	}
+	if fc.Reconnects() == 0 {
+		t.Error("Reconnects() == 0 after a failover")
+	}
+}
+
+// TestFailoverClientCloseContextDuringReconnect checks the shutdown path
+// the CLI exercises on ctrl-C mid-outage: with every address dead and a
+// redial in flight, CloseContext must cancel the dial loop and return
+// promptly instead of waiting out the retry window.
+func TestFailoverClientCloseContextDuringReconnect(t *testing.T) {
+	cfg := Config{Workload: "map", Keys: 32, Addr: "127.0.0.1:0"}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }() // killed abruptly below; the error carries no signal
+
+	fc, err := NewFailoverClient(FailoverConfig{
+		Addrs:       []string{addr.String()},
+		RetryWindow: time.Minute, // long on purpose: close must not wait it out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+
+	// Drive a request into the dead connection so the redial loop starts.
+	opDone := make(chan error, 1)
+	go func() {
+		_, err := fc.Op(check.OpGet, 1, 0, 0)
+		opDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := fc.CloseContext(ctx); err != nil {
+		t.Fatalf("CloseContext: %v", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Errorf("CloseContext took %v with a redial in flight", took)
+	}
+	select {
+	case err := <-opDone:
+		if err == nil {
+			t.Error("request against a dead cluster succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request still parked after CloseContext")
+	}
+	if _, err := fc.Op(check.OpGet, 1, 0, 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("request after CloseContext returned %v, want ErrClosed", err)
+	}
+}

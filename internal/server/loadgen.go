@@ -22,6 +22,14 @@ import (
 type LoadConfig struct {
 	// Addr is the rtled server address.
 	Addr string
+	// Addrs, when it lists more than one address, switches the run to
+	// failover clients: each connection rides through server death by
+	// reconnecting across the list (primary first, then replicas), an
+	// operation whose response was lost is recorded as pending
+	// (check.ThreadRecorder.Cut) instead of aborting the run, and
+	// StatusNotPrimary rejections are retried until a promotion lands.
+	// When empty, Addr is used alone.
+	Addrs []string
 	// Workload must match the server's ("set", "map", "bank").
 	Workload string
 	// Conns is the TCP connection count (default 4).
@@ -50,6 +58,11 @@ type LoadConfig struct {
 	// Keys is the key space for set/map and the account count for bank;
 	// it must match the server's serving contract (default 1024, bank 16).
 	Keys int
+	// KeyDist selects the key distribution: "uniform" (default) or
+	// "zipf" (skewed; key 0 hottest), deterministic under Seed.
+	KeyDist string
+	// ZipfS is the zipf exponent (default 1.1; larger is more skewed).
+	ZipfS float64
 	// Seed derives every slot's PRNG stream.
 	Seed uint64
 	// Check runs the wire-level linearizability check after the run.
@@ -82,8 +95,17 @@ func (c *LoadConfig) fill() {
 			c.Keys = 1024
 		}
 	}
+	if c.KeyDist == "" {
+		c.KeyDist = "uniform"
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.1
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if len(c.Addrs) == 0 && c.Addr != "" {
+		c.Addrs = []string{c.Addr}
 	}
 }
 
@@ -107,6 +129,21 @@ type LoadResult struct {
 	// WitnessViolations lists batch-atomicity violations (a batch whose
 	// duplicate reads disagreed, or a bank batch breaking conservation).
 	WitnessViolations []string
+	// Cut counts operations whose response was lost to a connection
+	// failure and were recorded as pending instead of completed
+	// (failover mode only). The checker must explain each one both ways:
+	// executed-then-crashed and never-executed.
+	Cut uint64
+	// NotPrimaryRetries counts StatusNotPrimary rejections absorbed
+	// while waiting for a promotion (failover mode only).
+	NotPrimaryRetries uint64
+	// Reconnects counts connection re-establishments summed across all
+	// failover clients.
+	Reconnects uint64
+	// FailoverWindow is the longest observed service disruption: from
+	// the first lost response or not-primary rejection to the next
+	// StatusOK completion.
+	FailoverWindow time.Duration
 	// Checked reports whether the linearizability check ran; Linearizable
 	// is its verdict and CheckDetail names the failing partition.
 	Checked      bool
@@ -142,20 +179,64 @@ func (r *LoadResult) Percentile(q float64) float64 {
 	return obs.BucketUpperBoundSeconds(obs.NumLatencyBuckets - 1)
 }
 
+// loadConn is the connection surface the load generator drives — both
+// *Client (one address) and *FailoverClient (an address list) satisfy it.
+type loadConn interface {
+	Do(req *Request) (Response, error)
+	Batch(entries []BatchEntry) (Response, error)
+	ServerShards() int
+	Close() error
+}
+
 // loadState is the shared mutable state of one run.
 type loadState struct {
 	cfg       LoadConfig
+	failover  bool         // more than one address: ride through server death
+	zipf      *rng.Zipf    // non-nil when KeyDist is "zipf"
 	remaining atomic.Int64 // the run's op budget
 	deadline  time.Time
 	hist      *check.History
 	latency   obs.Histogram
+	outage    atomic.Bool // a disruption window is open (cheap gate for noteHealthy)
 
-	mu         sync.Mutex
-	busy       uint64
-	rejected   uint64
-	batches    uint64
-	violations []string
-	firstErr   error
+	mu          sync.Mutex
+	busy        uint64
+	rejected    uint64
+	batches     uint64
+	cut         uint64
+	notPrimary  uint64
+	outageStart time.Time     // zero when healthy
+	maxOutage   time.Duration // the longest closed disruption window
+	violations  []string
+	firstErr    error
+}
+
+// noteDisrupt opens the disruption window (if not already open): the
+// service stopped answering — a lost response or a not-primary rejection.
+func (st *loadState) noteDisrupt() {
+	st.mu.Lock()
+	if st.outageStart.IsZero() {
+		st.outageStart = time.Now()
+	}
+	st.mu.Unlock()
+	st.outage.Store(true)
+}
+
+// noteHealthy closes the disruption window on the first StatusOK after a
+// disruption, folding its span into the maximum.
+func (st *loadState) noteHealthy() {
+	if !st.outage.Load() {
+		return
+	}
+	st.outage.Store(false)
+	st.mu.Lock()
+	if !st.outageStart.IsZero() {
+		if d := time.Since(st.outageStart); d > st.maxOutage {
+			st.maxOutage = d
+		}
+		st.outageStart = time.Time{}
+	}
+	st.mu.Unlock()
 }
 
 // RunLoad drives the configured load against a live server, then (with
@@ -170,9 +251,29 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	cfg.fill()
 	slots := cfg.Conns * cfg.Pipeline
 
-	clients := make([]*Client, cfg.Conns)
+	st := &loadState{cfg: cfg, hist: check.NewHistory(slots)}
+	switch cfg.KeyDist {
+	case "uniform":
+	case "zipf":
+		st.zipf = rng.NewZipf(cfg.Keys, cfg.ZipfS)
+	default:
+		return nil, fmt.Errorf("server: unknown key distribution %q (want uniform or zipf)", cfg.KeyDist)
+	}
+	st.failover = len(cfg.Addrs) > 1
+
+	clients := make([]loadConn, cfg.Conns)
 	for i := range clients {
-		c, err := DialContext(context.Background(), cfg.Addr)
+		var c loadConn
+		var err error
+		if st.failover {
+			c, err = NewFailoverClient(FailoverConfig{Addrs: cfg.Addrs})
+		} else {
+			addr := cfg.Addr
+			if len(cfg.Addrs) == 1 {
+				addr = cfg.Addrs[0]
+			}
+			c, err = DialContext(context.Background(), addr)
+		}
 		if err != nil {
 			for _, prev := range clients[:i] {
 				_ = prev.Close() // unwinding a failed dial; the dial error is the one to report
@@ -187,7 +288,6 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		}
 	}()
 
-	st := &loadState{cfg: cfg, hist: check.NewHistory(slots)}
 	st.remaining.Store(int64(cfg.Ops))
 	if cfg.Duration > 0 {
 		st.deadline = time.Now().Add(cfg.Duration)
@@ -205,6 +305,16 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// A run that ended mid-disruption still owes its window to the max.
+	st.mu.Lock()
+	if !st.outageStart.IsZero() {
+		if d := time.Since(st.outageStart); d > st.maxOutage {
+			st.maxOutage = d
+		}
+		st.outageStart = time.Time{}
+	}
+	st.mu.Unlock()
+
 	res := &LoadResult{
 		Ops:               0,
 		Batches:           st.batches,
@@ -214,12 +324,20 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		Shards:            clients[0].ServerShards(),
 		Latency:           st.latency.Snapshot(),
 		WitnessViolations: st.violations,
+		Cut:               st.cut,
+		NotPrimaryRetries: st.notPrimary,
+		FailoverWindow:    st.maxOutage,
+	}
+	for _, c := range clients {
+		if fc, ok := c.(*FailoverClient); ok {
+			res.Reconnects += fc.Reconnects()
+		}
 	}
 	if st.firstErr != nil {
 		return res, st.firstErr
 	}
 	events := st.hist.Events()
-	res.Ops = uint64(len(events))
+	res.Ops = uint64(len(events)) - st.cut
 	if cfg.Check {
 		res.Checked = true
 		res.Linearizable, res.CheckDetail = checkEvents(cfg.Workload, cfg.Keys, res.Shards, events)
@@ -228,7 +346,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 }
 
 // slot runs one sequential logical client.
-func (st *loadState) slot(s int, c *Client, start time.Time) {
+func (st *loadState) slot(s int, c loadConn, start time.Time) {
 	cfg := &st.cfg
 	rec := st.hist.Recorder(s)
 	r := rng.NewXoshiro256(cfg.Seed + uint64(s)*0x9e3779b97f4a7c15 + 1)
@@ -271,13 +389,26 @@ func (st *loadState) slot(s int, c *Client, start time.Time) {
 // single issues one recorded operation, absorbing busy rejections below
 // the recording layer: Invoke stamps before the first send and Return
 // after the final response, so retries only widen the pending interval —
-// sound, because a StatusBusy request was rejected before execution.
-func (st *loadState) single(rec *check.ThreadRecorder, c *Client, r *rng.Xoshiro256, issueAt time.Time) bool {
+// sound, because a StatusBusy request was rejected before execution. In
+// failover mode the same soundness argument extends to StatusNotPrimary
+// (rejected before execution, safe to re-issue), while a transport error
+// is the one genuinely ambiguous outcome — the operation may or may not
+// have executed — so the event is cut to pending rather than abandoned,
+// and the checker must explain it both ways.
+func (st *loadState) single(rec *check.ThreadRecorder, c loadConn, r *rng.Xoshiro256, issueAt time.Time) bool {
 	op, a1, a2, a3 := st.pick(r)
 	rec.Invoke(op, a1, a2, a3)
 	for {
 		resp, err := c.Do(&Request{Op: op, Arg1: a1, Arg2: a2, Arg3: a3})
 		if err != nil {
+			if st.failover {
+				rec.Cut() // the response is lost; the op may have executed
+				st.mu.Lock()
+				st.cut++
+				st.mu.Unlock()
+				st.noteDisrupt()
+				return true
+			}
 			rec.Abandon() // unsound to keep: the op may have executed; the error voids the check
 			st.fail(err)
 			return false
@@ -286,6 +417,7 @@ func (st *loadState) single(rec *check.ThreadRecorder, c *Client, r *rng.Xoshiro
 		case StatusOK:
 			rec.Return(resp.Results[0].Ret, resp.Results[0].Ok)
 			st.latency.Observe(time.Since(issueAt).Nanoseconds())
+			st.noteHealthy()
 			return true
 		case StatusBusy:
 			st.mu.Lock()
@@ -296,11 +428,33 @@ func (st *loadState) single(rec *check.ThreadRecorder, c *Client, r *rng.Xoshiro
 				backoff = 20 * time.Millisecond
 			}
 			time.Sleep(backoff)
+		case StatusNotPrimary:
+			if !st.failover {
+				rec.Abandon() // rejected before execution: sound to discard
+				st.mu.Lock()
+				st.rejected++
+				st.mu.Unlock()
+				st.fail(fmt.Errorf("server rejected %v(%d,%d,%d): %s", op, a1, a2, a3, resp.Message))
+				return false
+			}
+			// Rejected before execution: keep the pending interval open and
+			// re-issue once the promotion lands.
+			st.mu.Lock()
+			st.notPrimary++
+			st.mu.Unlock()
+			st.noteDisrupt()
+			time.Sleep(2 * time.Millisecond)
 		case StatusShutdown:
 			rec.Abandon() // rejected before execution: sound to discard
 			st.mu.Lock()
 			st.rejected++
 			st.mu.Unlock()
+			if st.failover {
+				// The primary is draining; ride through to its successor.
+				st.noteDisrupt()
+				time.Sleep(time.Millisecond)
+				return true
+			}
 			return false
 		default:
 			rec.Abandon() // rejected before execution: sound to discard
@@ -320,7 +474,7 @@ func (st *loadState) single(rec *check.ThreadRecorder, c *Client, r *rng.Xoshiro
 // sharded server those keys usually hash to different shards, so the
 // witness exercises the cross-shard slow path and checks that its gated
 // per-shard blocks are jointly atomic.
-func (st *loadState) witnessBatch(c *Client, r *rng.Xoshiro256) {
+func (st *loadState) witnessBatch(c loadConn, r *rng.Xoshiro256) {
 	cfg := &st.cfg
 	var entries []BatchEntry
 	switch cfg.Workload {
@@ -329,7 +483,7 @@ func (st *loadState) witnessBatch(c *Client, r *rng.Xoshiro256) {
 		if cfg.Workload == "map" {
 			op = check.OpGet
 		}
-		keyA := r.Uint64n(uint64(cfg.Keys))
+		keyA := st.key(r)
 		keyB := keyA
 		if cfg.Keys > 1 && r.Intn(2) == 0 {
 			keyB = (keyA + 1 + r.Uint64n(uint64(cfg.Keys)-1)) % uint64(cfg.Keys)
@@ -356,6 +510,12 @@ func (st *loadState) witnessBatch(c *Client, r *rng.Xoshiro256) {
 	for {
 		resp, err := c.Batch(entries)
 		if err != nil {
+			if st.failover {
+				// Witness batches are read-only and unrecorded: a lost
+				// response costs nothing, so just note the disruption.
+				st.noteDisrupt()
+				return
+			}
 			st.fail(err)
 			return
 		}
@@ -364,6 +524,7 @@ func (st *loadState) witnessBatch(c *Client, r *rng.Xoshiro256) {
 			st.mu.Lock()
 			st.batches++
 			st.mu.Unlock()
+			st.noteHealthy()
 			st.judgeWitness(entries, resp.Results)
 			return
 		case StatusBusy:
@@ -371,10 +532,21 @@ func (st *loadState) witnessBatch(c *Client, r *rng.Xoshiro256) {
 			st.busy++
 			st.mu.Unlock()
 			time.Sleep(time.Duration(resp.RetryAfterMicros) * time.Microsecond)
+		case StatusNotPrimary:
+			if !st.failover {
+				st.fail(fmt.Errorf("server rejected witness batch: %s", resp.Message))
+				return
+			}
+			st.noteDisrupt()
+			time.Sleep(2 * time.Millisecond)
 		case StatusShutdown:
 			st.mu.Lock()
 			st.rejected++
 			st.mu.Unlock()
+			if st.failover {
+				st.noteDisrupt()
+				time.Sleep(time.Millisecond)
+			}
 			return
 		default:
 			st.fail(fmt.Errorf("server rejected witness batch: %s", resp.Message))
@@ -420,6 +592,16 @@ func (st *loadState) judgeWitness(entries []BatchEntry, results []Result) {
 	}
 }
 
+// key draws one key from the configured distribution: uniform, or the
+// precomputed zipf table (key 0 hottest). Both draw exactly one variate
+// from r, so switching distributions keeps runs seed-deterministic.
+func (st *loadState) key(r *rng.Xoshiro256) uint64 {
+	if st.zipf != nil {
+		return st.zipf.Sample(r)
+	}
+	return r.Uint64n(uint64(st.cfg.Keys))
+}
+
 // pick draws one single operation from the configured mix.
 func (st *loadState) pick(r *rng.Xoshiro256) (Op, uint64, uint64, uint64) {
 	cfg := &st.cfg
@@ -427,7 +609,7 @@ func (st *loadState) pick(r *rng.Xoshiro256) (Op, uint64, uint64, uint64) {
 	read := r.Intn(100) < cfg.ReadPct
 	switch cfg.Workload {
 	case "map":
-		key := r.Uint64n(keys)
+		key := st.key(r)
 		if read {
 			return check.OpGet, key, 0, 0
 		}
@@ -441,13 +623,16 @@ func (st *loadState) pick(r *rng.Xoshiro256) (Op, uint64, uint64, uint64) {
 		}
 	case "bank":
 		if read {
-			return check.OpBalance, r.Uint64n(keys), 0, 0
+			return check.OpBalance, st.key(r), 0, 0
 		}
-		from := r.Uint64n(keys)
+		// The source account follows the skew (a hot account contends);
+		// the destination stays uniform among the other accounts so a
+		// transfer never degenerates to from == to.
+		from := st.key(r)
 		to := (from + 1 + r.Uint64n(keys-1)) % keys
 		return check.OpTransfer, from, to, 1 + r.Uint64n(100)
 	default: // set
-		key := r.Uint64n(keys)
+		key := st.key(r)
 		if read {
 			return check.OpContains, key, 0, 0
 		}

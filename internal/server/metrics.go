@@ -10,8 +10,8 @@ import (
 )
 
 // numOps sizes the per-op metric arrays: the nine check.Op codes plus
-// batch and ping slots.
-const numOps = 11
+// batch, ping, and replication-subscribe slots.
+const numOps = 12
 
 // opIndex maps a wire op to its metric slot.
 func opIndex(op Op) int {
@@ -20,6 +20,8 @@ func opIndex(op Op) int {
 		return 9
 	case OpPing:
 		return 10
+	case OpReplSubscribe:
+		return 11
 	default:
 		if int(op) < 9 {
 			return int(op)
@@ -35,6 +37,8 @@ func opName(i int) string {
 		return "batch"
 	case 10:
 		return "ping"
+	case 11:
+		return "repl-subscribe"
 	default:
 		return check.Op(i).String()
 	}
@@ -61,6 +65,12 @@ type ShardMetrics struct {
 	// suppress window widening.
 	ewmaFastNanos atomic.Int64
 
+	// ewmaAbortPerMille is the decayed HTM abort fraction (aborts per 1000
+	// attempts) observed by this shard's workers, the contention signal the
+	// adaptive coalescer narrows the window on: a wide window under heavy
+	// abort pressure grows the retry tail instead of amortizing entry cost.
+	ewmaAbortPerMille atomic.Int64
+
 	// coal renders the shard's live coalesce window; set by New.
 	coal *coalescer
 }
@@ -84,6 +94,16 @@ func (m *ShardMetrics) observeService(nanos int64) { ewmaFold(&m.ewmaServiceNano
 // observeFastService folds one fast-path block's wall time into the
 // coalescer's service signal.
 func (m *ShardMetrics) observeFastService(nanos int64) { ewmaFold(&m.ewmaFastNanos, nanos) }
+
+// observeAborts folds one block's (attempts, aborts) delta into the abort
+// EWMA, scaled to per-mille. Zero-attempt samples carry no signal and are
+// dropped.
+func (m *ShardMetrics) observeAborts(attempts, aborts uint64) {
+	if attempts == 0 {
+		return
+	}
+	ewmaFold(&m.ewmaAbortPerMille, int64(aborts*1000/attempts))
+}
 
 // retryAfterMicros estimates when this shard's queue capacity frees up:
 // the backlog ahead of a rejected request (depth plus what is executing),
@@ -120,7 +140,7 @@ type Metrics struct {
 
 	// Request outcomes.
 	requests [numOps]atomic.Uint64
-	statuses [4]atomic.Uint64 // by Status
+	statuses [5]atomic.Uint64 // by Status
 	badOps   atomic.Uint64    // decode/validation failures
 
 	// helloRejects counts connections refused at version negotiation
@@ -136,6 +156,10 @@ type Metrics struct {
 
 	// shards holds the per-shard execution metrics, attached by New.
 	shards []*ShardMetrics
+
+	// repl exposes the replication subsystem's gauges; nil when the server
+	// runs without replication.
+	repl *replication
 }
 
 // attach wires the per-shard metric blocks (called once by New).
@@ -326,6 +350,60 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		if s.coal != nil {
 			p("rtled_coalesce_window{shard=\"%d\"} %d\n", k, s.coal.Window())
 		}
+	}
+
+	p("# HELP rtled_abort_ewma_per_mille Decayed HTM abort fraction (aborts per 1000 attempts), per shard.\n")
+	p("# TYPE rtled_abort_ewma_per_mille gauge\n")
+	for k, s := range m.shards {
+		p("rtled_abort_ewma_per_mille{shard=\"%d\"} %d\n", k, s.ewmaAbortPerMille.Load())
+	}
+
+	if r := m.repl; r != nil {
+		role, roleN := "primary", 0
+		if r.role.Load() == roleReplica {
+			role, roleN = "replica", 1
+		}
+		p("# HELP rtled_repl_role Replication role (0 primary, 1 replica), labelled with the name.\n")
+		p("# TYPE rtled_repl_role gauge\n")
+		p("rtled_repl_role{role=%q} %d\n", role, roleN)
+
+		hw := r.log.HighWater()
+		p("# HELP rtled_repl_log_seq Log high-water mark: sequence of the latest appended entry.\n")
+		p("# TYPE rtled_repl_log_seq gauge\n")
+		p("rtled_repl_log_seq %d\n", hw)
+
+		acked := r.minAcked()
+		p("# HELP rtled_repl_acked_seq Lowest cumulative acknowledgement across live subscribers (log high-water with none).\n")
+		p("# TYPE rtled_repl_acked_seq gauge\n")
+		p("rtled_repl_acked_seq %d\n", acked)
+
+		var lag uint64
+		if roleN == 1 {
+			if a := r.appliedSeq.Load(); hw > a {
+				lag = hw - a
+			}
+		} else if hw > acked {
+			lag = hw - acked
+		}
+		p("# HELP rtled_repl_lag_entries Entries appended but not yet acknowledged (primary) or applied (replica).\n")
+		p("# TYPE rtled_repl_lag_entries gauge\n")
+		p("rtled_repl_lag_entries %d\n", lag)
+
+		p("# HELP rtled_repl_applied_seq Latest log sequence applied to this server's ADT.\n")
+		p("# TYPE rtled_repl_applied_seq gauge\n")
+		p("rtled_repl_applied_seq %d\n", r.appliedSeq.Load())
+
+		p("# HELP rtled_repl_subscribers Live replication stream subscribers.\n")
+		p("# TYPE rtled_repl_subscribers gauge\n")
+		p("rtled_repl_subscribers %d\n", r.subscriberCount())
+
+		p("# HELP rtled_repl_ack_waiters Commits waiting for subscriber acknowledgement (sync ack depth).\n")
+		p("# TYPE rtled_repl_ack_waiters gauge\n")
+		p("rtled_repl_ack_waiters %d\n", r.waiters.Load())
+
+		p("# HELP rtled_repl_sync_degraded_total Sync-mode commits acknowledged without a live subscriber.\n")
+		p("# TYPE rtled_repl_sync_degraded_total counter\n")
+		p("rtled_repl_sync_degraded_total %d\n", r.degraded.Load())
 	}
 
 	p("# HELP rtled_request_latency_seconds Queue-to-response service latency by operation.\n")

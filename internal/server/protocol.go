@@ -57,9 +57,28 @@
 // operation, `u16 n` pairs for a batch, and nothing for a ping. StatusBusy
 // is the backpressure signal: the request was rejected before execution
 // (it had no effect) and the body is `u32 retry-after-micros | u32 queue
-// depth`, the server's own estimate of when capacity frees up. StatusBad
-// and StatusShutdown carry a `u16 len | bytes` message; StatusShutdown
-// means the server is draining and will not accept further work.
+// depth`, the server's own estimate of when capacity frees up. StatusBad,
+// StatusShutdown, and StatusNotPrimary carry a `u16 len | bytes` message;
+// StatusShutdown means the server is draining and will not accept further
+// work, StatusNotPrimary that this server is a replica (the request was
+// rejected before execution — retry against the current primary).
+//
+// # Replication stream
+//
+// A server started with replication enabled advertises FeatureReplicated.
+// A replica opens an ordinary connection to its primary, completes the
+// hello, and sends one OpReplSubscribe request whose Arg1 is the first log
+// sequence it wants (its own high-water mark plus one). The primary
+// answers StatusOK with no results and then repurposes the connection as a
+// one-way log stream: every subsequent server-to-client frame is a log
+// entry payload (see internal/repl: `u64 seq | u16 n | n x (u8 op | 3 x
+// u64 arg)`), in sequence order with no gaps, and every client-to-server
+// frame is an acknowledgement payload (`u64 seq`) confirming the replica
+// has durably appended and applied through seq. Acks are cumulative; the
+// primary's sync ack mode holds client replies until the commit's sequence
+// is acked by every live subscriber. Unrecognized feature bits are ignored
+// by both sides (a FeatureReplicated primary serves non-replicating
+// clients unchanged), so the extension is compatible in both directions.
 package server
 
 import (
@@ -68,6 +87,7 @@ import (
 	"io"
 
 	"rtle/internal/check"
+	"rtle/internal/repl"
 )
 
 // ProtocolVersion is the rtled protocol generation this package speaks,
@@ -79,12 +99,17 @@ const ProtocolVersion = 1
 // path runs only after the hello completed).
 const helloMagic = "RTLE"
 
-// Feature bits advertised in the server hello.
+// Feature bits advertised in the server hello. Both sides ignore bits
+// they do not recognize, so new features never break old peers.
 const (
 	// FeatureSharded: the server routes single-key operations to
 	// independent ADT shards by consistent hash and serves cross-shard
 	// operations through an ordered-drain slow path.
 	FeatureSharded uint32 = 1 << 0
+	// FeatureReplicated: the server appends committed blocks to an ordered
+	// log and accepts OpReplSubscribe; clients set it to declare they
+	// intend to subscribe.
+	FeatureReplicated uint32 = 1 << 1
 )
 
 // ClientHello is the client's version-negotiation frame.
@@ -159,6 +184,10 @@ const (
 	OpBatch Op = 100
 	// OpPing executes nothing and answers OK (liveness / drain probe).
 	OpPing Op = 101
+	// OpReplSubscribe converts the connection into a replication stream:
+	// Arg1 is the first wanted log sequence, the OK response is followed by
+	// entry frames (server to client) and ack frames (client to server).
+	OpReplSubscribe Op = 102
 )
 
 // Status is a response status code.
@@ -173,6 +202,10 @@ const (
 	StatusBad
 	// StatusShutdown rejects a request because the server is draining.
 	StatusShutdown
+	// StatusNotPrimary rejects a request, before execution, because the
+	// server is a replica; clients should retry against the primary (or
+	// wait for this server's promotion).
+	StatusNotPrimary
 )
 
 // String returns the status name.
@@ -186,6 +219,8 @@ func (s Status) String() string {
 		return "bad-request"
 	case StatusShutdown:
 		return "shutdown"
+	case StatusNotPrimary:
+		return "not-primary"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -288,6 +323,27 @@ func AppendResponse(buf []byte, r *Response) []byte {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(msg)))
 		buf = append(buf, msg...)
 	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// AppendReplEntry encodes one log entry as a replication-stream frame
+// appended to buf. The largest entry (repl.MaxOps operations) stays under
+// maxFrame, so the stream reuses the ordinary frame reader.
+func AppendReplEntry(buf []byte, e *repl.Entry) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = repl.AppendEntryPayload(buf, e)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// AppendReplAck encodes a cumulative acknowledgement through seq as a
+// replication-stream frame appended to buf.
+func AppendReplAck(buf []byte, seq uint64) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = repl.AppendAckPayload(buf, seq)
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf
 }
@@ -416,7 +472,7 @@ func DecodeResponse(p []byte) (Response, error) {
 		r.RetryAfterMicros = binary.BigEndian.Uint32(p)
 		r.QueueDepth = binary.BigEndian.Uint32(p[4:])
 		return r, nil
-	case StatusBad, StatusShutdown:
+	case StatusBad, StatusShutdown, StatusNotPrimary:
 		if len(p) < 2 {
 			return r, errShort
 		}

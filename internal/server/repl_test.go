@@ -1,0 +1,424 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rtle/internal/check"
+	"rtle/internal/repl"
+)
+
+// bootRepl boots a server whose teardown tolerates an abrupt mid-test
+// Close — startServer's cleanup insists on a clean Shutdown, which a
+// deliberately killed primary cannot deliver.
+func bootRepl(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }() // an abrupt Close makes Serve's error meaningless
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, addr.String()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// caughtUp reports whether the replica has applied everything the
+// primary has logged (and at least one entry, so an idle pair does not
+// vacuously pass).
+func caughtUp(primary, replica *Server) func() bool {
+	return func() bool {
+		hw := primary.repl.log.HighWater()
+		return hw > 0 && replica.repl.appliedSeq.Load() >= hw
+	}
+}
+
+// TestReplicaFollowsAndPromotes is the subsystem's core integration
+// claim: a replica subscribed to a live primary converges to the same
+// state, refuses writes while following, and serves the full history
+// after promotion.
+func TestReplicaFollowsAndPromotes(t *testing.T) {
+	primary, pAddr := bootRepl(t, Config{Workload: "map", Keys: 64, Shards: 2, Repl: true})
+	replica, rAddr := bootRepl(t, Config{Workload: "map", Keys: 64, Shards: 2, ReplicaOf: pAddr})
+
+	c, err := Dial(pAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const writes = 200
+	for i := 0; i < writes; i++ {
+		key := uint64(i % 64)
+		if resp, err := c.Op(check.OpPut, key, uint64(1000+i), 0); err != nil || resp.Status != StatusOK {
+			t.Fatalf("put %d: %v / %v", i, err, resp.Status)
+		}
+	}
+
+	waitFor(t, 10*time.Second, "replica catch-up", caughtUp(primary, replica))
+
+	// A following replica must reject mutations and reads alike — serving
+	// reads from a lagging copy would break linearizability.
+	rc, err := Dial(rAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if resp, err := rc.Op(check.OpPut, 1, 1, 0); err != nil || resp.Status != StatusNotPrimary {
+		t.Fatalf("replica answered write with %v / %v, want StatusNotPrimary", err, resp.Status)
+	}
+	if resp, err := rc.Op(check.OpGet, 1, 0, 0); err != nil || resp.Status != StatusNotPrimary {
+		t.Fatalf("replica answered read with %v / %v, want StatusNotPrimary", err, resp.Status)
+	}
+	if err := rc.Ping(); err != nil {
+		t.Fatalf("replica refused a ping: %v", err)
+	}
+
+	wantHW := primary.repl.log.HighWater()
+	_ = primary.Close()
+	seq, err := replica.Promote(context.Background())
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if seq != wantHW {
+		t.Errorf("promoted at seq %d, primary logged %d", seq, wantHW)
+	}
+	if _, err := replica.Promote(context.Background()); err == nil {
+		t.Error("second Promote succeeded")
+	}
+
+	// The promoted server must hold exactly the primary's final state.
+	rc2, err := Dial(rAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc2.Close()
+	for key := uint64(0); key < 64; key++ {
+		// The last write to key k in the loop above was 1000 + the largest
+		// i < writes with i % 64 == k.
+		last := uint64(1000 + int(key) + 64*((writes-1-int(key))/64))
+		resp, err := rc2.Op(check.OpGet, key, 0, 0)
+		if err != nil || resp.Status != StatusOK {
+			t.Fatalf("get %d after promote: %v / %v", key, err, resp.Status)
+		}
+		if !resp.Results[0].Ok || resp.Results[0].Ret != last {
+			t.Fatalf("key %d = (%d,%v) after promote, want (%d,true)",
+				key, resp.Results[0].Ret, resp.Results[0].Ok, last)
+		}
+	}
+}
+
+// TestSyncAckWaitsForReplica checks sync mode's commit barrier: with a
+// live subscriber, a write releases only after the replica acknowledged
+// its log entry, so acked tracks the high-water mark with no degraded
+// releases.
+func TestSyncAckWaitsForReplica(t *testing.T) {
+	primary, pAddr := bootRepl(t, Config{Workload: "map", Keys: 32, ReplAck: "sync"})
+	replica, _ := bootRepl(t, Config{Workload: "map", Keys: 32, ReplicaOf: pAddr})
+
+	waitFor(t, 10*time.Second, "replica subscription", func() bool {
+		primary.repl.mu.Lock()
+		n := len(primary.repl.subs)
+		primary.repl.mu.Unlock()
+		return n == 1
+	})
+
+	c, err := Dial(pAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		if resp, err := c.Op(check.OpPut, uint64(i%32), uint64(i), 0); err != nil || resp.Status != StatusOK {
+			t.Fatalf("put %d: %v / %v", i, err, resp.Status)
+		}
+	}
+
+	hw := primary.repl.log.HighWater()
+	if hw == 0 {
+		t.Fatal("no log entries after 50 writes")
+	}
+	if acked := primary.repl.minAcked(); acked < hw {
+		t.Errorf("sync mode released writes at acked %d < high water %d", acked, hw)
+	}
+	if d := primary.repl.degraded.Load(); d != 0 {
+		t.Errorf("%d degraded releases with a live subscriber", d)
+	}
+	waitFor(t, 10*time.Second, "replica catch-up", caughtUp(primary, replica))
+}
+
+// TestSyncAckDegradedWithoutReplica checks sync mode's availability
+// escape hatch: with no subscriber at all, commits release immediately
+// and are counted degraded instead of stalling the server.
+func TestSyncAckDegradedWithoutReplica(t *testing.T) {
+	primary, pAddr := bootRepl(t, Config{Workload: "map", Keys: 32, ReplAck: "sync"})
+	c, err := Dial(pAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		resp, err := c.Op(check.OpPut, 1, 7, 0)
+		if err == nil && resp.Status != StatusOK {
+			err = fmt.Errorf("status %v", resp.Status)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("degraded sync write failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sync write with no subscriber stalled")
+	}
+	if primary.repl.degraded.Load() == 0 {
+		t.Error("degraded counter did not record the unreplicated release")
+	}
+}
+
+// TestWaitAckedReleasePaths pins the three ways a sync-ack wait ends:
+// acknowledged (respond), no subscribers (respond, counted degraded),
+// and teardown (false — the response must be discarded, because a waiter
+// released by Close's subscriber teardown could otherwise race its held
+// acknowledgement onto a client socket the close loop has not reached).
+func TestWaitAckedReleasePaths(t *testing.T) {
+	mklog := func() *repl.Log {
+		l, err := repl.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	// Acknowledged: a live subscriber acks through the sequence.
+	r := newReplication(mklog(), true, "")
+	seq := r.log.Append([]repl.Op{{Code: uint8(check.OpPut), Arg1: 1}})
+	sub := r.addSub(1)
+	released := make(chan bool, 1)
+	go func() { released <- r.waitAcked(seq) }()
+	r.ack(sub, seq)
+	if ok := <-released; !ok {
+		t.Error("acknowledged wait returned false")
+	}
+	if d := r.degraded.Load(); d != 0 {
+		t.Errorf("acknowledged release counted degraded (%d)", d)
+	}
+
+	// Last subscriber departs without acking: released true, degraded.
+	r = newReplication(mklog(), true, "")
+	seq = r.log.Append([]repl.Op{{Code: uint8(check.OpPut), Arg1: 1}})
+	sub = r.addSub(1)
+	go func() { released <- r.waitAcked(seq) }()
+	waitFor(t, 5*time.Second, "waiter parked", func() bool { return r.waiters.Load() == 1 })
+	r.removeSub(sub)
+	if ok := <-released; !ok {
+		t.Error("degraded release returned false")
+	}
+	if d := r.degraded.Load(); d != 1 {
+		t.Errorf("degraded releases = %d, want 1", d)
+	}
+
+	// Teardown: markClosing abandons the waiter with false, not degraded.
+	r = newReplication(mklog(), true, "")
+	seq = r.log.Append([]repl.Op{{Code: uint8(check.OpPut), Arg1: 1}})
+	r.addSub(1)
+	go func() { released <- r.waitAcked(seq) }()
+	waitFor(t, 5*time.Second, "waiter parked", func() bool { return r.waiters.Load() == 1 })
+	r.markClosing()
+	if ok := <-released; ok {
+		t.Error("teardown-released wait returned true; the held response would escape")
+	}
+	if d := r.degraded.Load(); d != 0 {
+		t.Errorf("teardown release counted degraded (%d)", d)
+	}
+	// Closing wins over later release paths too.
+	if r.waitAcked(seq) {
+		t.Error("waitAcked after markClosing returned true")
+	}
+}
+
+// TestReplGauges checks the replication block of the Prometheus surface
+// on both roles.
+func TestReplGauges(t *testing.T) {
+	primary, pAddr := bootRepl(t, Config{Workload: "map", Keys: 32, Repl: true})
+	replica, _ := bootRepl(t, Config{Workload: "map", Keys: 32, ReplicaOf: pAddr})
+
+	c, err := Dial(pAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := c.Op(check.OpPut, uint64(i), uint64(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "replica catch-up", caughtUp(primary, replica))
+
+	var pOut, rOut strings.Builder
+	if err := primary.Metrics().WritePrometheus(&pOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.Metrics().WritePrometheus(&rOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`rtled_repl_role{role="primary"} 0`,
+		"rtled_repl_log_seq",
+		"rtled_repl_acked_seq",
+		"rtled_repl_lag_entries",
+		"rtled_repl_subscribers 1",
+	} {
+		if !strings.Contains(pOut.String(), want) {
+			t.Errorf("primary metrics missing %q", want)
+		}
+	}
+	for _, want := range []string{
+		`rtled_repl_role{role="replica"} 1`,
+		"rtled_repl_applied_seq",
+	} {
+		if !strings.Contains(rOut.String(), want) {
+			t.Errorf("replica metrics missing %q", want)
+		}
+	}
+}
+
+// TestBootReplayFromLog checks crash recovery through the file-backed
+// log: a server rebooted onto its predecessor's log serves the
+// predecessor's final state.
+func TestBootReplayFromLog(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "repl.log")
+
+	srv, err := New(Config{Workload: "map", Keys: 32, Addr: "127.0.0.1:0", ReplLog: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }() // shut down cleanly below
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if resp, err := c.Op(check.OpPut, uint64(i%32), uint64(2000+i), 0); err != nil || resp.Status != StatusOK {
+			t.Fatalf("put %d: %v / %v", i, err, resp.Status)
+		}
+	}
+	_ = c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	reborn, addr2 := bootRepl(t, Config{Workload: "map", Keys: 32, ReplLog: logPath})
+	if hw := reborn.repl.log.HighWater(); hw == 0 {
+		t.Fatal("reborn server loaded an empty log")
+	}
+	c2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for key := uint64(0); key < 32; key++ {
+		// The last write to key k was 2000 + the largest i < 40 with
+		// i % 32 == k.
+		last := uint64(2000 + int(key) + 32*((40-1-int(key))/32))
+		resp, err := c2.Op(check.OpGet, key, 0, 0)
+		if err != nil || resp.Status != StatusOK {
+			t.Fatalf("get %d after replay: %v / %v", key, err, resp.Status)
+		}
+		if !resp.Results[0].Ok || resp.Results[0].Ret != last {
+			t.Fatalf("key %d = (%d,%v) after replay, want (%d,true)",
+				key, resp.Results[0].Ret, resp.Results[0].Ok, last)
+		}
+	}
+}
+
+// TestFailoverUnderLoad is the in-process version of the e2e failover
+// scenario and the PR's central soundness claim: kill the primary under
+// recorded load, promote the replica, and the merged wire-level history
+// — with lost-response operations recorded as pending — stays
+// linearizable. Sync ack mode makes the claim "zero acknowledged-write
+// loss": every response the clients saw came from an entry the replica
+// had already acknowledged.
+func TestFailoverUnderLoad(t *testing.T) {
+	primary, pAddr := bootRepl(t, Config{Workload: "map", Keys: 48, Shards: 2, ReplAck: "sync"})
+	replica, rAddr := bootRepl(t, Config{Workload: "map", Keys: 48, Shards: 2, ReplicaOf: pAddr, ReplAck: "sync"})
+
+	waitFor(t, 10*time.Second, "replica subscription", func() bool {
+		primary.repl.mu.Lock()
+		n := len(primary.repl.subs)
+		primary.repl.mu.Unlock()
+		return n == 1
+	})
+
+	// Kill the primary mid-run, then promote the replica after a beat of
+	// dead air so clients exercise the not-primary retry path too.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(150 * time.Millisecond)
+		_ = primary.Close()
+		time.Sleep(100 * time.Millisecond)
+		if _, err := replica.Promote(context.Background()); err != nil {
+			t.Errorf("Promote: %v", err)
+		}
+	}()
+
+	res, err := RunLoad(LoadConfig{
+		Addrs:    []string{pAddr, rAddr},
+		Workload: "map",
+		Keys:     48,
+		Conns:    2,
+		Pipeline: 4,
+		Ops:      1 << 30, // the duration, not the budget, ends the run
+		Duration: 1500 * time.Millisecond,
+		ReadPct:  60,
+		BatchPct: 5,
+		Check:    true,
+	})
+	<-killed
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if !res.Checked || !res.Linearizable {
+		t.Fatalf("history not linearizable across failover: %s", res.CheckDetail)
+	}
+	if res.Reconnects == 0 {
+		t.Error("no reconnects recorded — the kill did not land mid-run")
+	}
+	if res.Ops == 0 {
+		t.Error("no completed operations recorded")
+	}
+	if res.FailoverWindow <= 0 {
+		t.Error("no failover window measured")
+	}
+	t.Logf("failover run: ops=%d cut=%d notPrimaryRetries=%d reconnects=%d window=%v",
+		res.Ops, res.Cut, res.NotPrimaryRetries, res.Reconnects, res.FailoverWindow)
+}

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"rtle/internal/repl"
+)
+
+// runReplica is the replica's dial/follow loop: connect to the primary,
+// subscribe from our own high-water mark, mirror and apply the stream, and
+// on any failure back off and reconnect — the primary being briefly down
+// must not kill the replica that is about to replace it. It exits when the
+// replication stop channel closes (promotion or shutdown).
+func (s *Server) runReplica() {
+	r := s.repl
+	defer close(r.runnerDone)
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		nc, fr, err := s.dialPrimary()
+		if err != nil {
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		r.sessions.Add(1)
+		s.followStream(nc, fr)
+		_ = nc.Close() // followStream may have exited with the conn alive
+	}
+}
+
+// dialPrimary opens one subscribed replication stream: TCP dial, hello
+// exchange declaring FeatureReplicated, and an OpReplSubscribe for the
+// suffix this replica is missing. The handshake runs under a deadline so a
+// hung primary cannot wedge the loop; the deadline is cleared before the
+// open-ended stream phase.
+func (s *Server) dialPrimary() (net.Conn, *frameReader, error) {
+	r := s.repl
+	nc, err := net.DialTimeout("tcp", r.primaryAddr, 2*time.Second)
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (net.Conn, *frameReader, error) {
+		_ = nc.Close() // the handshake failed; nothing to keep
+		return nil, nil, err
+	}
+	if err := nc.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		return fail(err)
+	}
+	fr := &frameReader{r: bufio.NewReaderSize(nc, 1<<16)}
+	if _, err := nc.Write(AppendClientHello(nil, &ClientHello{
+		Version:  ProtocolVersion,
+		Features: FeatureReplicated,
+	})); err != nil {
+		return fail(err)
+	}
+	payload, err := fr.next()
+	if err != nil {
+		return fail(err)
+	}
+	sh, err := DecodeServerHello(payload)
+	if err != nil {
+		// The primary answers a bad hello with a StatusBad response frame;
+		// surface its message rather than the magic mismatch.
+		if resp, derr := DecodeResponse(payload); derr == nil {
+			return fail(fmt.Errorf("repl: primary rejected hello: %s", resp.Message))
+		}
+		return fail(err)
+	}
+	if sh.Features&FeatureReplicated == 0 {
+		return fail(errors.New("repl: upstream server does not replicate (missing FeatureReplicated)"))
+	}
+	if _, err := nc.Write(AppendRequest(nil, &Request{
+		ID: 1, Op: OpReplSubscribe, Arg1: r.log.HighWater() + 1,
+	})); err != nil {
+		return fail(err)
+	}
+	payload, err = fr.next()
+	if err != nil {
+		return fail(err)
+	}
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		return fail(err)
+	}
+	if resp.Status != StatusOK {
+		return fail(fmt.Errorf("repl: subscribe rejected: %v %s", resp.Status, resp.Message))
+	}
+	if err := nc.SetDeadline(time.Time{}); err != nil {
+		return fail(err)
+	}
+	return nc, fr, nil
+}
+
+// followStream consumes one subscribed stream: decode each entry, mirror
+// it into the log, apply it through the shard machinery, and acknowledge.
+// It returns on any error; the caller reconnects and resubscribes from the
+// new high-water mark. Duplicates below the high-water mark are skipped
+// (a resubscribe race replays a suffix), a gap means the stream
+// desynchronized.
+func (s *Server) followStream(nc net.Conn, fr *frameReader) {
+	r := s.repl
+	r.setConn(nc)
+	defer r.setConn(nil)
+	bw := bufio.NewWriterSize(nc, 1<<12)
+	br, _ := fr.r.(*bufio.Reader)
+	for {
+		payload, err := fr.next()
+		if err != nil {
+			return
+		}
+		e, err := repl.DecodeEntryPayload(payload)
+		if err != nil {
+			return
+		}
+		hw := r.log.HighWater()
+		if e.Seq <= hw {
+			continue // duplicate from a resubscribe race
+		}
+		if e.Seq != hw+1 {
+			return // gap: resubscribe from our own high-water mark
+		}
+		if err := s.applyEntry(&e); err != nil {
+			// An entry the shard contract rejects can only mean version or
+			// config skew with the primary; applying it would fork state.
+			return
+		}
+		if err := r.log.AppendEntry(e); err != nil {
+			return
+		}
+		r.appliedSeq.Store(e.Seq)
+		_, _ = bw.Write(AppendReplAck(nil, e.Seq)) // error surfaces at Flush
+		// Flush when the read buffer is momentarily empty: a catch-up burst
+		// acks once per buffered batch, a live tail acks per entry.
+		if br == nil || br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// applyEntry validates one log entry against the serving contract and
+// replays it through the cross-shard machinery. Validation first: the
+// entry came off the network, and the shard executors trust their inputs.
+func (s *Server) applyEntry(e *repl.Entry) error {
+	entries := make([]BatchEntry, len(e.Ops))
+	for i, op := range e.Ops {
+		entries[i] = BatchEntry{Op: Op(op.Code), Arg1: op.Arg1, Arg2: op.Arg2, Arg3: op.Arg3}
+	}
+	req := Request{Op: OpBatch, Batch: entries}
+	if err := s.validate(&req); err != nil {
+		return fmt.Errorf("repl: entry %d: %w", e.Seq, err)
+	}
+	s.applyBlock(entries)
+	return nil
+}
+
+// applyBlock replays one block's operations under the involved shards'
+// exclusive gates, in entry order — the replica-side mirror of
+// runSlowBatch, which makes replay serialization a superset of the
+// primary's: whatever interleaving produced the block, executing it alone
+// under exclusive gates reproduces its effect.
+func (s *Server) applyBlock(entries []BatchEntry) {
+	spans := s.router.batchSpans(entries)
+	results := make([]Result, len(entries))
+	s.lockSpans(spans)
+	s.execEntriesLocked(entries, results)
+	s.unlockSpans(spans)
+}
+
+// replayLog replays the log's entries through the shard machinery — the
+// warm-boot path, before any worker or connection exists. Invalid entries
+// abort the boot: serving on top of a half-applied log would fork state.
+func (s *Server) replayLog() error {
+	r := s.repl
+	var seq uint64
+	for {
+		entries := r.log.From(seq+1, 256)
+		if len(entries) == 0 {
+			r.appliedSeq.Store(seq)
+			return nil
+		}
+		for i := range entries {
+			if err := s.applyEntry(&entries[i]); err != nil {
+				return err
+			}
+			seq = entries[i].Seq
+		}
+	}
+}
+
+// Promote flips a replica into the primary role: stop following the old
+// primary, finish applying what already arrived, and accept writes from
+// the log's high-water mark. Acknowledged writes the old primary streamed
+// before dying are applied (that is the sync-ack guarantee); writes it
+// never streamed die with it, which is exactly what "unacknowledged" means
+// to a client. Returns the sequence the new primary starts from.
+func (s *Server) Promote(ctx context.Context) (uint64, error) {
+	r := s.repl
+	if r == nil {
+		return 0, errors.New("server: Promote without replication enabled")
+	}
+	if r.role.Load() != roleReplica {
+		return 0, errors.New("server: Promote on a server that is already primary")
+	}
+	r.shutdownRunner()
+	select {
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	default:
+	}
+	r.role.Store(rolePrimary)
+	return r.log.HighWater(), nil
+}

@@ -14,6 +14,7 @@ import (
 	"rtle/internal/harness"
 	"rtle/internal/mem"
 	"rtle/internal/obs"
+	"rtle/internal/repl"
 )
 
 // Config assembles a Server. Zero fields select the documented defaults.
@@ -57,6 +58,24 @@ type Config struct {
 	// Plan, when non-nil and active, wires a fault.Director into the
 	// method: chaos runs work over the wire exactly as in-process ones.
 	Plan *fault.Plan
+
+	// Repl enables the replication subsystem: committed mutating blocks
+	// are appended to an ordered log and streamed to subscribers (see
+	// internal/repl and the protocol doc). Implied by any of the fields
+	// below.
+	Repl bool
+	// ReplicaOf, when set, starts this server as a replica of the primary
+	// at that address: it rejects writes with StatusNotPrimary, follows
+	// the primary's log, and can be promoted (Promote).
+	ReplicaOf string
+	// ReplAck selects when a primary answers a mutating request: "async"
+	// (default; after local commit) or "sync" (after every live stream
+	// subscriber acknowledged the commit's log entries — zero acknowledged
+	// writes are lost when a subscriber takes over).
+	ReplAck string
+	// ReplLog, when set, mirrors the log to this append-only file and
+	// replays it on boot.
+	ReplLog string
 }
 
 func (c *Config) fill() {
@@ -91,6 +110,12 @@ func (c *Config) fill() {
 	if c.Workload == "bank" && c.Shards > c.Keys {
 		c.Shards = c.Keys // at least one account per shard
 	}
+	if c.ReplicaOf != "" || c.ReplAck != "" || c.ReplLog != "" {
+		c.Repl = true
+	}
+	if c.Repl && c.ReplAck == "" {
+		c.ReplAck = "async"
+	}
 }
 
 // Server is the TCP serving layer: an acceptor, per-connection reader and
@@ -102,6 +127,9 @@ type Server struct {
 	shards   []*shard
 	director *fault.Director
 	metrics  Metrics
+
+	// repl is the replication subsystem state; nil unless Config.Repl.
+	repl *replication
 
 	// slowQueue feeds the cross-shard slow path (multi-shard transfers
 	// and batches).
@@ -202,6 +230,29 @@ func New(cfg Config) (*Server, error) {
 		sms[k] = sh.m
 	}
 	s.metrics.attach(sms)
+
+	if cfg.Repl {
+		var syncAck bool
+		switch cfg.ReplAck {
+		case "async":
+		case "sync":
+			syncAck = true
+		default:
+			return nil, fmt.Errorf("server: unknown replication ack mode %q (want async or sync)", cfg.ReplAck)
+		}
+		log, err := repl.Open(cfg.ReplLog)
+		if err != nil {
+			return nil, err
+		}
+		s.repl = newReplication(log, syncAck, cfg.ReplicaOf)
+		s.metrics.repl = s.repl
+		// Warm boot: replay what a previous process logged, before any
+		// worker or connection exists.
+		if err := s.replayLog(); err != nil {
+			_ = log.Close() // the replay error is the one to report
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -241,6 +292,10 @@ func (s *Server) Listen() (net.Addr, error) {
 	}
 	s.workersWG.Add(1)
 	go s.slowWorker()
+	if r := s.repl; r != nil && r.role.Load() == roleReplica {
+		r.started.Store(true)
+		go s.runReplica()
+	}
 	return lis.Addr(), nil
 }
 
@@ -321,6 +376,12 @@ func (s *Server) readLoop(c *conn) {
 			continue
 		}
 		s.metrics.requests[opIndex(req.Op)].Add(1)
+		if req.Op == OpReplSubscribe {
+			// The connection becomes a replication stream; when the
+			// subscriber hangs up the deferred teardown runs as usual.
+			s.serveSubscriber(c, &fr, req)
+			return
+		}
 		if err := s.validate(&req); err != nil {
 			s.metrics.badOps.Add(1)
 			s.reject(c, req.ID, StatusBad, err.Error())
@@ -353,9 +414,15 @@ func (s *Server) hello(c *conn, fr *frameReader) bool {
 			"unsupported protocol version %d (server speaks rtled/%d)", ch.Version, ProtocolVersion))
 		return false
 	}
+	// Unrecognized client feature bits are ignored (forward compatibility);
+	// the server advertises what it actually runs.
+	features := FeatureSharded
+	if s.repl != nil {
+		features |= FeatureReplicated
+	}
 	c.send(AppendServerHello(nil, &ServerHello{
 		Version:  ProtocolVersion,
-		Features: FeatureSharded,
+		Features: features,
 		Shards:   uint16(len(s.shards)),
 	}))
 	return true
@@ -387,6 +454,14 @@ func (s *Server) validate(req *Request) error {
 // rejection. Fast-path requests go to their shard's bounded queue;
 // multi-shard requests go to the slow queue.
 func (s *Server) admit(c *conn, req Request) {
+	// A replica serves pings (drain and liveness probes) but rejects
+	// everything else before execution: clients retry against the primary
+	// or ride out this server's promotion.
+	if r := s.repl; r != nil && !r.primary() && req.Op != OpPing {
+		s.reject(c, req.ID, StatusNotPrimary,
+			"server is a replica of "+r.primaryAddr)
+		return
+	}
 	plan := s.router.plan(&req)
 	s.drainMu.RLock()
 	if s.draining {
@@ -494,6 +569,18 @@ func (s *Server) respond(t *task, results []Result, resp Response) {
 	s.tasksWG.Done()
 }
 
+// discard releases an executed task's accounting without answering it.
+// Used only when server teardown abandoned the task's sync-ack wait: the
+// response must not escape to the client (see replWait), which instead
+// observes its dying connection and records the operation as pending.
+func (s *Server) discard(t *task) {
+	if t.sh != nil {
+		t.sh.m.inflight.Add(-1)
+	}
+	t.c.tasks.Done()
+	s.tasksWG.Done()
+}
+
 // Shutdown drains gracefully: stop admitting, stop accepting, let every
 // accepted request on every shard finish and flush, then tear the
 // connections down. It returns ctx's error if the drain does not complete
@@ -502,6 +589,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
+
+	if s.repl != nil {
+		s.repl.shutdownRunner()
+	}
 
 	s.mu.Lock()
 	lis := s.lis
@@ -518,6 +609,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-drained:
 	case <-ctx.Done():
+		if s.repl != nil {
+			s.repl.markClosing()
+		}
 		s.closeConns()
 		return ctx.Err()
 	}
@@ -541,6 +635,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.repl != nil {
+			return s.repl.log.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -552,6 +649,13 @@ func (s *Server) Close() error {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
+	if s.repl != nil {
+		s.repl.shutdownRunner()
+		// Before any connection dies: a sync-ack waiter released by the
+		// subscriber teardown below must drop its held response, not race
+		// it onto a client socket the loop has not reached yet.
+		s.repl.markClosing()
+	}
 	s.mu.Lock()
 	lis := s.lis
 	s.mu.Unlock()
@@ -559,6 +663,9 @@ func (s *Server) Close() error {
 		_ = lis.Close() // net.ErrClosed on re-close is the expected teardown path
 	}
 	s.closeConns()
+	if s.repl != nil {
+		return s.repl.log.Close()
+	}
 	return nil
 }
 

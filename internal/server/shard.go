@@ -2,11 +2,13 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtle/internal/check"
 	"rtle/internal/core"
 	"rtle/internal/mem"
+	"rtle/internal/repl"
 )
 
 // shard is one independent serving partition: its own simulated heap, ADT
@@ -35,11 +37,49 @@ type shard struct {
 	coal *coalescer
 	m    *ShardMetrics
 
+	// logMu serializes replicated fast-path commits on this shard: held
+	// around the whole gate region (RLock, atomic block, log append) so an
+	// entry's log position always matches its commit order — the invariant
+	// replica replay rests on. Commits on different shards never share a
+	// logMu, so cross-shard concurrency is preserved; within a shard,
+	// replication trades the fast path's commit concurrency for a sound
+	// log, and only when replication is enabled.
+	logMu sync.Mutex
+
+	// lastSeq is the latest log sequence appended by a commit involving
+	// this shard — the barrier a sync-mode read-only block waits on (reads
+	// are never logged, but must not be answered ahead of the acknowledged
+	// writes they observed).
+	lastSeq atomic.Uint64
+
 	// Slow-path execution state: one method thread and executor per shard,
 	// touched only while gate is held exclusively, so they need no further
 	// synchronization.
 	slowThread core.Thread
 	slowEx     *executor
+}
+
+// abortProbe tracks one worker thread's cumulative attempt/abort counters
+// so each section's delta can feed the shard's contention signal. The
+// stats are written by the owning worker goroutine only, so sampling them
+// between sections is race-free.
+type abortProbe struct {
+	stats    *core.Stats
+	attempts uint64
+	aborts   uint64
+}
+
+// sample returns the (attempts, aborts) delta since the previous sample.
+func (p *abortProbe) sample() (attempts, aborts uint64) {
+	st := p.stats
+	att := st.FastAttempts + st.SlowAttempts + st.STMStarts
+	ab := st.STMAborts
+	for i := range st.FastAborts {
+		ab += st.FastAborts[i] + st.SlowAborts[i]
+	}
+	attempts, aborts = att-p.attempts, ab-p.aborts
+	p.attempts, p.aborts = att, ab
+	return attempts, aborts
 }
 
 // worker executes one shard's queued tasks. Each worker owns one method
@@ -56,6 +96,8 @@ func (s *Server) worker(sh *shard) {
 	thread := sh.method.NewThread()
 	results := make([]Result, slots)
 	group := make([]*task, 0, s.cfg.Coalesce)
+	probe := &abortProbe{stats: thread.Stats()}
+	replBuf := make([]repl.Op, 0, slots)
 
 	for {
 		t, ok := <-sh.queue
@@ -69,11 +111,11 @@ func (s *Server) worker(sh *shard) {
 			case OpPing:
 				s.respond(t, nil, Response{ID: t.req.ID, Status: StatusOK})
 			case OpBatch:
-				s.runBatch(sh, ex, thread, t, results)
+				s.runBatch(sh, ex, thread, t, results, probe, replBuf)
 			default:
 				group = append(group[:0], t)
 				carry = s.fillGroup(sh, &group)
-				s.runGroup(sh, ex, thread, group, results)
+				s.runGroup(sh, ex, thread, group, results, probe, replBuf)
 			}
 			t = carry
 		}
@@ -113,23 +155,66 @@ func (s *Server) fillGroup(sh *shard, group *[]*task) *task {
 	return nil
 }
 
+// runFastSection executes one fast-path atomic block under sh's shared
+// gate and, on a replicating primary, appends the block's mutating ops to
+// the log inside the gate region — the log-order-equals-gate-order
+// invariant replica replay rests on. It returns the sync barrier: the
+// commit's last log sequence (for a write), or the shard's latest logged
+// sequence (for a sync-mode read-only block, which must not be answered
+// ahead of the acknowledged writes it observed). Zero means no barrier.
+func (s *Server) runFastSection(sh *shard, body func(), ops []repl.Op) uint64 {
+	r := s.repl
+	if r == nil || !r.primary() || (ops == nil && !r.syncAck) {
+		// Unreplicated (or async read-only): the bare fast path.
+		sh.gate.RLock()
+		body()
+		sh.gate.RUnlock()
+		return 0
+	}
+	sh.logMu.Lock()
+	sh.gate.RLock()
+	body()
+	var bar uint64
+	if ops != nil {
+		bar = r.append(ops)
+		sh.lastSeq.Store(bar)
+	} else {
+		bar = sh.lastSeq.Load()
+	}
+	sh.gate.RUnlock()
+	sh.logMu.Unlock()
+	return bar
+}
+
 // runGroup executes every task of group inside one atomic block on sh,
 // each in its own executor slot, then finalizes and answers them.
-func (s *Server) runGroup(sh *shard, ex *executor, thread core.Thread, group []*task, results []Result) {
+func (s *Server) runGroup(sh *shard, ex *executor, thread core.Thread, group []*task, results []Result, probe *abortProbe, replBuf []repl.Op) {
+	var ops []repl.Op
+	if r := s.repl; r != nil && r.primary() {
+		ops = replGroupOps(replBuf, group)
+	}
 	start := time.Now()
-	sh.gate.RLock()
-	thread.Atomic(func(c core.Context) {
-		for i, t := range group {
-			results[i] = ex.run(c, i, t.req.Op, t.req.Arg1, t.req.Arg2, t.req.Arg3)
-		}
-	})
-	sh.gate.RUnlock()
-	sh.sectionDone(start)
+	bar := s.runFastSection(sh, func() {
+		thread.Atomic(func(c core.Context) {
+			for i, t := range group {
+				results[i] = ex.run(c, i, t.req.Op, t.req.Arg1, t.req.Arg2, t.req.Arg3)
+			}
+		})
+	}, ops)
+	sh.sectionDone(start, probe)
 	if len(group) > 1 {
 		sh.m.coalesced.Add(uint64(len(group)))
 	}
 	for i, t := range group {
 		ex.after(i, t.req.Op, results[i])
+	}
+	if !s.replWait(bar) {
+		for _, t := range group {
+			s.discard(t)
+		}
+		return
+	}
+	for i, t := range group {
 		s.respond(t, results[i:i+1], Response{ID: t.req.ID, Status: StatusOK})
 	}
 }
@@ -137,33 +222,85 @@ func (s *Server) runGroup(sh *shard, ex *executor, thread core.Thread, group []*
 // runBatch executes one single-shard client batch inside one atomic block
 // — the protocol's atomicity contract — and answers with per-entry
 // results. Batches spanning several shards take the slow path instead.
-func (s *Server) runBatch(sh *shard, ex *executor, thread core.Thread, t *task, results []Result) {
+func (s *Server) runBatch(sh *shard, ex *executor, thread core.Thread, t *task, results []Result, probe *abortProbe, replBuf []repl.Op) {
 	entries := t.req.Batch
+	var ops []repl.Op
+	if r := s.repl; r != nil && r.primary() {
+		ops = replBatchOps(replBuf, entries)
+	}
 	start := time.Now()
-	sh.gate.RLock()
-	thread.Atomic(func(c core.Context) {
-		for i := range entries {
-			e := &entries[i]
-			results[i] = ex.run(c, i, e.Op, e.Arg1, e.Arg2, e.Arg3)
-		}
-	})
-	sh.gate.RUnlock()
-	sh.sectionDone(start)
+	bar := s.runFastSection(sh, func() {
+		thread.Atomic(func(c core.Context) {
+			for i := range entries {
+				e := &entries[i]
+				results[i] = ex.run(c, i, e.Op, e.Arg1, e.Arg2, e.Arg3)
+			}
+		})
+	}, ops)
+	sh.sectionDone(start, probe)
 	sh.m.batchOps.Add(uint64(len(entries)))
 	for i := range entries {
 		ex.after(i, entries[i].Op, results[i])
 	}
+	if !s.replWait(bar) {
+		s.discard(t)
+		return
+	}
 	s.respond(t, results[:len(entries)], Response{ID: t.req.ID, Status: StatusOK})
 }
 
-// sectionDone folds one fast-path atomic block's wall time into the
-// shard's metrics and feeds the adaptive coalesce controller.
-func (sh *shard) sectionDone(start time.Time) {
+// replWait blocks until the barrier sequence is acknowledged (sync ack
+// mode; a no-op otherwise). A false return means the wait was abandoned
+// by server teardown: the caller must discard the task instead of
+// answering it — the write may never reach a replica, so a response
+// would be an acknowledgement the surviving side cannot honor.
+func (s *Server) replWait(bar uint64) bool {
+	if s.repl == nil {
+		return true
+	}
+	return s.repl.waitAcked(bar)
+}
+
+// replAppendSlow appends one slow-path block's mutating ops while the
+// involved shards' gates are held exclusively, advancing every span's
+// lastSeq. For a read-only block it returns the sync barrier instead: the
+// latest logged sequence across the spans (stable, since the gates are
+// held). Zero means no barrier.
+func (s *Server) replAppendSlow(spans []int, ops []repl.Op) uint64 {
+	r := s.repl
+	if r == nil || !r.primary() {
+		return 0
+	}
+	if len(ops) == 0 {
+		if !r.syncAck {
+			return 0
+		}
+		var bar uint64
+		for _, k := range spans {
+			if v := s.shards[k].lastSeq.Load(); v > bar {
+				bar = v
+			}
+		}
+		return bar
+	}
+	seq := r.append(ops)
+	for _, k := range spans {
+		s.shards[k].lastSeq.Store(seq)
+	}
+	return seq
+}
+
+// sectionDone folds one fast-path atomic block's wall time and its HTM
+// attempt/abort delta into the shard's metrics and feeds the adaptive
+// coalesce controller.
+func (sh *shard) sectionDone(start time.Time, probe *abortProbe) {
 	nanos := time.Since(start).Nanoseconds()
 	sh.m.sections.Add(1)
 	sh.m.observeService(nanos)
 	sh.m.observeFastService(nanos)
-	sh.coal.Observe(sh.m.queueDepth.Load(), sh.m.ewmaFastNanos.Load())
+	attempts, aborts := probe.sample()
+	sh.m.observeAborts(attempts, aborts)
+	sh.coal.Observe(sh.m.queueDepth.Load(), sh.m.ewmaFastNanos.Load(), sh.m.ewmaAbortPerMille.Load())
 }
 
 // slowSectionDone folds one slow-path atomic block into sh's metrics.
@@ -233,9 +370,20 @@ func (s *Server) runSlowTransfer(t *task) {
 
 	s.lockSpans(t.spans)
 	res := s.crossTransfer(from, to, t.req.Arg1, t.req.Arg2, t.req.Arg3)
+	var bar uint64
+	if r := s.repl; r != nil && r.primary() {
+		bar = s.replAppendSlow(t.spans, []repl.Op{{
+			Code: uint8(check.OpTransfer),
+			Arg1: t.req.Arg1, Arg2: t.req.Arg2, Arg3: t.req.Arg3,
+		}})
+	}
 	s.unlockSpans(t.spans)
 
 	s.metrics.crossOps.Add(1)
+	if !s.replWait(bar) {
+		s.discard(t)
+		return
+	}
 	s.respond(t, []Result{res}, Response{ID: t.req.ID, Status: StatusOK})
 }
 
@@ -273,6 +421,28 @@ func (s *Server) runSlowBatch(t *task, results []Result) {
 	spans := t.spans
 
 	s.lockSpans(spans)
+	s.execEntriesLocked(entries, results)
+	var ops []repl.Op
+	if r := s.repl; r != nil && r.primary() {
+		ops = replBatchOps(nil, entries)
+	}
+	bar := s.replAppendSlow(spans, ops)
+	s.unlockSpans(spans)
+
+	s.metrics.crossOps.Add(uint64(len(entries)))
+	if !s.replWait(bar) {
+		s.discard(t)
+		return
+	}
+	s.respond(t, results[:len(entries)], Response{ID: t.req.ID, Status: StatusOK})
+}
+
+// execEntriesLocked executes batch entries strictly in order, each inside
+// its own atomic block on its owning shard (a cross-shard transfer as the
+// crossTransfer split). The caller holds every involved shard's gate
+// exclusively — runSlowBatch for client batches, applyBlock for replica
+// replay, so both paths produce identical state transitions.
+func (s *Server) execEntriesLocked(entries []BatchEntry, results []Result) {
 	for i := range entries {
 		e := &entries[i]
 		a, b := s.router.entryShards(e)
@@ -288,8 +458,4 @@ func (s *Server) runSlowBatch(t *task, results []Result) {
 		sh.slowSectionDone(start)
 		sh.slowEx.after(i, e.Op, results[i])
 	}
-	s.unlockSpans(spans)
-
-	s.metrics.crossOps.Add(uint64(len(entries)))
-	s.respond(t, results[:len(entries)], Response{ID: t.req.ID, Status: StatusOK})
 }

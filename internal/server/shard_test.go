@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rtle/internal/check"
+	"rtle/internal/core"
 	"rtle/internal/fault"
 )
 
@@ -234,8 +235,9 @@ func TestCoalescerIgnoresSlowServiceTime(t *testing.T) {
 		t.Fatalf("slow block leaked %dns into the fast-path EWMA", got)
 	}
 	sh.m.queueDepth.Store(8)
-	sh.sectionDone(time.Now())
-	sh.sectionDone(time.Now())
+	probe := &abortProbe{stats: &core.Stats{}}
+	sh.sectionDone(time.Now(), probe)
+	sh.sectionDone(time.Now(), probe)
 	if w := sh.coal.Window(); w <= 1 {
 		t.Errorf("window %d did not widen under fast-path backlog; the slow EWMA is steering the coalescer", w)
 	}

@@ -10,17 +10,25 @@
 # cross-shard slow path (two-key witness batches, cross-shard bank
 # transfers), and the multi-shard drain.
 #
-# Usage: scripts/e2e.sh [bindir] [shard counts]
+# With the "failover" scenario it additionally boots a replicated pair
+# (sync ack, file-backed log), SIGKILLs the primary under recorded load,
+# promotes the replica with SIGUSR1, and requires rtleload to exit 0 with
+# a linearizable merged history — the zero acknowledged-write-loss claim,
+# checked at the wire.
+#
+# Usage: scripts/e2e.sh [bindir] [shard counts] [scenarios]
 #   bindir: directory holding prebuilt rtled/rtleload (default: build into
 #   a temp dir with `go build`).
 #   shard counts: space-separated list (default "1 4"); CI passes a single
 #   count per matrix job.
+#   scenarios: space-separated subset of "load failover" (default both).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BINDIR="${1:-}"
 SHARD_COUNTS="${2:-1 4}"
+SCENARIOS="${3:-load failover}"
 if [ -z "$BINDIR" ]; then
   BINDIR="$(mktemp -d)"
   echo "e2e: building rtled and rtleload into $BINDIR"
@@ -29,14 +37,18 @@ if [ -z "$BINDIR" ]; then
 fi
 
 LOG="$(mktemp)"
+LOG2="$(mktemp)"
 SRV_PID=""
+SRV2_PID=""
 
 cleanup() {
-  if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
-    kill -TERM "$SRV_PID" 2>/dev/null || true
-    wait "$SRV_PID" 2>/dev/null || true
-  fi
-  rm -f "$LOG"
+  for PID in "$SRV_PID" "$SRV2_PID"; do
+    if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+      kill -TERM "$PID" 2>/dev/null || true
+      wait "$PID" 2>/dev/null || true
+    fi
+  done
+  rm -f "$LOG" "$LOG2"
 }
 trap cleanup EXIT
 
@@ -63,10 +75,35 @@ drain() {
   echo "e2e: drained cleanly"
 }
 
+# boot2 <rtled args...>: start a second rtled (the replica), export
+# SRV2_PID/ADDR2.
+boot2() {
+  : >"$LOG2"
+  "$BINDIR/rtled" -addr 127.0.0.1:0 "$@" >"$LOG2" 2>&1 &
+  SRV2_PID=$!
+  ADDR2=""
+  for _ in $(seq 1 100); do
+    ADDR2="$(sed -n 's/^rtled: listening on \([0-9.:]*\).*/\1/p' "$LOG2" | head -1)"
+    [ -n "$ADDR2" ] && break
+    kill -0 "$SRV2_PID" 2>/dev/null || { echo "e2e: second rtled died at boot"; cat "$LOG2"; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$ADDR2" ] || { echo "e2e: second rtled never announced its port"; cat "$LOG2"; exit 1; }
+  echo "e2e: rtled up at $ADDR2 ($*)"
+}
+
+drain2() {
+  kill -TERM "$SRV2_PID"
+  wait "$SRV2_PID" || { echo "e2e: second rtled exited non-zero on drain"; cat "$LOG2"; exit 1; }
+  SRV2_PID=""
+  echo "e2e: replica drained cleanly"
+}
+
 FAULT_PLAN='{"seed":11,"begin_prob":0.05,"storm_every":500,"storm_len":3}'
 
-for SHARDS in $SHARD_COUNTS; do
-  echo "e2e: === shard count $SHARDS ==="
+# run_load: the original serving-layer matrix for one shard count.
+run_load() {
+  echo "e2e: === load scenario, shard count $SHARDS ==="
 
   # --- Clean runs: set workload, both acceptance mixes -----------------------
   # One server boot per checked run: the linearizability models assume the
@@ -103,6 +140,66 @@ for SHARDS in $SHARD_COUNTS; do
   "$BINDIR/rtleload" -addr "$ADDR" -workload bank -keys 16 \
     -conns 2 -pipeline 4 -ops 1500 -read-pct 60 -batch-pct 20
   drain
+
+  # Skewed keys exercise the hot-shard path and the abort-aware coalescer.
+  boot -workload set -method 'FG-TLE(256)' -shards "$SHARDS" -workers 4 -keys 256
+  "$BINDIR/rtleload" -addr "$ADDR" -workload set -keys 256 \
+    -conns 4 -pipeline 8 -ops 10000 -read-pct 50 -batch-pct 10 \
+    -key-dist zipf -zipf-s 1.2 -seed 4
+  drain
+}
+
+# run_failover: kill the primary of a replicated pair under recorded load,
+# promote the replica, and require the merged history to stay linearizable.
+run_failover() {
+  echo "e2e: === failover scenario, shard count $SHARDS ==="
+  RLOG="$(mktemp -u)"
+  LOAD_OUT="$(mktemp)"
+
+  boot -workload map -method TLE -shards "$SHARDS" -workers 4 -keys 256 \
+    -repl-ack sync -repl-log "$RLOG"
+  PRIMARY="$ADDR"
+  PRIMARY_PID="$SRV_PID"
+  boot2 -workload map -method TLE -shards "$SHARDS" -workers 4 -keys 256 \
+    -replica-of "$PRIMARY"
+  REPLICA="$ADDR2"
+
+  "$BINDIR/rtleload" -addr "$PRIMARY,$REPLICA" -workload map -keys 256 \
+    -conns 4 -pipeline 8 -ops 2000000 -duration 4s -read-pct 60 -batch-pct 5 \
+    >"$LOAD_OUT" 2>&1 &
+  LOAD_PID=$!
+
+  sleep 1
+  echo "e2e: SIGKILL primary (pid $PRIMARY_PID) mid-run"
+  kill -KILL "$PRIMARY_PID"
+  wait "$PRIMARY_PID" 2>/dev/null || true
+  SRV_PID=""
+  sleep 0.3
+  echo "e2e: promoting replica (SIGUSR1)"
+  kill -USR1 "$SRV2_PID"
+
+  wait "$LOAD_PID" || {
+    echo "e2e: rtleload failed across the failover"; cat "$LOAD_OUT"; cat "$LOG2"; exit 1; }
+  grep -q 'history is linearizable' "$LOAD_OUT" || {
+    echo "e2e: failover history was not checked linearizable"; cat "$LOAD_OUT"; exit 1; }
+  grep -q 'promoted to primary' "$LOG2" || {
+    echo "e2e: replica never announced its promotion"; cat "$LOG2"; exit 1; }
+  grep 'rtleload: failover:' "$LOAD_OUT" || true
+  grep 'rtleload:.*ops/sec' "$LOAD_OUT" || true
+
+  drain2
+  rm -f "$RLOG" "$LOAD_OUT"
+  echo "e2e: failover survived with a linearizable history"
+}
+
+for SHARDS in $SHARD_COUNTS; do
+  for SCENARIO in $SCENARIOS; do
+    case "$SCENARIO" in
+      load) run_load ;;
+      failover) run_failover ;;
+      *) echo "e2e: unknown scenario $SCENARIO"; exit 1 ;;
+    esac
+  done
 done
 
 echo "e2e: all serving-layer checks passed"
