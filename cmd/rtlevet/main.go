@@ -1,6 +1,7 @@
 // Command rtlevet runs the rtle static-analysis suite (txbody, abortpath,
-// barrierdiscipline, guardmisuse, statsatomic — see rtle/internal/analysis)
-// over Go packages. It works in two modes:
+// barrierdiscipline, gateorder, loggate, hotalloc, guardmisuse,
+// statsatomic — see rtle/internal/analysis) over Go packages. It works in
+// two modes:
 //
 // Standalone, with go list patterns:
 //
@@ -13,10 +14,12 @@
 //	go build -o /tmp/rtlevet rtle/cmd/rtlevet
 //	go vet -vettool=/tmp/rtlevet ./...
 //
-// Pass -txbody, -abortpath, -barrierdiscipline, -guardmisuse or
-// -statsatomic to run a subset of the suite; by default every pass runs. Diagnostics go to
-// stderr as file:line:col: analyzer: message; the exit status is nonzero
-// when any diagnostic is reported.
+// Pass an analyzer's name as a flag (-txbody, -hotalloc, ...) to run a
+// subset of the suite; by default every pass runs. -unusedignores
+// additionally reports //rtle:ignore pragmas that suppressed nothing in
+// the run, so stale waivers cannot silently outlive the finding they
+// excused. Diagnostics go to stderr as file:line:col: analyzer: message;
+// the exit status is nonzero when any diagnostic is reported.
 package main
 
 import (
@@ -52,6 +55,7 @@ func main() {
 		enabled[a.Name] = flag.Bool(a.Name, false, a.Doc)
 	}
 	flagsMode := flag.Bool("flags", false, "print the tool's flags as JSON (unitchecker protocol)")
+	unusedIgnores := flag.Bool("unusedignores", false, "also report //rtle:ignore pragmas that suppress nothing")
 	flag.Parse()
 
 	if *flagsMode {
@@ -74,27 +78,38 @@ func main() {
 		suite = subset
 	}
 
+	full := !any // every pass ran, so a bare //rtle:ignore with no effect is provably stale
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(unitCheck(suite, args[0]))
+		os.Exit(unitCheck(suite, *unusedIgnores, full, args[0]))
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(standalone(suite, args))
+	os.Exit(standalone(suite, *unusedIgnores, full, args))
 }
 
 func printVersion() {
 	// cmd/go hashes this line into its action cache key, so it must
-	// change when the binary does: fingerprint the executable.
+	// change when the binary does — and when the suite does. Fingerprint
+	// both: the executable bytes, and the pass list with per-pass
+	// versions, so bumping an Analyzer.Version invalidates vet's cache
+	// even on a build that happens to produce identical binary bytes
+	// (and the printed line itself documents what ran).
+	var passes []string
+	for _, a := range analysis.Analyzers() {
+		passes = append(passes, fmt.Sprintf("%s@%d", a.Name, a.Version))
+	}
+	suite := strings.Join(passes, "+")
 	h := sha256.New()
+	io.WriteString(h, suite)
 	if exe, err := os.Executable(); err == nil {
 		if f, err := os.Open(exe); err == nil {
 			_, _ = io.Copy(h, f) // best-effort: a constant ID only weakens caching
 			f.Close()
 		}
 	}
-	fmt.Printf("rtlevet version devel buildID=%x\n", h.Sum(nil)[:16])
+	fmt.Printf("rtlevet version devel passes=%s buildID=%x\n", suite, h.Sum(nil)[:16])
 }
 
 func printFlags(suite []*framework.Analyzer) {
@@ -107,6 +122,7 @@ func printFlags(suite []*framework.Analyzer) {
 	for _, a := range suite {
 		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
 	}
+	flags = append(flags, jsonFlag{Name: "unusedignores", Bool: true, Usage: "also report //rtle:ignore pragmas that suppress nothing"})
 	data, err := json.Marshal(flags)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtlevet:", err)
@@ -118,7 +134,7 @@ func printFlags(suite []*framework.Analyzer) {
 
 // standalone loads patterns through the module-aware loader and runs the
 // suite over every matched package.
-func standalone(suite []*framework.Analyzer, patterns []string) int {
+func standalone(suite []*framework.Analyzer, unusedIgnores, full bool, patterns []string) int {
 	root, err := framework.ModuleRoot("")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtlevet:", err)
@@ -141,6 +157,9 @@ func standalone(suite []*framework.Analyzer, patterns []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtlevet:", err)
 		return 1
+	}
+	if unusedIgnores {
+		diags = append(diags, framework.UnusedIgnores(suite, pkgs, full)...)
 	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
@@ -175,7 +194,7 @@ type vetConfig struct {
 }
 
 // unitCheck analyzes the single compilation unit described by cfgFile.
-func unitCheck(suite []*framework.Analyzer, cfgFile string) int {
+func unitCheck(suite []*framework.Analyzer, unusedIgnores, full bool, cfgFile string) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtlevet:", err)
@@ -264,6 +283,9 @@ func unitCheck(suite []*framework.Analyzer, cfgFile string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtlevet:", err)
 		return 1
+	}
+	if unusedIgnores {
+		diags = append(diags, framework.UnusedIgnores(suite, []*framework.Package{pkg}, full)...)
 	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)

@@ -28,9 +28,10 @@ import (
 
 // Analyzer is the abortpath pass.
 var Analyzer = &framework.Analyzer{
-	Name: "abortpath",
-	Doc:  "flag discarded htm abort codes and discarded in-module errors",
-	Run:  run,
+	Name:    "abortpath",
+	Doc:     "flag discarded htm abort codes and discarded in-module errors",
+	Version: 1,
+	Run:     run,
 }
 
 func run(pass *framework.Pass) error {

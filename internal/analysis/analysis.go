@@ -4,7 +4,10 @@ import (
 	"rtle/internal/analysis/abortpath"
 	"rtle/internal/analysis/barrierdiscipline"
 	"rtle/internal/analysis/framework"
+	"rtle/internal/analysis/gateorder"
 	"rtle/internal/analysis/guardmisuse"
+	"rtle/internal/analysis/hotalloc"
+	"rtle/internal/analysis/loggate"
 	"rtle/internal/analysis/statsatomic"
 	"rtle/internal/analysis/txbody"
 )
@@ -15,6 +18,9 @@ func Analyzers() []*framework.Analyzer {
 		txbody.Analyzer,
 		abortpath.Analyzer,
 		barrierdiscipline.Analyzer,
+		gateorder.Analyzer,
+		loggate.Analyzer,
+		hotalloc.Analyzer,
 		guardmisuse.Analyzer,
 		statsatomic.Analyzer,
 	}

@@ -19,6 +19,13 @@
 //     field (a simple local taint follows the address through local
 //     variables); for ordinary Go fields it is direct assignment.
 //
+// Both rules are interprocedural over the framework call graph. The
+// //rtle:lockpath mark propagates backward onto unannotated private
+// helpers all of whose callers are lockpath (or init) — the helper runs
+// with the lock held without restating the mark — and the slow-path mark
+// propagates forward from its roots, stopping at effective lockpath/init
+// functions.
+//
 // Packages marked //rtle:engine are exempt (they *are* the raw layer).
 package barrierdiscipline
 
@@ -31,9 +38,10 @@ import (
 
 // Analyzer is the barrierdiscipline pass.
 var Analyzer = &framework.Analyzer{
-	Name: "barrierdiscipline",
-	Doc:  "enforce instrumented barriers on slow paths and lock-holder-only metadata writes",
-	Run:  run,
+	Name:    "barrierdiscipline",
+	Doc:     "enforce instrumented barriers on slow paths and lock-holder-only metadata writes",
+	Version: 2, // v2: interprocedural lockpath propagation onto covered helpers
+	Run:     run,
 }
 
 var rawMemMethods = []string{
@@ -48,52 +56,27 @@ func run(pass *framework.Pass) error {
 	if pass.Ann.Engine {
 		return nil
 	}
-	decls := funcDecls(pass)
-	checkSlowReachable(pass, decls)
+	g := framework.NewGraph(pass)
+	// Backward lockpath propagation first: a private helper called only
+	// from lockpath/init code runs with the lock held, which both exempts
+	// it from the meta check and stops slow-path propagation at it.
+	g.MarkCovered(framework.MarkLockpath, framework.MarkLockpath|framework.MarkInit)
+	checkSlowReachable(pass, g)
 	if pass.Ann.HasMeta() {
-		checkMetaDiscipline(pass, decls)
+		checkMetaDiscipline(pass, g)
 	}
 	return nil
 }
 
-// funcDecls maps every package function object to its declaration.
-func funcDecls(pass *framework.Pass) map[*types.Func]*ast.FuncDecl {
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
-		}
-	}
-	return decls
-}
+const offPath = framework.MarkLockpath | framework.MarkInit
 
 // checkSlowReachable flags raw mem.Memory access in every function
 // reachable from the instrumented slow path.
-func checkSlowReachable(pass *framework.Pass, decls map[*types.Func]*ast.FuncDecl) {
-	// Seed with //rtle:slowpath functions and with same-package
-	// functions called directly from (*htm.Tx).Run closures.
-	work := []*types.Func{}
-	seen := map[*types.Func]bool{}
-	add := func(fn *types.Func) {
-		if fn == nil || seen[fn] || decls[fn] == nil {
-			return
-		}
-		marks := pass.Ann.FuncMarks(fn)
-		if marks.Has(framework.MarkLockpath) || marks.Has(framework.MarkInit) {
-			return // a different execution path; the meta check covers it
-		}
-		seen[fn] = true
-		work = append(work, fn)
-	}
-	for _, fn := range pass.Ann.MarkedFuncs(framework.MarkSlowpath) {
-		add(fn)
-	}
+func checkSlowReachable(pass *framework.Pass, g *framework.Graph) {
+	// Seed with //rtle:slowpath functions (declared) plus same-package
+	// functions called directly from (*htm.Tx).Run closures, then
+	// propagate forward, stopping at effective lockpath/init functions
+	// (a different execution path; the meta check covers them).
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -104,21 +87,25 @@ func checkSlowReachable(pass *framework.Pass, decls map[*types.Func]*ast.FuncDec
 				return true
 			}
 			if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
-				for _, callee := range packageCallees(pass, lit.Body) {
-					add(callee)
-				}
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					if inner, ok := n.(*ast.CallExpr); ok {
+						if callee := framework.CalleeFunc(pass.TypesInfo, inner); callee != nil {
+							g.Mark(callee, framework.MarkSlowpath)
+						}
+					}
+					return true
+				})
 			}
 			return true
 		})
 	}
+	g.MarkReachable(framework.MarkSlowpath, offPath)
 
-	for len(work) > 0 {
-		fn := work[len(work)-1]
-		work = work[:len(work)-1]
-		body := decls[fn].Body
-		for _, callee := range packageCallees(pass, body) {
-			add(callee)
+	for _, s := range g.Functions() {
+		if s.Marks&framework.MarkSlowpath == 0 || s.Marks&offPath != 0 {
+			continue
 		}
+		fn, body := s.Fn, s.Decl.Body
 		// Run-closure bodies inside a slow-path function are txbody's
 		// scope; do not double-report them.
 		skipLits := map[*ast.FuncLit]bool{}
@@ -149,34 +136,15 @@ func checkSlowReachable(pass *framework.Pass, decls map[*types.Func]*ast.FuncDec
 	}
 }
 
-// packageCallees returns the distinct same-package functions the body
-// calls statically, in source order.
-func packageCallees(pass *framework.Pass, body *ast.BlockStmt) []*types.Func {
-	var out []*types.Func
-	seen := map[*types.Func]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := framework.CalleeFunc(pass.TypesInfo, call)
-		if fn != nil && fn.Pkg() == pass.Pkg && !seen[fn] {
-			seen[fn] = true
-			out = append(out, fn)
-		}
-		return true
-	})
-	return out
-}
-
 // checkMetaDiscipline enforces that //rtle:meta fields are only mutated
-// inside //rtle:lockpath (or //rtle:init) functions.
-func checkMetaDiscipline(pass *framework.Pass, decls map[*types.Func]*ast.FuncDecl) {
-	for fn, fd := range decls {
-		marks := pass.Ann.FuncMarks(fn)
-		if marks.Has(framework.MarkLockpath) || marks.Has(framework.MarkInit) {
+// inside //rtle:lockpath (or //rtle:init) functions — declared or
+// inherited from an all-lockpath caller set.
+func checkMetaDiscipline(pass *framework.Pass, g *framework.Graph) {
+	for _, s := range g.Functions() {
+		if s.Marks&offPath != 0 {
 			continue
 		}
+		fd := s.Decl
 		taint := taintedLocals(pass, fd.Body)
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			switch n := n.(type) {

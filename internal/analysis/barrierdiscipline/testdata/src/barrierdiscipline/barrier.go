@@ -61,6 +61,55 @@ func helper(f *method, tx *htm.Tx) {
 	_ = tx.Read(f.epochAddr)
 }
 
+// bumpOrecs is never annotated, but its only callers are the lockpath
+// function below and the //rtle:init constructor path — the framework's
+// backward propagation infers it runs with the lock held, so the metadata
+// store stays silent.
+func (f *method) bumpOrecs(v uint64) {
+	f.m.Store(f.orecs, v)
+	f.wrote = true
+}
+
+// runUnderLockViaHelper shows the propagation in action: no restated mark
+// on bumpOrecs.
+//
+//rtle:lockpath
+func (f *method) runUnderLockViaHelper() {
+	f.bumpOrecs(7)
+}
+
+// mixedHelper has one lockpath caller and one unannotated caller, so the
+// all-callers rule does NOT fire and its metadata write is still a
+// violation.
+func (f *method) mixedHelper() {
+	f.wrote = true // want `writer metadata wrote assigned outside the lock-holder path`
+}
+
+//rtle:lockpath
+func (f *method) lockCallsMixed() { f.mixedHelper() }
+
+func (f *method) openCallsMixed() { f.mixedHelper() }
+
+// chainTail is two hops below a lockpath function through chainMid; the
+// fixpoint covers the whole chain.
+func (f *method) chainTail() { f.wrote = true }
+
+func (f *method) chainMid() { f.chainTail() }
+
+//rtle:lockpath
+func (f *method) lockChainRoot() { f.chainMid() }
+
+// coveredStop mutates metadata through a raw store; because its only
+// caller is lockpath, coverage exempts it from the meta check exactly as a
+// declared //rtle:lockpath would.
+//
+//rtle:lockpath
+func (f *method) coveredStopCaller() { f.coveredStop() }
+
+func (f *method) coveredStop() {
+	f.m.Store(f.epochAddr, 5)
+}
+
 // snapshotThenRun is the paper's Figure 3 idiom: the epoch is read raw
 // BEFORE the transaction begins so the epoch line stays out of the read
 // set. The waiver documents exactly that.

@@ -27,10 +27,40 @@ const (
 	// access and metadata stores are allowed because no concurrent
 	// reader exists yet.
 	MarkInit
+	// MarkHotpath marks a wire/shard fast-path root: the function and
+	// everything reachable from it in-package (minus //rtle:coldpath
+	// cuts) must be allocation-free per hotalloc.
+	MarkHotpath
+	// MarkColdpath cuts hotpath propagation: the function runs on an
+	// error/setup branch and may allocate even when called from a
+	// hotpath root.
+	MarkColdpath
+	// MarkGated marks a function whose contract is caller-holds-gates:
+	// its body may append to the replication log and touch the barrier
+	// sequence, and every call site must itself sit in a held gate
+	// region (or in another gated function).
+	MarkGated
+	// MarkGatelock marks the one sanctioned multi-gate acquisition
+	// helper: exclusive shard-gate Locks are legal only here, and only
+	// inside an ascending range loop.
+	MarkGatelock
 )
 
 // Marks is a bit set of function path annotations.
-type Marks uint8
+type Marks uint16
+
+// conflictingMarks lists mark pairs that cannot coexist on one function:
+// a declaration carrying both is a parse error (reported unconditionally,
+// never last-wins), and both bits are dropped so downstream passes see a
+// consistent view.
+var conflictingMarks = [][2]struct {
+	bit  Marks
+	name string
+}{
+	{{MarkHotpath, "hotpath"}, {MarkColdpath, "coldpath"}},
+	{{MarkHotpath, "hotpath"}, {MarkInit, "init"}},
+	{{MarkGated, "gated"}, {MarkGatelock, "gatelock"}},
+}
 
 // Has reports whether all bits of m2 are set in m.
 func (m Marks) Has(m2 Marks) bool { return m&m2 == m2 }
@@ -42,13 +72,27 @@ type Annotations struct {
 	// barrier layer, and is exempt from txbody and barrierdiscipline.
 	Engine bool
 
+	// Errors records malformed pragma combinations (today: conflicting
+	// marks on one declaration). They are reported once per package by
+	// RunAnalyzers under the pseudo-analyzer name "annotations" and are
+	// not waivable.
+	Errors []Diagnostic
+
 	funcs    map[*types.Func]Marks
 	meta     map[*types.Var]bool
 	counters map[*types.TypeName]bool
 
-	// suppress maps filename -> line -> analyzer names (or "*") with an
-	// //rtle:ignore pragma covering that line.
-	suppress map[string]map[int][]string
+	// suppress maps filename -> line -> the //rtle:ignore pragmas
+	// covering that line.
+	suppress map[string]map[int][]*ignorePragma
+}
+
+// ignorePragma is one parsed //rtle:ignore comment. used flips when the
+// pragma actually suppresses a diagnostic, feeding UnusedIgnores.
+type ignorePragma struct {
+	analyzer string // pass name, or "*" for all
+	pos      token.Position
+	used     bool
 }
 
 // FuncMarks returns the path marks of fn (zero when unannotated).
@@ -75,19 +119,53 @@ func (a *Annotations) HasMeta() bool { return len(a.meta) > 0 }
 func (a *Annotations) IsCounterType(tn *types.TypeName) bool { return a.counters[tn] }
 
 // suppressed reports whether an //rtle:ignore pragma covers analyzer at
-// pos. A pragma suppresses its own line and the following line, so it
-// works both as a trailing comment and as a standalone comment above the
-// flagged statement.
+// pos, marking any matching pragma as used. A pragma suppresses its own
+// line and the following line, so it works both as a trailing comment and
+// as a standalone comment above the flagged statement.
 func (a *Annotations) suppressed(analyzer string, pos token.Position) bool {
 	lines := a.suppress[pos.Filename]
+	hit := false
 	for _, l := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[l] {
-			if name == "*" || name == analyzer {
-				return true
+		for _, p := range lines[l] {
+			if p.analyzer == "*" || p.analyzer == analyzer {
+				p.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// UnusedIgnores returns a diagnostic for every //rtle:ignore pragma that
+// never suppressed a finding, restricted to pragmas whose target analyzer
+// actually ran (ran maps pass names; full reports whether the whole suite
+// ran, which is required before condemning an unnamed "*" pragma). Call it
+// only after every analyzer of interest has reported through this
+// Annotations value.
+func (a *Annotations) UnusedIgnores(ran map[string]bool, full bool) []Diagnostic {
+	var out []Diagnostic
+	for _, lines := range a.suppress {
+		for _, ps := range lines {
+			for _, p := range ps {
+				if p.used {
+					continue
+				}
+				if p.analyzer == "*" && !full {
+					continue
+				}
+				if p.analyzer != "*" && !ran[p.analyzer] {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Analyzer: "unusedignores",
+					Pos:      p.pos,
+					Message:  "//rtle:ignore " + strings.TrimSuffix(p.analyzer+" ", "* ") + "suppresses nothing; delete the stale waiver",
+				})
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
 }
 
 // pragmaLines extracts the "verb rest" pairs of all //rtle: pragma lines
@@ -122,6 +200,14 @@ func marksOf(groups ...*ast.CommentGroup) Marks {
 				m |= MarkLockpath
 			case "init":
 				m |= MarkInit
+			case "hotpath":
+				m |= MarkHotpath
+			case "coldpath":
+				m |= MarkColdpath
+			case "gated":
+				m |= MarkGated
+			case "gatelock":
+				m |= MarkGatelock
 			}
 		}
 	}
@@ -134,7 +220,7 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) 
 		funcs:    map[*types.Func]Marks{},
 		meta:     map[*types.Var]bool{},
 		counters: map[*types.TypeName]bool{},
-		suppress: map[string]map[int][]string{},
+		suppress: map[string]map[int][]*ignorePragma{},
 	}
 	for _, file := range files {
 		filename := fset.Position(file.Package).Filename
@@ -153,7 +239,7 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) 
 						if !strings.HasPrefix(text, pragmaPrefix+"ignore") {
 							continue
 						}
-						line := fset.Position(c.Pos()).Line
+						pos := fset.Position(c.Pos())
 						names := strings.Fields(strings.TrimPrefix(text, pragmaPrefix+"ignore"))
 						// Reasons follow the analyzer name; only the
 						// first field selects. No name = all analyzers.
@@ -162,9 +248,10 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) 
 							name = names[0]
 						}
 						if a.suppress[filename] == nil {
-							a.suppress[filename] = map[int][]string{}
+							a.suppress[filename] = map[int][]*ignorePragma{}
 						}
-						a.suppress[filename][line] = append(a.suppress[filename][line], name)
+						a.suppress[filename][pos.Line] = append(a.suppress[filename][pos.Line],
+							&ignorePragma{analyzer: name, pos: pos})
 					}
 				}
 			}
@@ -174,6 +261,18 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) 
 			switch d := decl.(type) {
 			case *ast.FuncDecl:
 				if m := marksOf(d.Doc); m != 0 {
+					for _, pair := range conflictingMarks {
+						if m.Has(pair[0].bit) && m.Has(pair[1].bit) {
+							a.Errors = append(a.Errors, Diagnostic{
+								Analyzer: "annotations",
+								Pos:      fset.Position(d.Name.Pos()),
+								Message: "conflicting marks //rtle:" + pair[0].name +
+									" and //rtle:" + pair[1].name + " on " + d.Name.Name +
+									"; pick one (neither is applied)",
+							})
+							m &^= pair[0].bit | pair[1].bit
+						}
+					}
 					if fn, ok := info.Defs[d.Name].(*types.Func); ok {
 						a.funcs[fn] |= m
 					}

@@ -245,3 +245,128 @@ func TestHasAdjacentComment(t *testing.T) {
 		}
 	}
 }
+
+const edgeSrc = `package p
+
+type State struct{ n uint64 }
+
+// Mark's receiver type is parenthesized: grouping must not hide the
+// method from the annotation walk.
+//
+//rtle:hotpath
+func (s *(State)) Mark() { s.n++ }
+
+// hot carries a compiler directive between the mark and the declaration;
+// both live in the same doc group and the mark must still bind.
+//
+//rtle:hotpath
+//go:noinline
+func hot() {}
+`
+
+// TestParseAnnotationsEdgeCases pins two shapes that once silently lost
+// marks in prototype parsers: parenthesized (grouped) receiver types, and
+// marks stacked above //go: compiler directives.
+func TestParseAnnotationsEdgeCases(t *testing.T) {
+	pkg := checkSource(t, "p.go", edgeSrc)
+	ann := ParseAnnotations(pkg.Fset, pkg.Files, pkg.TypesInfo)
+	if len(ann.Errors) != 0 {
+		t.Fatalf("unexpected annotation errors: %v", ann.Errors)
+	}
+
+	scope := pkg.Types.Scope()
+	named := scope.Lookup("State").Type()
+	var method *types.Func
+	for ms, i := types.NewMethodSet(types.NewPointer(named)), 0; i < ms.Len(); i++ {
+		if fn := ms.At(i).Obj().(*types.Func); fn.Name() == "Mark" {
+			method = fn
+		}
+	}
+	if method == nil {
+		t.Fatal("method Mark not found on *State")
+	}
+	if m := ann.FuncMarks(method); !m.Has(MarkHotpath) {
+		t.Errorf("FuncMarks((*(State)).Mark) = %b, want hotpath: grouped receiver dropped the mark", m)
+	}
+	if m := ann.FuncMarks(scope.Lookup("hot").(*types.Func)); !m.Has(MarkHotpath) {
+		t.Errorf("FuncMarks(hot) = %b, want hotpath: //go: directive shadowed the mark", m)
+	}
+}
+
+const conflictSrc = `package p
+
+// torn claims both temperatures; last-wins would silently honor whichever
+// pragma sorts later, so the parser must reject the pair instead.
+//
+//rtle:hotpath
+//rtle:coldpath
+func torn() {}
+
+//rtle:gated
+//rtle:gatelock
+func tornGate() {}
+
+//rtle:hotpath
+func fine() {}
+`
+
+// TestParseAnnotationsConflict requires conflicting mark pairs to produce
+// a parse error and apply neither bit — not last-wins.
+func TestParseAnnotationsConflict(t *testing.T) {
+	pkg := checkSource(t, "p.go", conflictSrc)
+	ann := ParseAnnotations(pkg.Fset, pkg.Files, pkg.TypesInfo)
+	if len(ann.Errors) != 2 {
+		t.Fatalf("got %d annotation errors, want 2: %v", len(ann.Errors), ann.Errors)
+	}
+	for _, e := range ann.Errors {
+		if e.Analyzer != "annotations" {
+			t.Errorf("error attributed to %q, want \"annotations\"", e.Analyzer)
+		}
+	}
+	scope := pkg.Types.Scope()
+	if m := ann.FuncMarks(scope.Lookup("torn").(*types.Func)); m.Has(MarkHotpath) || m.Has(MarkColdpath) {
+		t.Errorf("torn marks = %b, want neither hotpath nor coldpath applied", m)
+	}
+	if m := ann.FuncMarks(scope.Lookup("tornGate").(*types.Func)); m.Has(MarkGated) || m.Has(MarkGatelock) {
+		t.Errorf("tornGate marks = %b, want neither gated nor gatelock applied", m)
+	}
+	if m := ann.FuncMarks(scope.Lookup("fine").(*types.Func)); !m.Has(MarkHotpath) {
+		t.Errorf("fine marks = %b, want hotpath: a conflict elsewhere must not leak", m)
+	}
+}
+
+// TestAnnotationsSkipTestFiles checks that Package.Annotations ignores
+// marks and waivers living in _test.go files: test scaffolding cannot
+// grant the production tree exemptions.
+func TestAnnotationsSkipTestFiles(t *testing.T) {
+	fset := token.NewFileSet()
+	parse := func(name, src string) *ast.File {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		return f
+	}
+	files := []*ast.File{
+		parse("p.go", "package p\n\nfunc a() {}\n"),
+		parse("p_test.go", "package p\n\n//rtle:hotpath\nfunc helper() {}\n"),
+	}
+	pkg := &Package{
+		PkgPath: "rtle/testdata/p", Module: "rtle", Fset: fset, Files: files,
+		TypesInfo: &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		},
+	}
+	conf := types.Config{Error: func(error) {}}
+	pkg.Types, _ = conf.Check(pkg.PkgPath, fset, files, pkg.TypesInfo)
+
+	ann := pkg.Annotations()
+	scope := pkg.Types.Scope()
+	if fn, ok := scope.Lookup("helper").(*types.Func); ok {
+		if m := ann.FuncMarks(fn); m != 0 {
+			t.Errorf("helper (declared in _test.go) marks = %b, want none", m)
+		}
+	}
+}

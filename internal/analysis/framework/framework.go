@@ -26,6 +26,10 @@ type Analyzer struct {
 	Name string
 	// Doc is the help text.
 	Doc string
+	// Version is bumped whenever the pass's semantics change. It feeds
+	// the rtlevet -V=full fingerprint so go vet's unit-result cache is
+	// invalidated when a pass is added or modified.
+	Version int
 	// Run applies the pass to one package. Diagnostics are reported via
 	// Pass.Report; the error return is for operational failures only.
 	Run func(*Pass) error
@@ -76,9 +80,8 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// RunAnalyzer applies a to pkg and returns its diagnostics in file/line
-// order.
-func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+// NonTestFiles returns pkg's syntax excluding _test.go files.
+func NonTestFiles(pkg *Package) []*ast.File {
 	files := make([]*ast.File, 0, len(pkg.Files))
 	for _, f := range pkg.Files {
 		name := pkg.Fset.Position(f.Package).Filename
@@ -87,14 +90,21 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		}
 		files = append(files, f)
 	}
+	return files
+}
+
+// RunAnalyzer applies a to pkg and returns its diagnostics in file/line
+// order. The package's Annotations are parsed once and shared across
+// analyzers so //rtle:ignore usage accumulates for UnusedIgnores.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
-		Files:     files,
+		Files:     NonTestFiles(pkg),
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
 		Module:    pkg.Module,
-		Ann:       ParseAnnotations(pkg.Fset, files, pkg.TypesInfo),
+		Ann:       pkg.Annotations(),
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
@@ -104,10 +114,13 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 }
 
 // RunAnalyzers applies every analyzer to every package, concatenating the
-// diagnostics in (package, analyzer, position) order.
+// diagnostics in (package, analyzer, position) order. Annotation parse
+// errors (conflicting marks) are prepended once per package: a malformed
+// pragma must fail the run even when no pass consults the mark.
 func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	var all []Diagnostic
 	for _, pkg := range pkgs {
+		all = append(all, pkg.Annotations().Errors...)
 		for _, a := range analyzers {
 			diags, err := RunAnalyzer(a, pkg)
 			if err != nil {
@@ -117,6 +130,23 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) 
 		}
 	}
 	return all, nil
+}
+
+// UnusedIgnores reports, for every package, the //rtle:ignore pragmas that
+// suppressed nothing across the analyzers already run via RunAnalyzer(s)
+// on these same Package values. full must be true only when the complete
+// registered suite ran; unnamed ("*") pragmas are otherwise given the
+// benefit of the doubt.
+func UnusedIgnores(analyzers []*Analyzer, pkgs []*Package, full bool) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, pkg.Annotations().UnusedIgnores(ran, full)...)
+	}
+	return all
 }
 
 func sortDiagnostics(diags []Diagnostic) {

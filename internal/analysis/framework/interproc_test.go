@@ -1,0 +1,170 @@
+package framework
+
+import (
+	"go/types"
+	"testing"
+)
+
+// graphSrc is an import-free package exercising the interprocedural layer:
+// a local type named "replication" with an append method triggers the
+// log-append recognizer (it keys on receiver type name within the module),
+// so effect closure is testable without loading internal/repl.
+const graphSrc = `package p
+
+type replication struct{}
+
+// append mirrors the serving layer's log-append wrapper shape.
+func (r *replication) append(n int) {}
+
+//rtle:hotpath
+func root(r *replication) {
+	mid(r)
+	cold(r)
+}
+
+func mid(r *replication) { leaf(r) }
+
+func leaf(r *replication) { r.append(1) }
+
+//rtle:coldpath
+func cold(r *replication) { colder(r) }
+
+func colder(r *replication) { r.append(2) }
+
+//rtle:lockpath
+func lockA() {
+	helper()
+	mixed()
+	taken()
+	_ = taken // value use: address taken, so taken is callable from anywhere
+}
+
+//rtle:lockpath
+func lockB() {
+	helper()
+	chainTop()
+}
+
+func open() { mixed() }
+
+func helper() {}
+
+func mixed() {}
+
+func taken() {}
+
+func chainTop() { chainMid() }
+
+func chainMid() {}
+
+func Pub() {}
+
+//rtle:lockpath
+func callsPub() { Pub() }
+`
+
+// buildGraph runs NewGraph through a fake analyzer so the Pass carries
+// parsed annotations, and returns the graph plus a name→summary index.
+func buildGraph(t *testing.T, src string) (*Graph, map[string]*Summary) {
+	t.Helper()
+	pkg := checkSource(t, "p.go", src)
+	var g *Graph
+	fake := &Analyzer{
+		Name: "fake",
+		Doc:  "captures the call graph",
+		Run: func(pass *Pass) error {
+			g = NewGraph(pass)
+			return nil
+		},
+	}
+	if _, err := RunAnalyzer(fake, pkg); err != nil {
+		t.Fatalf("RunAnalyzer: %v", err)
+	}
+	byName := map[string]*Summary{}
+	for _, s := range g.Functions() {
+		byName[s.Fn.Name()] = s
+	}
+	return g, byName
+}
+
+func TestGraphEffectsClosure(t *testing.T) {
+	_, fns := buildGraph(t, graphSrc)
+
+	if !fns["leaf"].Direct.Has(EffectLogAppend) {
+		t.Errorf("leaf.Direct = %b, want EffectLogAppend: the append call is in its own body", fns["leaf"].Direct)
+	}
+	if fns["mid"].Direct != 0 {
+		t.Errorf("mid.Direct = %b, want none: mid only calls", fns["mid"].Direct)
+	}
+	if !fns["mid"].Effects.Has(EffectLogAppend) {
+		t.Errorf("mid.Effects = %b, want EffectLogAppend inherited from leaf", fns["mid"].Effects)
+	}
+	if !fns["root"].Effects.Has(EffectLogAppend) {
+		t.Errorf("root.Effects = %b, want EffectLogAppend two hops down", fns["root"].Effects)
+	}
+	if got := len(fns["root"].Callees); got != 2 {
+		t.Errorf("root has %d callees, want 2 (mid, cold)", got)
+	}
+}
+
+func TestMarkReachable(t *testing.T) {
+	g, fns := buildGraph(t, graphSrc)
+	g.MarkReachable(MarkHotpath, MarkColdpath|MarkInit)
+
+	for _, name := range []string{"root", "mid", "leaf", "append"} {
+		if !fns[name].Marks.Has(MarkHotpath) {
+			t.Errorf("%s not marked hot; want hotpath via forward propagation", name)
+		}
+	}
+	if fns["cold"].Marks.Has(MarkHotpath) {
+		t.Errorf("cold gained hotpath; //rtle:coldpath must stop propagation")
+	}
+	if fns["colder"].Marks.Has(MarkHotpath) {
+		t.Errorf("colder gained hotpath; propagation must not cross a coldpath cut")
+	}
+	if fns["helper"].Marks.Has(MarkHotpath) {
+		t.Errorf("helper gained hotpath; it is not reachable from any hot root")
+	}
+}
+
+func TestMarkCovered(t *testing.T) {
+	g, fns := buildGraph(t, graphSrc)
+	g.MarkCovered(MarkLockpath, MarkLockpath|MarkInit)
+
+	if !fns["helper"].Marks.Has(MarkLockpath) {
+		t.Errorf("helper not covered; every caller (lockA, lockB) is lockpath")
+	}
+	if !fns["chainTop"].Marks.Has(MarkLockpath) || !fns["chainMid"].Marks.Has(MarkLockpath) {
+		t.Errorf("chainTop/chainMid not covered; coverage must chain through helpers to a fixpoint")
+	}
+	if fns["mixed"].Marks.Has(MarkLockpath) {
+		t.Errorf("mixed covered; open() is an unmarked caller, so coverage must not apply")
+	}
+	if fns["taken"].Marks.Has(MarkLockpath) {
+		t.Errorf("taken covered; an address-taken function is callable from anywhere")
+	}
+	if fns["Pub"].Marks.Has(MarkLockpath) {
+		t.Errorf("Pub covered; exported functions never inherit context")
+	}
+	if fns["cold"].Marks.Has(MarkLockpath) {
+		t.Errorf("cold covered; declared marks keep the author's word")
+	}
+}
+
+func TestGraphMarkSeeding(t *testing.T) {
+	g, fns := buildGraph(t, graphSrc)
+	g.Mark(fns["open"].Fn, MarkSlowpath)
+	g.MarkReachable(MarkSlowpath, MarkLockpath|MarkInit)
+
+	if !fns["open"].Marks.Has(MarkSlowpath) {
+		t.Errorf("open not marked after explicit seeding")
+	}
+	if fns["open"].Declared != 0 {
+		t.Errorf("seeding leaked into Declared = %b; Declared holds only the author's marks", fns["open"].Declared)
+	}
+	if !fns["mixed"].Marks.Has(MarkSlowpath) {
+		t.Errorf("mixed did not inherit the seeded mark from open")
+	}
+	var missing *types.Func
+	g.Mark(missing, MarkSlowpath) // no summary: must be a no-op, not a panic
+}

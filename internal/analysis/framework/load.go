@@ -30,6 +30,18 @@ type Package struct {
 	// them: a package that does not type-check yields unreliable
 	// diagnostics.
 	TypeErrors []error
+
+	ann *Annotations
+}
+
+// Annotations returns the package's parsed //rtle: pragmas, computed once
+// over the non-test files and cached. Sharing one value across analyzers
+// is what lets //rtle:ignore usage accumulate for UnusedIgnores.
+func (pkg *Package) Annotations() *Annotations {
+	if pkg.ann == nil {
+		pkg.ann = ParseAnnotations(pkg.Fset, NonTestFiles(pkg), pkg.TypesInfo)
+	}
+	return pkg.ann
 }
 
 // Loader loads and type-checks module packages without x/tools: package

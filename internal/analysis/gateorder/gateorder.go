@@ -1,0 +1,173 @@
+// Package gateorder defines the rtlevet pass that statically enforces the
+// cross-shard drain-gate locking discipline (DESIGN.md §7):
+//
+//  1. Exclusive gate acquisition (`gate.Lock`) is legal only inside the
+//     one sanctioned multi-gate helper, marked //rtle:gatelock. Everywhere
+//     else an exclusive Lock is a second, unordered acquisition site —
+//     the raw material of a deadlock cycle.
+//
+//  2. Inside the //rtle:gatelock helper, every Lock must sit in a range
+//     loop: the helper receives the span list already sorted ascending
+//     (router.plan), so ranging over it is ascending-by-construction. A
+//     hand-rolled index loop (which could iterate descending) is flagged.
+//
+//  3. While exclusive gates are held — between a call to a gatelock
+//     helper and the matching call to its releasing twin — acquiring a
+//     gate in shared mode is a lock-order inversion: the fast path takes
+//     shared gates with no ordering protocol, so an exclusive holder that
+//     blocks on RLock can deadlock against a writer queued behind its own
+//     exclusive gates.
+//
+// The pass is interprocedural via the framework call graph: acquire and
+// release events include calls to helpers whose summaries show a direct
+// exclusive Lock/Unlock, and the inversion check also fires on calls to
+// functions that transitively take a shared gate. Region tracking is
+// positional (textual order within one body) — the discipline keeps
+// acquire and release in the same straight-line function, so this is
+// exact for conforming code and conservative for contortions.
+package gateorder
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"rtle/internal/analysis/framework"
+)
+
+// Analyzer is the gateorder pass.
+var Analyzer = &framework.Analyzer{
+	Name:    "gateorder",
+	Doc:     "exclusive shard gates only via the //rtle:gatelock helper, ascending, with no shared acquisition while held",
+	Version: 1,
+	Run:     run,
+}
+
+func run(pass *framework.Pass) error {
+	g := framework.NewGraph(pass)
+	for _, s := range g.Functions() {
+		checkAcquisitions(pass, s)
+		checkInversions(pass, g, s)
+	}
+	return nil
+}
+
+// checkAcquisitions flags exclusive gate Locks outside //rtle:gatelock
+// helpers, and non-range Locks inside them.
+func checkAcquisitions(pass *framework.Pass, s *framework.Summary) {
+	gatelock := s.Declared.Has(framework.MarkGatelock)
+	var rangeSpans [][2]token.Pos
+	ast.Inspect(s.Decl.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			rangeSpans = append(rangeSpans, [2]token.Pos{r.Body.Pos(), r.Body.End()})
+		}
+		return true
+	})
+	inRange := func(pos token.Pos) bool {
+		for _, r := range rangeSpans {
+			if r[0] <= pos && pos <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(s.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := framework.GateMethod(pass.TypesInfo, call)
+		if !ok || name != "Lock" {
+			return true
+		}
+		switch {
+		case !gatelock:
+			pass.Report(call.Pos(),
+				"exclusive gate.Lock in %s, outside a //rtle:gatelock helper; all multi-gate acquisition must go through the sanctioned ascending helper",
+				s.Fn.Name())
+		case !inRange(call.Pos()):
+			pass.Report(call.Pos(),
+				"exclusive gate.Lock in //rtle:gatelock helper %s is not inside a range loop; acquisition must range over the ascending span list to stay ascending-by-construction",
+				s.Fn.Name())
+		}
+		return true
+	})
+}
+
+// event is one gate-relevant site in a function body, in textual order.
+type event struct {
+	pos  token.Pos
+	kind int // eAcquire / eRelease / eShared
+	what string
+}
+
+const (
+	eAcquire = iota
+	eRelease
+	eShared
+)
+
+// checkInversions flags shared gate acquisition (direct RLock or a call
+// into code that transitively RLocks) while exclusive gates are held.
+func checkInversions(pass *framework.Pass, g *framework.Graph, s *framework.Summary) {
+	if s.Declared.Has(framework.MarkGatelock) {
+		return // the acquisition helper itself is checked above
+	}
+	var events []event
+	ast.Inspect(s.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			// Deferred, spawned, and closure code runs at another time;
+			// positional region tracking does not apply to it.
+			_ = n
+			return false
+		case *ast.CallExpr:
+			if name, ok := framework.GateMethod(pass.TypesInfo, n); ok {
+				switch name {
+				case "Lock":
+					events = append(events, event{n.Pos(), eAcquire, "gate.Lock"})
+				case "Unlock":
+					events = append(events, event{n.Pos(), eRelease, "gate.Unlock"})
+				case "RLock":
+					events = append(events, event{n.Pos(), eShared, "gate.RLock"})
+				}
+				return true
+			}
+			callee := framework.CalleeFunc(pass.TypesInfo, n)
+			if callee == nil {
+				return true
+			}
+			cs := g.Summary(callee)
+			if cs == nil {
+				return true
+			}
+			switch {
+			case cs.Direct.Has(framework.EffectExclusiveGate):
+				events = append(events, event{n.Pos(), eAcquire, callee.Name()})
+			case cs.Direct.Has(framework.EffectExclusiveUngate):
+				events = append(events, event{n.Pos(), eRelease, callee.Name()})
+			case cs.Effects.Has(framework.EffectSharedGate):
+				events = append(events, event{n.Pos(), eShared, callee.Name()})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	depth := 0
+	for _, e := range events {
+		switch e.kind {
+		case eAcquire:
+			depth++
+		case eRelease:
+			if depth > 0 {
+				depth--
+			}
+		case eShared:
+			if depth > 0 {
+				pass.Report(e.pos,
+					"shared gate acquisition (%s) while exclusive gates are held in %s; RLock under a held exclusive gate inverts the drain-gate order",
+					e.what, s.Fn.Name())
+			}
+		}
+	}
+}

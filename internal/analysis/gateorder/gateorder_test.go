@@ -1,0 +1,12 @@
+package gateorder_test
+
+import (
+	"testing"
+
+	"rtle/internal/analysis/analysistest"
+	"rtle/internal/analysis/gateorder"
+)
+
+func TestGateOrder(t *testing.T) {
+	analysistest.Run(t, gateorder.Analyzer, "gateorder")
+}

@@ -1,0 +1,92 @@
+// Package gateorder is the golden input for the gateorder analyzer: a
+// miniature sharded server whose sanctioned locking helper is clean and
+// whose rogue/descending/inverted acquisitions seed true positives. The
+// //rtle:ignore site proves a reviewed single-gate teardown drain stays
+// silent.
+package gateorder
+
+import "sync"
+
+type shard struct {
+	gate sync.RWMutex
+}
+
+type srv struct {
+	shards []*shard
+}
+
+// lockSpans is the sanctioned multi-gate helper: spans arrives sorted
+// ascending, the range loop preserves that order, so acquisition is
+// ascending-by-construction.
+//
+//rtle:gatelock
+func (s *srv) lockSpans(spans []int) {
+	for _, k := range spans {
+		s.shards[k].gate.Lock()
+	}
+}
+
+// unlockSpans releases the gates taken by lockSpans.
+func (s *srv) unlockSpans(spans []int) {
+	for _, k := range spans {
+		s.shards[k].gate.Unlock()
+	}
+}
+
+// lockDescending is marked gatelock but hand-rolls a descending index
+// loop — exactly the mutation that breaks the deadlock-freedom argument.
+//
+//rtle:gatelock
+func (s *srv) lockDescending(spans []int) {
+	for i := len(spans) - 1; i >= 0; i-- {
+		s.shards[spans[i]].gate.Lock() // want `exclusive gate\.Lock in //rtle:gatelock helper lockDescending is not inside a range loop`
+	}
+}
+
+// rogueLock takes an exclusive gate outside any sanctioned helper: a
+// second, unordered acquisition site.
+func (s *srv) rogueLock(k int) {
+	s.shards[k].gate.Lock() // want `exclusive gate\.Lock in rogueLock, outside a //rtle:gatelock helper`
+	s.shards[k].gate.Unlock()
+}
+
+// fastSection takes a gate in shared mode — fine on its own; the fast
+// path has no ordering protocol because shared acquisitions cannot form
+// a cycle among themselves.
+func (s *srv) fastSection(k int, body func()) {
+	s.shards[k].gate.RLock()
+	body()
+	s.shards[k].gate.RUnlock()
+}
+
+// slowThenFast acquires a shared gate (via fastSection, one call deep)
+// while exclusive gates are held: a lock-order inversion.
+func (s *srv) slowThenFast(spans []int, body func()) {
+	s.lockSpans(spans)
+	s.fastSection(spans[0], body) // want `shared gate acquisition \(fastSection\) while exclusive gates are held in slowThenFast`
+	s.unlockSpans(spans)
+}
+
+// slowThenRLock is the same inversion without the helper indirection.
+func (s *srv) slowThenRLock(spans []int) {
+	s.lockSpans(spans)
+	s.shards[0].gate.RLock() // want `shared gate acquisition \(gate\.RLock\) while exclusive gates are held in slowThenRLock`
+	s.shards[0].gate.RUnlock()
+	s.unlockSpans(spans)
+}
+
+// slowClean releases before touching the fast path: no inversion.
+func (s *srv) slowClean(spans []int, body func()) {
+	s.lockSpans(spans)
+	s.unlockSpans(spans)
+	s.fastSection(spans[0], body)
+}
+
+// drainOne is a reviewed false positive: a single-shard teardown drain
+// can hold at most one gate, so no cycle is possible, and the waiver
+// records that argument.
+func (s *srv) drainOne(k int) {
+	//rtle:ignore gateorder single-gate teardown drain; one gate cannot form a cycle
+	s.shards[k].gate.Lock()
+	s.shards[k].gate.Unlock()
+}

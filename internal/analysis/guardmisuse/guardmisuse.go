@@ -42,9 +42,10 @@ import (
 
 // Analyzer is the guardmisuse pass.
 var Analyzer = &framework.Analyzer{
-	Name: "guardmisuse",
-	Doc:  "flag unbalanced, misordered, or HTM-unfriendly use of the elision guards",
-	Run:  run,
+	Name:    "guardmisuse",
+	Doc:     "flag unbalanced, misordered, or HTM-unfriendly use of the elision guards",
+	Version: 1,
+	Run:     run,
 }
 
 // guardCall resolves call as a method call on a guard type, returning the

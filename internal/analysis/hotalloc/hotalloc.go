@@ -1,0 +1,267 @@
+// Package hotalloc defines the rtlevet pass that polices allocation on
+// the serving fast path. Functions marked //rtle:hotpath — the shard fast
+// path, frame encode/decode, and the Client send/receive loops — plus
+// everything statically reachable from them in-package (propagated over
+// the framework call graph, cut at //rtle:coldpath and //rtle:init) must
+// not allocate per operation. ROADMAP's zero-alloc framing item starts
+// here: the pass turns "the hot path allocates" from a benchmark surprise
+// into a vet finding.
+//
+// Flagged allocation effects:
+//
+//   - escaping composite literals (&T{...}) and slice/map literals
+//   - make / new on the hot path
+//   - string <-> []byte conversions (always copy)
+//   - interface boxing: a concrete non-pointer value passed, assigned or
+//     converted to an interface type
+//   - closures that capture variables (the closure and its captures move
+//     to the heap when it escapes)
+//   - un-pooled append growth: appending onto a freshly made/nil base,
+//     including passing a nil buffer to an Append-style callee
+//
+// Every finding is waivable by a reasoned //rtle:ignore hotalloc pragma;
+// the suite's unused-ignore check keeps the waiver set honest. The pass
+// is intentionally a conservative pattern checker, not an escape
+// analysis: it flags constructs that *usually* allocate, and the waiver
+// text documents why a particular site is accepted (amortized, per-conn
+// setup, error path priced in, ...).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rtle/internal/analysis/framework"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &framework.Analyzer{
+	Name:    "hotalloc",
+	Doc:     "no unwaived allocation in functions reachable from //rtle:hotpath roots",
+	Version: 1,
+	Run:     run,
+}
+
+func run(pass *framework.Pass) error {
+	g := framework.NewGraph(pass)
+	g.MarkReachable(framework.MarkHotpath, framework.MarkColdpath|framework.MarkInit)
+	for _, s := range g.Functions() {
+		if !s.Marks.Has(framework.MarkHotpath) {
+			continue
+		}
+		checkBody(pass, s)
+	}
+	return nil
+}
+
+func checkBody(pass *framework.Pass, s *framework.Summary) {
+	info := pass.TypesInfo
+	name := s.Fn.Name()
+	ast.Inspect(s.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				pass.Report(n.Pos(),
+					"hot path: escaping composite literal &%s in %s allocates per call",
+					typeLabel(info, lit), name)
+				return true
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Report(n.Pos(),
+					"hot path: %s literal in %s allocates per call; hoist or pool the buffer",
+					typeLabel(info, n), name)
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(info, n); capt != nil {
+				pass.Report(n.Pos(),
+					"hot path: closure in %s captures %s; an escaping capturing closure allocates per call",
+					name, capt.Name())
+			}
+		case *ast.CallExpr:
+			checkCall(pass, info, n, name)
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					checkBoxing(pass, info, info.TypeOf(n.Lhs[i]), n.Rhs[i], name)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				if len(n.Names) > 0 {
+					checkBoxing(pass, info, info.TypeOf(n.Names[0]), v, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall handles the call-shaped allocation effects: builtins, string
+// conversions, interface-boxing arguments, and fresh append bases.
+func checkCall(pass *framework.Pass, info *types.Info, call *ast.CallExpr, name string) {
+	// Built-ins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				switch info.TypeOf(call).Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Chan:
+					pass.Report(call.Pos(),
+						"hot path: make in %s allocates per call; preallocate or pool the buffer", name)
+				}
+			case "new":
+				pass.Report(call.Pos(), "hot path: new in %s allocates per call", name)
+			case "append":
+				if len(call.Args) > 0 && freshBase(info, call.Args[0]) {
+					pass.Report(call.Pos(),
+						"hot path: append onto a fresh base in %s grows an un-pooled buffer per call", name)
+				}
+			}
+			return
+		}
+	}
+
+	// Type conversions: string <-> []byte copy, or boxing into an
+	// interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			to, from := tv.Type, info.TypeOf(call.Args[0])
+			if isStringBytes(to, from) || isStringBytes(from, to) {
+				pass.Report(call.Pos(),
+					"hot path: string <-> []byte conversion in %s copies per call", name)
+			} else {
+				checkBoxing(pass, info, to, call.Args[0], name)
+			}
+		}
+		return
+	}
+
+	// Ordinary call: check each argument against its parameter type.
+	sig, _ := info.TypeOf(call.Fun).Underlying().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = params.At(np - 1).Type()
+			if !call.Ellipsis.IsValid() {
+				if sl, ok := pt.Underlying().(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			}
+		case i < np:
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if isNilExpr(info, arg) {
+			if _, ok := pt.Underlying().(*types.Slice); ok {
+				pass.Report(arg.Pos(),
+					"hot path: nil buffer argument in %s forces callee append growth per call; pass a pooled buffer", name)
+			}
+			continue
+		}
+		checkBoxing(pass, info, pt, arg, name)
+	}
+}
+
+// checkBoxing reports expr when assigning/passing it as dst requires an
+// interface box: dst is an interface and expr's concrete type is not
+// already pointer-shaped.
+func checkBoxing(pass *framework.Pass, info *types.Info, dst types.Type, expr ast.Expr, name string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	at := info.TypeOf(expr)
+	if at == nil || types.IsInterface(at) || isNilExpr(info, expr) {
+		return
+	}
+	switch at.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: fits the interface word without boxing
+	}
+	pass.Report(expr.Pos(),
+		"hot path: %s value boxed into interface in %s allocates per call", at.String(), name)
+}
+
+// freshBase reports whether an append base expression is a buffer born at
+// this site — a nil, a composite literal, or a call result — rather than a
+// reused/pooled slice (an identifier or a reslice like buf[:0]).
+func freshBase(info *types.Info, base ast.Expr) bool {
+	switch b := ast.Unparen(base).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		return true
+	case *ast.Ident:
+		return b.Name == "nil"
+	}
+	return false
+}
+
+func isNilExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(expr)]
+	return ok && tv.IsNil()
+}
+
+// isStringBytes reports a (string, []byte) type pair in the given order.
+func isStringBytes(a, b types.Type) bool {
+	ab, ok := a.Underlying().(*types.Basic)
+	if !ok || ab.Kind() != types.String {
+		return false
+	}
+	sl, ok := b.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	el, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && el.Kind() == types.Uint8
+}
+
+// capturedVar returns one variable lit captures from its enclosing
+// function, or nil for a capture-free closure.
+func capturedVar(info *types.Info, lit *ast.FuncLit) *types.Var {
+	var capt *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if capt != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured = declared outside the literal but not at package
+		// scope (package vars need no capture slot).
+		if v.Pkg() == nil || v.Parent() == nil {
+			return true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			capt = v
+		}
+		return true
+	})
+	return capt
+}
+
+// typeLabel renders a composite literal's type compactly for diagnostics.
+func typeLabel(info *types.Info, lit *ast.CompositeLit) string {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return "composite"
+	}
+	return t.String()
+}

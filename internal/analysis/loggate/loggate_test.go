@@ -1,0 +1,12 @@
+package loggate_test
+
+import (
+	"testing"
+
+	"rtle/internal/analysis/analysistest"
+	"rtle/internal/analysis/loggate"
+)
+
+func TestLogGate(t *testing.T) {
+	analysistest.Run(t, loggate.Analyzer, "loggate")
+}

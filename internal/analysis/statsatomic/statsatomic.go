@@ -25,9 +25,10 @@ import (
 
 // Analyzer is the statsatomic pass.
 var Analyzer = &framework.Analyzer{
-	Name: "statsatomic",
-	Doc:  "flag mixed atomic/plain access to Stats and observer counter fields",
-	Run:  run,
+	Name:    "statsatomic",
+	Doc:     "flag mixed atomic/plain access to Stats and observer counter fields",
+	Version: 1,
+	Run:     run,
 }
 
 type access struct {

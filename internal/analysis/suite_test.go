@@ -40,4 +40,11 @@ func TestRepoIsClean(t *testing.T) {
 	for _, d := range diags {
 		t.Errorf("unexpected diagnostic: %s", d)
 	}
+	// Every //rtle:ignore in the tree must still excuse a live finding.
+	// The full suite just ran, so a pragma that suppressed nothing is
+	// provably stale — the finding it excused was fixed, or it never
+	// matched. Stale waivers are how real violations hide.
+	for _, d := range framework.UnusedIgnores(analysis.Analyzers(), pkgs, true) {
+		t.Errorf("stale waiver: %s", d)
+	}
 }

@@ -32,9 +32,10 @@ import (
 
 // Analyzer is the txbody pass.
 var Analyzer = &framework.Analyzer{
-	Name: "txbody",
-	Doc:  "flag HTM-unfriendly operations inside hardware-transaction bodies",
-	Run:  run,
+	Name:    "txbody",
+	Doc:     "flag HTM-unfriendly operations inside hardware-transaction bodies",
+	Version: 1,
+	Run:     run,
 }
 
 // rawMemMethods are the mem.Memory entry points that bypass transactional

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"testing"
+
+	"rtle/internal/check"
+	"rtle/internal/core"
+)
+
+// fastPathHarness is an in-process single-op serving pipeline: the real
+// router over the real shards, with one executor and method thread per
+// shard standing in for the worker pool. Buffers mirror the per-connection
+// and per-worker scratch the serving loops reuse.
+type fastPathHarness struct {
+	srv     *Server
+	ex      []*executor
+	threads []core.Thread
+	reqBuf  []byte
+	respBuf []byte
+	results []Result
+
+	// The decoded operation is staged in fields so the per-shard atomic
+	// bodies can be built once at setup — the worker's block closures are
+	// likewise reused across its whole lifetime, not built per request.
+	op         Op
+	a1, a2, a3 uint64
+	bodies     []func(core.Context)
+	resp       Response
+}
+
+func newFastPathHarness(tb testing.TB) *fastPathHarness {
+	tb.Helper()
+	srv, err := New(Config{Workload: "map", Method: "TLE", Workers: 1, Keys: 64})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h := &fastPathHarness{
+		srv:     srv,
+		reqBuf:  make([]byte, 0, 64),
+		respBuf: make([]byte, 0, 64),
+		results: make([]Result, 1),
+	}
+	for k, sh := range srv.shards {
+		h.ex = append(h.ex, sh.adt.newExecutor(1))
+		h.threads = append(h.threads, sh.method.NewThread())
+		ex := h.ex[k]
+		h.bodies = append(h.bodies, func(c core.Context) {
+			h.results[0] = ex.run(c, 0, h.op, h.a1, h.a2, h.a3)
+		})
+	}
+	return h
+}
+
+// serve pushes one request through the wire fast path: encode the frame,
+// decode it back (the server's read side), validate, route, execute the
+// operation in an atomic block on the routed shard, and encode the
+// response — everything the serving layer does per request except the
+// socket I/O and queue handoff.
+func (h *fastPathHarness) serve(req *Request) error {
+	h.reqBuf = AppendRequest(h.reqBuf[:0], req)
+	decoded, err := DecodeRequest(h.reqBuf[4:])
+	if err != nil {
+		return err
+	}
+	if err := h.srv.validate(&decoded); err != nil {
+		return err
+	}
+	plan := h.srv.router.plan(&decoded)
+	h.op, h.a1, h.a2, h.a3 = decoded.Op, decoded.Arg1, decoded.Arg2, decoded.Arg3
+	h.threads[plan.shard].Atomic(h.bodies[plan.shard])
+	// Post-commit bookkeeping, exactly as the worker does it: an insert
+	// consumed the handle's spare node, so replace it before the next
+	// operation reuses the handle.
+	h.ex[plan.shard].after(0, decoded.Op, h.results[0])
+	h.resp = Response{ID: decoded.ID, Status: StatusOK, Results: h.results[:1]}
+	h.respBuf = AppendResponse(h.respBuf[:0], &h.resp)
+	return nil
+}
+
+// BenchmarkWireFastPathAllocs measures the per-request allocation cost of
+// the wire fast path. The hotalloc pass proves this path free of *new*
+// allocation sites; this benchmark prices the waived ones, so a regression
+// shows up as a number even when it hides behind an //rtle:ignore.
+func BenchmarkWireFastPathAllocs(b *testing.B) {
+	h := newFastPathHarness(b)
+	req := Request{Op: check.OpPut, Arg2: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.ID = uint32(i)
+		req.Arg1 = uint64(i % 64)
+		if err := h.serve(&req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWireFastPathAllocBudget pins the fast path's steady-state allocation
+// count at zero: with the connection and worker scratch reused, serving
+// one single-op request must not allocate at all. A nonzero count means a
+// new allocation crept onto the path — the dynamic twin of the hotalloc
+// pass's static claim.
+func TestWireFastPathAllocBudget(t *testing.T) {
+	h := newFastPathHarness(t)
+	req := Request{Op: check.OpPut, Arg2: 42}
+	id := uint32(0)
+	run := func() {
+		id++
+		req.ID = id
+		req.Arg1 = uint64(id % 64)
+		if err := h.serve(&req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up: the first call grows the frame buffers to capacity
+	if allocs := testing.AllocsPerRun(100, run); allocs > 0 {
+		t.Errorf("wire fast path allocates %.1f times per request, want 0", allocs)
+	}
+}

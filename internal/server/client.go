@@ -150,6 +150,8 @@ func (c *Client) ServerFeatures() uint32 { return c.hello.Features }
 
 // readLoop demultiplexes responses to their waiting callers until the
 // connection dies, then fails every pending and future request.
+//
+//rtle:hotpath
 func (c *Client) readLoop(fr frameReader) {
 	for {
 		payload, err := fr.next()
@@ -175,7 +177,10 @@ func (c *Client) readLoop(fr frameReader) {
 	}
 }
 
-// fail marks the client dead and releases every waiting caller.
+// fail marks the client dead and releases every waiting caller. Runs
+// once, when the connection dies: cold.
+//
+//rtle:coldpath
 func (c *Client) fail(err error) {
 	c.mu.Lock()
 	if c.err == nil {
@@ -229,8 +234,10 @@ func (c *Client) CloseContext(ctx context.Context) error {
 
 // send registers a pending slot, encodes req with a fresh id, and writes
 // the frame.
+//
+//rtle:hotpath
 func (c *Client) send(req *Request) (chan Response, error) {
-	ch := make(chan Response, 1)
+	ch := make(chan Response, 1) //rtle:ignore hotalloc one reply slot per in-flight request; pooling the slots is the zero-alloc roadmap item
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -246,6 +253,7 @@ func (c *Client) send(req *Request) (chan Response, error) {
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
 
+	//rtle:ignore hotalloc fresh frame per request until client-side buffer pooling lands (zero-alloc roadmap item)
 	frame := AppendRequest(nil, req)
 	c.wmu.Lock()
 	_, err := c.nc.Write(frame)
@@ -263,6 +271,8 @@ func (c *Client) send(req *Request) (chan Response, error) {
 // assigned by the client. Status is reported through the Response, not the
 // error: a StatusBusy rejection is a normal response here, and retrying is
 // the caller's policy.
+//
+//rtle:hotpath
 func (c *Client) Do(req *Request) (Response, error) {
 	ch, err := c.send(req)
 	if err != nil {
@@ -282,7 +292,10 @@ func (c *Client) Do(req *Request) (Response, error) {
 }
 
 // Op issues one single-operation request and blocks for its response.
+//
+//rtle:hotpath
 func (c *Client) Op(op Op, a1, a2, a3 uint64) (Response, error) {
+	//rtle:ignore hotalloc one request header per call; it almost always stays on the stack (Do does not retain it)
 	return c.Do(&Request{Op: op, Arg1: a1, Arg2: a2, Arg3: a3})
 }
 

@@ -271,6 +271,8 @@ type Response struct {
 }
 
 // AppendRequest encodes r as one frame appended to buf.
+//
+//rtle:hotpath
 func AppendRequest(buf []byte, r *Request) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // length, patched below
@@ -296,6 +298,8 @@ func AppendRequest(buf []byte, r *Request) []byte {
 }
 
 // AppendResponse encodes r as one frame appended to buf.
+//
+//rtle:hotpath
 func AppendResponse(buf []byte, r *Response) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0)
@@ -330,6 +334,8 @@ func AppendResponse(buf []byte, r *Response) []byte {
 // AppendReplEntry encodes one log entry as a replication-stream frame
 // appended to buf. The largest entry (repl.MaxOps operations) stays under
 // maxFrame, so the stream reuses the ordinary frame reader.
+//
+//rtle:hotpath
 func AppendReplEntry(buf []byte, e *repl.Entry) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0)
@@ -340,6 +346,8 @@ func AppendReplEntry(buf []byte, e *repl.Entry) []byte {
 
 // AppendReplAck encodes a cumulative acknowledgement through seq as a
 // replication-stream frame appended to buf.
+//
+//rtle:hotpath
 func AppendReplAck(buf []byte, seq uint64) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0)
@@ -350,6 +358,8 @@ func AppendReplAck(buf []byte, seq uint64) []byte {
 
 // readFrame reads one length-prefixed payload from r into buf (grown as
 // needed), returning the payload slice.
+//
+//rtle:hotpath
 func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -357,10 +367,11 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
+		//rtle:ignore hotalloc malformed-frame error path; the conn is about to drop
 		return nil, fmt.Errorf("server: frame of %d bytes exceeds the %d-byte limit", n, maxFrame)
 	}
 	if cap(buf) < int(n) {
-		buf = make([]byte, n)
+		buf = make([]byte, n) //rtle:ignore hotalloc grow-on-demand: amortized, the frame buffer is reused across reads
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -379,6 +390,8 @@ type frameReader struct {
 var errShort = fmt.Errorf("server: truncated frame payload")
 
 // next reads the next raw payload.
+//
+//rtle:hotpath
 func (fr *frameReader) next() ([]byte, error) {
 	p, err := readFrame(fr.r, fr.buf)
 	if err != nil {
@@ -390,6 +403,8 @@ func (fr *frameReader) next() ([]byte, error) {
 
 // DecodeRequest parses a request payload. The returned request's Batch
 // aliases nothing in p.
+//
+//rtle:hotpath
 func DecodeRequest(p []byte) (Request, error) {
 	var r Request
 	if len(p) < 5 {
@@ -408,16 +423,19 @@ func DecodeRequest(p []byte) (Request, error) {
 		n := int(binary.BigEndian.Uint16(p))
 		p = p[2:]
 		if n > MaxBatchOps {
+			//rtle:ignore hotalloc malformed-batch error path
 			return r, fmt.Errorf("server: batch of %d ops exceeds the %d-op limit", n, MaxBatchOps)
 		}
 		if len(p) != n*25 {
 			return r, errShort
 		}
+		//rtle:ignore hotalloc one entry slice per decoded batch; pooled decode is the zero-alloc roadmap item
 		r.Batch = make([]BatchEntry, n)
 		for i := range r.Batch {
 			e := &r.Batch[i]
 			e.Op = Op(p[0])
 			if e.Op == OpBatch || e.Op == OpPing {
+				//rtle:ignore hotalloc malformed-batch error path
 				return r, fmt.Errorf("server: nested %v inside a batch", e.Op)
 			}
 			e.Arg1 = binary.BigEndian.Uint64(p[1:])
@@ -438,6 +456,8 @@ func DecodeRequest(p []byte) (Request, error) {
 }
 
 // DecodeResponse parses a response payload.
+//
+//rtle:hotpath
 func DecodeResponse(p []byte) (Response, error) {
 	var r Response
 	if len(p) < 5 {
@@ -457,6 +477,7 @@ func DecodeResponse(p []byte) (Response, error) {
 			return r, errShort
 		}
 		if n > 0 {
+			//rtle:ignore hotalloc one result slice per OK response; pooled decode is the zero-alloc roadmap item
 			r.Results = make([]Result, n)
 			for i := range r.Results {
 				r.Results[i].Ret = binary.BigEndian.Uint64(p)
@@ -480,9 +501,10 @@ func DecodeResponse(p []byte) (Response, error) {
 		if len(p[2:]) != n {
 			return r, errShort
 		}
-		r.Message = string(p[2 : 2+n])
+		r.Message = string(p[2 : 2+n]) //rtle:ignore hotalloc error statuses carry a message; the copy rides the failure path
 		return r, nil
 	}
+	//rtle:ignore hotalloc unknown-status error path
 	return r, fmt.Errorf("server: unknown response status %d", uint8(r.Status))
 }
 

@@ -106,6 +106,8 @@ func (r *replication) primary() bool { return r.role.Load() == rolePrimary }
 // operations, chunked by the log's entry bound (a coalesced group may
 // exceed it), and returns the last sequence — the commit's sync barrier.
 // Called while the commit still holds its shard gate(s).
+//
+//rtle:gated
 func (r *replication) append(ops []repl.Op) uint64 {
 	var last uint64
 	for len(ops) > 0 {
@@ -309,7 +311,10 @@ func replBatchOps(buf []repl.Op, entries []BatchEntry) []repl.Op {
 // answers the OpReplSubscribe request, then runs two loops — a streamer
 // goroutine pushing log entries from the requested sequence, and this
 // (the read) loop consuming cumulative acks. It returns when the
-// connection dies; readLoop stops decoding requests afterwards.
+// connection dies; readLoop stops decoding requests afterwards. The
+// stream setup is once-per-subscriber: cold from readLoop's perspective.
+//
+//rtle:coldpath
 func (s *Server) serveSubscriber(c *conn, fr *frameReader, req Request) {
 	r := s.repl
 	if r == nil {

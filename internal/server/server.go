@@ -338,11 +338,15 @@ func (s *Server) ListenAndServe() error {
 
 // readLoop negotiates the hello exchange, then decodes frames from one
 // connection, validating and admitting them.
+//
+//rtle:hotpath
 func (s *Server) readLoop(c *conn) {
 	defer s.connsWG.Done()
+	//rtle:ignore hotalloc conn-teardown closure; runs once per connection lifetime
 	defer func() {
 		// The connection stops producing work; release the writer once
 		// every accepted task has queued its response.
+		//rtle:ignore hotalloc conn-teardown closure; runs once per connection lifetime
 		go func() {
 			c.tasks.Wait()
 			close(c.out)
@@ -396,7 +400,9 @@ func (s *Server) readLoop(c *conn) {
 // version. On success the server answers with its own hello (version,
 // feature bits, shard count) and the connection proceeds to requests; on
 // failure the client gets one explanatory StatusBad response and the
-// connection closes.
+// connection closes. Runs once per connection: cold by construction.
+//
+//rtle:coldpath
 func (s *Server) hello(c *conn, fr *frameReader) bool {
 	payload, err := fr.next()
 	if err != nil {
@@ -441,6 +447,7 @@ func (s *Server) validate(req *Request) error {
 		for i := range req.Batch {
 			e := &req.Batch[i]
 			if err := adt.validate(e.Op, e.Arg1, e.Arg2); err != nil {
+				//rtle:ignore hotalloc validation-failure error path; the request is rejected
 				return fmt.Errorf("batch entry %d: %w", i, err)
 			}
 		}
@@ -469,6 +476,7 @@ func (s *Server) admit(c *conn, req Request) {
 		s.reject(c, req.ID, StatusShutdown, "server is draining")
 		return
 	}
+	//rtle:ignore hotalloc one task header per admitted request; pooling the headers is the zero-alloc roadmap item
 	t := &task{c: c, req: req, arrived: time.Now()}
 	c.tasks.Add(1)
 	s.tasksWG.Add(1)
@@ -506,14 +514,20 @@ func (s *Server) admit(c *conn, req Request) {
 	}
 }
 
-// reject answers a request that will not execute.
+// reject answers a request that will not execute. Rejection is the error
+// branch of admission: cold, allocation is priced in.
+//
+//rtle:coldpath
 func (s *Server) reject(c *conn, id uint32, st Status, msg string) {
 	s.metrics.statuses[st].Add(1)
 	c.send(AppendResponse(nil, &Response{ID: id, Status: st, Message: msg}))
 }
 
 // busy answers a request rejected by backpressure, with the target
-// shard's queue-depth-aware retry hint.
+// shard's queue-depth-aware retry hint. A backpressured server is paying
+// for queue pressure, not the response alloc: cold.
+//
+//rtle:coldpath
 func (s *Server) busy(c *conn, id uint32, sh *shard) {
 	s.metrics.statuses[StatusBusy].Add(1)
 	c.send(AppendResponse(nil, &Response{
@@ -526,8 +540,11 @@ func (s *Server) busy(c *conn, id uint32, sh *shard) {
 
 // writeLoop flushes encoded responses to the socket. On a write error it
 // keeps draining (discarding) so senders never block on a dead peer.
+//
+//rtle:hotpath
 func (s *Server) writeLoop(c *conn) {
 	defer s.connsWG.Done()
+	//rtle:ignore hotalloc conn-teardown closure; runs once per connection lifetime
 	defer func() {
 		_ = c.nc.Close() // double-close on teardown is harmless
 	}()
@@ -558,6 +575,7 @@ func (s *Server) writeLoop(c *conn) {
 // may alias a worker's scratch slice; it is encoded before returning.
 func (s *Server) respond(t *task, results []Result, resp Response) {
 	resp.Results = results
+	//rtle:ignore hotalloc fresh response frame per task until server-side buffer pooling lands (zero-alloc roadmap item)
 	frame := AppendResponse(nil, &resp)
 	s.metrics.statuses[resp.Status].Add(1)
 	s.metrics.latency[opIndex(t.req.Op)].Observe(time.Since(t.arrived).Nanoseconds())

@@ -86,6 +86,8 @@ func (p *abortProbe) sample() (attempts, aborts uint64) {
 // thread and one executor (with a handle per slot), so the pool maps onto
 // the paper's thread model: Workers concurrent critical-section executors
 // per shard.
+//
+//rtle:hotpath
 func (s *Server) worker(sh *shard) {
 	defer s.workersWG.Done()
 	slots := s.cfg.Coalesce
@@ -94,9 +96,9 @@ func (s *Server) worker(sh *shard) {
 	}
 	ex := sh.adt.newExecutor(slots)
 	thread := sh.method.NewThread()
-	results := make([]Result, slots)
+	results := make([]Result, slots) //rtle:ignore hotalloc worker-lifetime scratch; allocated once per worker and reused for every block
 	group := make([]*task, 0, s.cfg.Coalesce)
-	probe := &abortProbe{stats: thread.Stats()}
+	probe := &abortProbe{stats: thread.Stats()} //rtle:ignore hotalloc worker-lifetime scratch; allocated once per worker and reused for every block
 	replBuf := make([]repl.Op, 0, slots)
 
 	for {
@@ -109,6 +111,7 @@ func (s *Server) worker(sh *shard) {
 			var carry *task
 			switch t.req.Op {
 			case OpPing:
+				//rtle:ignore hotalloc a ping carries no results; respond encodes nil as the empty set without growing it
 				s.respond(t, nil, Response{ID: t.req.ID, Status: StatusOK})
 			case OpBatch:
 				s.runBatch(sh, ex, thread, t, results, probe, replBuf)
@@ -194,7 +197,7 @@ func (s *Server) runGroup(sh *shard, ex *executor, thread core.Thread, group []*
 		ops = replGroupOps(replBuf, group)
 	}
 	start := time.Now()
-	bar := s.runFastSection(sh, func() {
+	bar := s.runFastSection(sh, func() { //rtle:ignore hotalloc block-body closure pair; runFastSection and Atomic call them inline, so they stay on the stack
 		thread.Atomic(func(c core.Context) {
 			for i, t := range group {
 				results[i] = ex.run(c, i, t.req.Op, t.req.Arg1, t.req.Arg2, t.req.Arg3)
@@ -229,7 +232,7 @@ func (s *Server) runBatch(sh *shard, ex *executor, thread core.Thread, t *task, 
 		ops = replBatchOps(replBuf, entries)
 	}
 	start := time.Now()
-	bar := s.runFastSection(sh, func() {
+	bar := s.runFastSection(sh, func() { //rtle:ignore hotalloc block-body closure pair; runFastSection and Atomic call them inline, so they stay on the stack
 		thread.Atomic(func(c core.Context) {
 			for i := range entries {
 				e := &entries[i]
@@ -266,6 +269,8 @@ func (s *Server) replWait(bar uint64) bool {
 // lastSeq. For a read-only block it returns the sync barrier instead: the
 // latest logged sequence across the spans (stable, since the gates are
 // held). Zero means no barrier.
+//
+//rtle:gated
 func (s *Server) replAppendSlow(spans []int, ops []repl.Op) uint64 {
 	r := s.repl
 	if r == nil || !r.primary() {
@@ -343,6 +348,8 @@ func (s *Server) slowWorker() {
 // in ascending shard order. All cross-shard operations order their
 // acquisitions the same way, so no cycle — and therefore no deadlock — is
 // possible; spans is ascending by construction (router.plan).
+//
+//rtle:gatelock
 func (s *Server) lockSpans(spans []int) {
 	for _, k := range spans {
 		s.shards[k].gate.Lock()
