@@ -26,6 +26,14 @@
 // primary — the failover handshake scripts/e2e.sh exercises with a SIGKILL
 // mid-run.
 //
+// Snapshots: every server answers OpSnapshot with a consistent cut of its
+// full state, taken under the shard gates and stamped with the replication
+// log sequence (warm checker seeding, replica fast-bootstrap). -snap-file
+// names the durable snapshot restored at boot and rewritten by compaction
+// (-compact-every N, or POST /compact), which truncates the file log below
+// the snapshot's sequence; POST /reshard?shards=M rebuilds the serving
+// plane at M shards through the same capture/restore path, live.
+//
 // Examples:
 //
 //	rtled -workload set -method "FG-TLE(256)" -workers 8
@@ -34,6 +42,7 @@
 //	rtled -addr 127.0.0.1:0 -fault-plan '{"seed":7,"begin_prob":0.1}'
 //	rtled -workload map -repl-ack sync -repl-log /tmp/rtle.log
 //	rtled -addr 127.0.0.1:7633 -workload map -replica-of 127.0.0.1:7632
+//	rtled -workload map -repl-log /tmp/rtle.log -snap-file /tmp/rtle.snap -compact-every 10000
 package main
 
 import (
@@ -43,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -70,6 +80,8 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "follow the primary at this address (serve StatusNotPrimary until promoted)")
 	replAck := flag.String("repl-ack", "", "replication ack mode: async or sync (implies replication)")
 	replLog := flag.String("repl-log", "", "file-backed replication log path (implies replication; empty keeps the log in memory)")
+	snapFile := flag.String("snap-file", "", "durable snapshot path: restored at boot, rewritten by compaction")
+	compactEvery := flag.Int("compact-every", 0, "auto-compact when the replication log holds this many entries above its floor (needs -snap-file; implies replication)")
 	flag.Parse()
 
 	var plan *fault.Plan
@@ -102,9 +114,11 @@ func main() {
 		Policy:     core.Policy{Attempts: *attempts, LazySubscription: *lazy},
 		Registry:   reg,
 		Plan:       plan,
-		ReplicaOf:  *replicaOf,
-		ReplAck:    *replAck,
-		ReplLog:    *replLog,
+		ReplicaOf:    *replicaOf,
+		ReplAck:      *replAck,
+		ReplLog:      *replLog,
+		SnapFile:     *snapFile,
+		CompactEvery: *compactEvery,
 	})
 	if err != nil {
 		fatal(err)
@@ -190,7 +204,9 @@ func promote(srv *server.Server) {
 // registry's Prometheus series with the wire-level server series under one
 // scrape; /snapshot serves the registry as JSON; POST /promote flips a
 // replica to primary (the HTTP twin of SIGUSR1, for orchestrators without
-// signal access).
+// signal access); POST /reshard?shards=M rebuilds the serving plane at M
+// shards through a gate-held snapshot, live; POST /compact writes the
+// durable snapshot and truncates the replication log below it.
 func newMux(reg *obs.Registry, srv *server.Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -217,6 +233,36 @@ func newMux(reg *obs.Registry, srv *server.Server) *http.ServeMux {
 		}
 		fmt.Printf("rtled: promoted to primary at seq %d\n", seq)
 		fmt.Fprintf(w, "promoted to primary at seq %d\n", seq)
+	})
+	mux.HandleFunc("/reshard", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "reshard requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		n, err := strconv.Atoi(r.URL.Query().Get("shards"))
+		if err != nil || n < 1 {
+			http.Error(w, "reshard requires ?shards=M with M >= 1", http.StatusBadRequest)
+			return
+		}
+		if err := srv.Reshard(n); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Printf("rtled: resharded to %d shards\n", n)
+		fmt.Fprintf(w, "resharded to %d shards\n", n)
+	})
+	mux.HandleFunc("/compact", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "compact requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		floor, err := srv.Compact()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Printf("rtled: compacted replication log below seq %d\n", floor)
+		fmt.Fprintf(w, "compacted replication log below seq %d\n", floor)
 	})
 	return mux
 }

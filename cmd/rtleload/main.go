@@ -12,11 +12,14 @@
 // The process exits non-zero if the history is not linearizable, a witness
 // is violated, or the run errors — so CI can gate on it directly.
 //
-// -check is only sound against a freshly started server: the sequential
-// models assume the initial state rtled boots with (empty set/map, every
-// bank account at par). Checking a second run against a warm server
-// reports false violations — reads would observe state no operation in the
-// recorded history wrote. Load without -check has no such restriction.
+// -check seeds its sequential models from a pre-run server snapshot when
+// the server advertises FeatureSnapshot: the consistent cut at log seq S
+// stands in for the empty initial state, so checked runs compose — a
+// second run against the same warm server is as sound as the first. A
+// server without snapshot support falls back to the old contract, where
+// -check is only sound against a freshly started server (empty set/map,
+// every bank account at par); checking a warm server then reports false
+// violations. Load without -check has no restriction either way.
 //
 // Failover runs: -addr accepts a comma-separated address list (primary
 // first). With more than one address each connection becomes a failover
@@ -108,6 +111,11 @@ func main() {
 		}
 	}
 	if res.Checked {
+		if res.Seeded {
+			fmt.Printf("rtleload: check seeded from server snapshot at seq %d\n", res.SeedSeq)
+		} else {
+			fmt.Println("rtleload: check unseeded (server lacks snapshot support); sound only against a fresh server")
+		}
 		if res.Linearizable {
 			fmt.Println("rtleload: history is linearizable")
 		} else {

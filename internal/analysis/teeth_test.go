@@ -87,10 +87,10 @@ func TestSuiteTeeth(t *testing.T) {
 			name: "gateorder/descending-acquisition",
 			file: "shard.go",
 			old: `	for _, k := range spans {
-		s.shards[k].gate.Lock()
+		tp.shards[k].gate.Lock()
 	}`,
 			new: `	for i := len(spans) - 1; i >= 0; i-- {
-		s.shards[spans[i]].gate.Lock()
+		tp.shards[spans[i]].gate.Lock()
 	}`,
 			analyzer: gateorder.Analyzer,
 			want:     "range loop",
@@ -98,10 +98,10 @@ func TestSuiteTeeth(t *testing.T) {
 		{
 			name: "loggate/append-after-release",
 			file: "shard.go",
-			old: `	bar := s.replAppendSlow(spans, ops)
-	s.unlockSpans(spans)`,
-			new: `	s.unlockSpans(spans)
-	bar := s.replAppendSlow(spans, ops)`,
+			old: `	bar := s.replAppendSlow(tp, spans, ops)
+	tp.unlockSpans(spans)`,
+			new: `	tp.unlockSpans(spans)
+	bar := s.replAppendSlow(tp, spans, ops)`,
 			analyzer: loggate.Analyzer,
 			want:     "outside a held gate region",
 		},

@@ -72,6 +72,19 @@ func SetModel() Model {
 	}
 }
 
+// SetModelFrom is SetModel started from a known key set instead of empty
+// — the warm-checking seed, taken from a server snapshot. Init hands out a
+// fresh copy per search branch, so the caller's map is never mutated.
+func SetModelFrom(seed map[uint64]bool) Model {
+	m := SetModel()
+	m.Init = func() any {
+		s := make(map[uint64]bool, len(seed))
+		maps.Copy(s, seed)
+		return s
+	}
+	return m
+}
+
 // MapModel is the sequential specification of a uint64->uint64 map
 // (internal/tmap's operations: OpGet, OpPut, OpDelete, OpAdd).
 func MapModel() Model {
@@ -149,6 +162,18 @@ func MapModel() Model {
 	}
 }
 
+// MapModelFrom is MapModel started from known key→value pairs — the
+// warm-checking seed, taken from a server snapshot.
+func MapModelFrom(seed map[uint64]uint64) Model {
+	m := MapModel()
+	m.Init = func() any {
+		s := make(map[uint64]uint64, len(seed))
+		maps.Copy(s, seed)
+		return s
+	}
+	return m
+}
+
 // BankModel is the sequential specification of internal/bank: accounts
 // balances with the given initial value, clamped transfers (OpTransfer's
 // Ret is the amount actually moved) and balance reads.
@@ -208,4 +233,13 @@ func BankModel(accounts int, initial uint64) Model {
 			return slices.Equal(a.([]uint64), b.([]uint64))
 		},
 	}
+}
+
+// BankModelFrom is BankModel started from known balances — the
+// warm-checking seed, taken from a server snapshot. Init hands out a
+// fresh copy per search branch, so the caller's slice is never mutated.
+func BankModelFrom(balances []uint64) Model {
+	m := BankModel(len(balances), 0)
+	m.Init = func() any { return slices.Clone(balances) }
+	return m
 }

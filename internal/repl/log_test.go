@@ -2,6 +2,7 @@ package repl
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -126,6 +127,141 @@ func TestLogFilePersistence(t *testing.T) {
 	// Appending after reload continues the sequence on disk.
 	if seq := l2.Append([]Op{{Code: 1, Arg1: 30}}); seq != 3 {
 		t.Fatalf("post-reload append assigned seq %d, want 3", seq)
+	}
+}
+
+// TestLogTruncateBelow checks compaction: the floor rises, reads below it
+// vanish, sequencing continues above it, and the compacted file reloads
+// with the same floor and suffix.
+func TestLogTruncateBelow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repl.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		l.Append([]Op{{Code: 1, Arg1: uint64(i)}})
+	}
+	if err := l.TruncateBelow(4); err != nil {
+		t.Fatalf("TruncateBelow: %v", err)
+	}
+	if f, hw := l.Floor(), l.HighWater(); f != 4 || hw != 10 {
+		t.Fatalf("floor %d high-water %d, want 4 and 10", f, hw)
+	}
+	if got := l.From(1, 10); got != nil {
+		t.Fatalf("From below the floor returned %+v", got)
+	}
+	if got := l.From(5, 2); len(got) != 2 || got[0].Seq != 5 || got[1].Seq != 6 {
+		t.Fatalf("From(5) after truncation: %+v", got)
+	}
+	if st := l.LogStats(); st.Entries != 6 || st.Floor != 4 || st.Truncations != 1 || st.Bytes == 0 {
+		t.Fatalf("stats after truncation: %+v", st)
+	}
+	// Truncating at or below the floor is a no-op.
+	if err := l.TruncateBelow(2); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.LogStats(); st.Floor != 4 || st.Truncations != 1 {
+		t.Fatalf("no-op truncation moved the floor: %+v", st)
+	}
+	if seq := l.Append([]Op{{Code: 1, Arg1: 11}}); seq != 11 {
+		t.Fatalf("post-truncation append assigned seq %d, want 11", seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay from the compacted prefix begins at the floor.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, hw := l2.Floor(), l2.HighWater(); f != 4 || hw != 11 {
+		t.Fatalf("reloaded floor %d high-water %d, want 4 and 11", f, hw)
+	}
+	if got := l2.From(5, 100); len(got) != 7 || got[0].Seq != 5 || got[6].Seq != 11 {
+		t.Fatalf("reloaded suffix: %+v", got)
+	}
+	if seq := l2.Append([]Op{{Code: 1, Arg1: 12}}); seq != 12 {
+		t.Fatalf("append after reload assigned seq %d, want 12", seq)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogTruncateAllAndResetTo checks the empty-suffix cases: truncating
+// the whole log and the replica bootstrap reset.
+func TestLogTruncateAllAndResetTo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repl.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		l.Append([]Op{{Code: 1, Arg1: uint64(i)}})
+	}
+	// Clamped past the high-water mark: everything goes, floor = 3.
+	if err := l.TruncateBelow(99); err != nil {
+		t.Fatal(err)
+	}
+	if f, hw := l.Floor(), l.HighWater(); f != 3 || hw != 3 {
+		t.Fatalf("floor %d high-water %d after full truncation, want 3 and 3", f, hw)
+	}
+	if seq := l.Append([]Op{{Code: 1, Arg1: 4}}); seq != 4 {
+		t.Fatalf("append on empty suffix assigned seq %d, want 4", seq)
+	}
+	// Replica bootstrap: the snapshot replaces everything up to 50.
+	if err := l.ResetTo(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendEntry(Entry{Seq: 51, Ops: []Op{{Code: 2}}}); err != nil {
+		t.Fatalf("AppendEntry at the reset floor: %v", err)
+	}
+	if err := l.AppendEntry(Entry{Seq: 53, Ops: []Op{{Code: 2}}}); err == nil {
+		t.Fatal("gap append above the reset floor succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if f, hw := l2.Floor(), l2.HighWater(); f != 50 || hw != 51 {
+		t.Fatalf("reloaded floor %d high-water %d, want 50 and 51", f, hw)
+	}
+}
+
+// TestLogRejectsSeqAboveFloor checks a log file whose first entry sits
+// above the floor marker's successor is rejected with a clear error — a
+// silent gap would desynchronize replay.
+func TestLogRejectsSeqAboveFloor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repl.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Floor marker at 4, then an entry at 7 — seq 5 and 6 are missing.
+	write := func(payload []byte) {
+		var hdr [8]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+		if _, err := f.Write(hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(floorMarkerPayload(4))
+	write(AppendEntryPayload(nil, &Entry{Seq: 7, Ops: []Op{{Code: 1}}}))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("log with a gap above its floor opened without error")
 	}
 }
 

@@ -40,7 +40,7 @@ func newFastPathHarness(tb testing.TB) *fastPathHarness {
 		respBuf: make([]byte, 0, 64),
 		results: make([]Result, 1),
 	}
-	for k, sh := range srv.shards {
+	for k, sh := range srv.top().shards {
 		h.ex = append(h.ex, sh.adt.newExecutor(1))
 		h.threads = append(h.threads, sh.method.NewThread())
 		ex := h.ex[k]
@@ -65,7 +65,7 @@ func (h *fastPathHarness) serve(req *Request) error {
 	if err := h.srv.validate(&decoded); err != nil {
 		return err
 	}
-	plan := h.srv.router.plan(&decoded)
+	plan := h.srv.top().router.plan(&decoded)
 	h.op, h.a1, h.a2, h.a3 = decoded.Op, decoded.Arg1, decoded.Arg2, decoded.Arg3
 	h.threads[plan.shard].Atomic(h.bodies[plan.shard])
 	// Post-commit bookkeeping, exactly as the worker does it: an insert

@@ -38,6 +38,13 @@ func (c *FailoverConfig) fill() {
 	}
 }
 
+// ErrNotPrimary reports a request the addressed server refused because it
+// is a following replica (StatusNotPrimary on the wire). The refusal
+// happens before execution, so re-issuing — typically after a promotion —
+// is always safe. Match with errors.Is: the wrapped message carries the
+// server's wording, which is not part of the contract.
+var ErrNotPrimary = errors.New("server: not primary")
+
 // FailoverClient wraps Client with an address list and
 // reconnect-with-backoff: when the live connection dies, the next request
 // waits while one background dialer cycles the addresses until a server
@@ -187,7 +194,11 @@ func (fc *FailoverClient) invalidate(gen uint64) {
 
 // Do issues req on the live connection, waiting through a reconnect if
 // necessary. A transport error invalidates the connection and surfaces to
-// the caller unretried: the request may have executed.
+// the caller unretried: the request may have executed. A StatusNotPrimary
+// rejection surfaces as a typed ErrNotPrimary (alongside the response):
+// the failover caller's decision — re-issue or wait for promotion — hangs
+// on that classification, and a typed error survives message rewording
+// where string matching would not.
 func (fc *FailoverClient) Do(req *Request) (Response, error) {
 	c, gen, err := fc.conn()
 	if err != nil {
@@ -196,6 +207,9 @@ func (fc *FailoverClient) Do(req *Request) (Response, error) {
 	resp, err := c.Do(req)
 	if err != nil && (errors.Is(err, ErrConnClosed) || errors.Is(err, ErrClosed)) {
 		fc.invalidate(gen)
+	}
+	if err == nil && resp.Status == StatusNotPrimary {
+		return resp, fmt.Errorf("%w: %s", ErrNotPrimary, resp.Message)
 	}
 	return resp, err
 }

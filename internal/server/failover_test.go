@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"testing"
 	"time"
 
 	"rtle/internal/check"
+	"rtle/internal/rng"
 )
 
 // fakeHelloServer accepts one connection, answers the hello with the
@@ -205,5 +207,90 @@ func TestFailoverClientCloseContextDuringReconnect(t *testing.T) {
 	}
 	if _, err := fc.Op(check.OpGet, 1, 0, 0); !errors.Is(err, ErrClosed) {
 		t.Errorf("request after CloseContext returned %v, want ErrClosed", err)
+	}
+}
+
+// TestErrNotPrimaryTyped pins the typed rejection: a FailoverClient
+// request against a following replica surfaces ErrNotPrimary (matchable
+// with errors.Is regardless of message wording), while the plain Client
+// keeps surfacing the raw status.
+func TestErrNotPrimaryTyped(t *testing.T) {
+	_, pAddr := bootRepl(t, Config{Workload: "map", Keys: 32, Repl: true})
+	_, rAddr := bootRepl(t, Config{Workload: "map", Keys: 32, ReplicaOf: pAddr})
+
+	fc, err := NewFailoverClient(FailoverConfig{Addrs: []string{rAddr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	_, err = fc.Op(check.OpPut, 1, 7, 0)
+	if !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("replica write surfaced %v, want ErrNotPrimary", err)
+	}
+	// The match must survive rewording — it hangs on the wrapped type.
+	if !errors.Is(fmt.Errorf("reworded upstream: %w", err), ErrNotPrimary) {
+		t.Error("wrapped ErrNotPrimary no longer matches")
+	}
+	// A same-text error of a different type must NOT match: the taxonomy
+	// is typed, not string-compared.
+	if errors.Is(errors.New(ErrNotPrimary.Error()), ErrNotPrimary) {
+		t.Error("a same-text untyped error matched ErrNotPrimary")
+	}
+
+	c, err := Dial(rAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if resp, err := c.Op(check.OpPut, 1, 7, 0); err != nil || resp.Status != StatusNotPrimary {
+		t.Fatalf("plain client saw %v / %v, want nil error and StatusNotPrimary", err, resp.Status)
+	}
+}
+
+// scriptedNotPrimaryConn answers the first n requests with a reworded
+// error wrapping ErrNotPrimary, then succeeds — the promotion landing.
+type scriptedNotPrimaryConn struct{ rejections, n int }
+
+func (f *scriptedNotPrimaryConn) Do(req *Request) (Response, error) {
+	if f.n++; f.n <= f.rejections {
+		// Deliberately reworded: the retry path must match the type, not
+		// the message.
+		return Response{}, fmt.Errorf("the primary moved on: %w", ErrNotPrimary)
+	}
+	return Response{Status: StatusOK, Results: []Result{{Ret: 0, Ok: true}}}, nil
+}
+func (f *scriptedNotPrimaryConn) Batch(entries []BatchEntry) (Response, error) {
+	return f.Do(nil)
+}
+func (f *scriptedNotPrimaryConn) ServerShards() int { return 1 }
+func (f *scriptedNotPrimaryConn) Close() error      { return nil }
+
+// TestLoadRetriesNotPrimaryByType drives rtleload's single-operation path
+// against a scripted connection whose not-primary errors carry an
+// unfamiliar message: the retry path must still classify them by type —
+// counted as NotPrimary retries, never cut to pending — and complete the
+// operation once the rejections stop.
+func TestLoadRetriesNotPrimaryByType(t *testing.T) {
+	cfg := LoadConfig{Workload: "map", Conns: 1, Pipeline: 1}
+	cfg.fill()
+	st := &loadState{cfg: cfg, failover: true, hist: check.NewHistory(1)}
+	conn := &scriptedNotPrimaryConn{rejections: 3}
+	r := rng.NewXoshiro256(1)
+
+	if ok := st.single(st.hist.Recorder(0), conn, r, time.Now()); !ok {
+		t.Fatal("single() abandoned the slot on a not-primary rejection")
+	}
+	if st.notPrimary != 3 {
+		t.Errorf("notPrimary retries = %d, want 3", st.notPrimary)
+	}
+	if st.cut != 0 {
+		t.Errorf("cut = %d; a typed not-primary rejection must never be cut to pending", st.cut)
+	}
+	if st.firstErr != nil {
+		t.Errorf("run recorded error %v", st.firstErr)
+	}
+	events := st.hist.Events()
+	if len(events) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(events))
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"rtle/internal/check"
 	"rtle/internal/obs"
 	"rtle/internal/rng"
+	"rtle/internal/snap"
 )
 
 // LoadConfig drives RunLoad against a live rtled server. Conns × Pipeline
@@ -149,6 +151,12 @@ type LoadResult struct {
 	Checked      bool
 	Linearizable bool
 	CheckDetail  string
+	// Seeded reports the check's models started from a pre-run server
+	// snapshot instead of the empty state (warm checking); SeedSeq is the
+	// snapshot's replication-log stamp. Unseeded checked runs are sound
+	// only against a fresh server.
+	Seeded  bool
+	SeedSeq uint64
 }
 
 // Throughput returns completed single operations per second.
@@ -288,6 +296,36 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		}
 	}()
 
+	// Warm checking: fetch a pre-run snapshot and seed the checker's models
+	// from it, extending soundness from "fresh server" to "server at the
+	// snapshot-stamped prefix" — the cut is consistent at its sequence, and
+	// every recorded operation runs after the fetch returned, so the seeded
+	// model is exactly the state the history starts from. A server without
+	// FeatureSnapshot falls back to the old fresh-server contract.
+	var seed *snap.Snapshot
+	if cfg.Check {
+		var ferr error
+		for _, a := range cfg.Addrs {
+			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			seed, ferr = FetchSnapshot(sctx, a)
+			cancel()
+			if ferr == nil || errors.Is(ferr, ErrNoSnapshot) {
+				break
+			}
+		}
+		switch {
+		case seed != nil:
+			if seed.Workload != cfg.Workload || seed.Keys != uint64(cfg.Keys) {
+				return nil, fmt.Errorf("server: warm-check snapshot carries %s/%d keys, the run is %s/%d",
+					seed.Workload, seed.Keys, cfg.Workload, cfg.Keys)
+			}
+		case errors.Is(ferr, ErrNoSnapshot):
+			// An older server: unseeded, sound only if the server is fresh.
+		default:
+			return nil, fmt.Errorf("server: warm-check snapshot fetch: %w", ferr)
+		}
+	}
+
 	st.remaining.Store(int64(cfg.Ops))
 	if cfg.Duration > 0 {
 		st.deadline = time.Now().Add(cfg.Duration)
@@ -340,7 +378,10 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	res.Ops = uint64(len(events)) - st.cut
 	if cfg.Check {
 		res.Checked = true
-		res.Linearizable, res.CheckDetail = checkEvents(cfg.Workload, cfg.Keys, res.Shards, events)
+		if seed != nil {
+			res.Seeded, res.SeedSeq = true, seed.Seq
+		}
+		res.Linearizable, res.CheckDetail = checkEvents(cfg.Workload, cfg.Keys, res.Shards, events, seed)
 	}
 	return res, nil
 }
@@ -401,6 +442,18 @@ func (st *loadState) single(rec *check.ThreadRecorder, c loadConn, r *rng.Xoshir
 	for {
 		resp, err := c.Do(&Request{Op: op, Arg1: a1, Arg2: a2, Arg3: a3})
 		if err != nil {
+			if errors.Is(err, ErrNotPrimary) {
+				// Typed, not string-matched: the failover client classified
+				// the rejection, whatever the server's message said. Rejected
+				// before execution, so keep the pending interval open and
+				// re-issue once the promotion lands.
+				st.mu.Lock()
+				st.notPrimary++
+				st.mu.Unlock()
+				st.noteDisrupt()
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
 			if st.failover {
 				rec.Cut() // the response is lost; the op may have executed
 				st.mu.Lock()
@@ -510,6 +563,14 @@ func (st *loadState) witnessBatch(c loadConn, r *rng.Xoshiro256) {
 	for {
 		resp, err := c.Batch(entries)
 		if err != nil {
+			if errors.Is(err, ErrNotPrimary) {
+				// Typed rejection from the failover client: wait out the
+				// promotion and re-issue (witnesses are read-only, re-issuing
+				// is free).
+				st.noteDisrupt()
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
 			if st.failover {
 				// Witness batches are read-only and unrecorded: a lost
 				// response costs nothing, so just note the disruption.
@@ -667,10 +728,26 @@ func (st *loadState) violate(msg string) {
 // the shard that served the key. Bank transfers couple account pairs
 // (possibly on different shards), so that history is checked whole — the
 // strongest statement, covering the cross-shard slow path too.
-func checkEvents(workload string, keys, shards int, events []Event) (bool, string) {
+//
+// A non-nil seed starts every model from the snapshot's state instead of
+// empty — the warm-checking contract (see RunLoad).
+func checkEvents(workload string, keys, shards int, events []Event, seed *snap.Snapshot) (bool, string) {
 	switch workload {
 	case "bank":
-		if !check.CheckLinearizable(check.BankModel(keys, BankInitial), events) {
+		model := check.BankModel(keys, BankInitial)
+		if seed != nil {
+			balances := make([]uint64, keys)
+			for i := range balances {
+				balances[i] = BankInitial
+			}
+			for _, items := range seed.Shards {
+				for _, it := range items {
+					balances[it.Key] = it.Val
+				}
+			}
+			model = check.BankModelFrom(balances)
+		}
+		if !check.CheckLinearizable(model, events) {
 			return false, fmt.Sprintf(
 				"bank history of %d events over %d shards is not linearizable", len(events), shards)
 		}
@@ -679,6 +756,25 @@ func checkEvents(workload string, keys, shards int, events []Event) (bool, strin
 		model := check.SetModel()
 		if workload == "map" {
 			model = check.MapModel()
+		}
+		if seed != nil {
+			if workload == "map" {
+				m := make(map[uint64]uint64)
+				for _, items := range seed.Shards {
+					for _, it := range items {
+						m[it.Key] = it.Val
+					}
+				}
+				model = check.MapModelFrom(m)
+			} else {
+				m := make(map[uint64]bool)
+				for _, items := range seed.Shards {
+					for _, it := range items {
+						m[it.Key] = true
+					}
+				}
+				model = check.SetModelFrom(m)
+			}
 		}
 		byKey := make(map[uint64][]Event)
 		for _, e := range events {

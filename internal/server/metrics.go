@@ -10,8 +10,8 @@ import (
 )
 
 // numOps sizes the per-op metric arrays: the nine check.Op codes plus
-// batch, ping, and replication-subscribe slots.
-const numOps = 12
+// batch, ping, replication-subscribe, and snapshot slots.
+const numOps = 13
 
 // opIndex maps a wire op to its metric slot.
 func opIndex(op Op) int {
@@ -22,6 +22,8 @@ func opIndex(op Op) int {
 		return 10
 	case OpReplSubscribe:
 		return 11
+	case OpSnapshot:
+		return 12
 	default:
 		if int(op) < 9 {
 			return int(op)
@@ -39,6 +41,8 @@ func opName(i int) string {
 		return "ping"
 	case 11:
 		return "repl-subscribe"
+	case 12:
+		return "snapshot"
 	default:
 		return check.Op(i).String()
 	}
@@ -154,19 +158,26 @@ type Metrics struct {
 	// latency is the queue-to-response service latency per op slot.
 	latency [numOps]obs.Histogram
 
-	// shards holds the per-shard execution metrics, attached by New.
-	shards []*ShardMetrics
+	// shards holds the per-shard execution metrics, attached by New and
+	// swapped atomically by Reshard while scrapes may be in flight.
+	shards atomic.Pointer[[]*ShardMetrics]
 
 	// repl exposes the replication subsystem's gauges; nil when the server
 	// runs without replication.
 	repl *replication
 }
 
-// attach wires the per-shard metric blocks (called once by New).
-func (m *Metrics) attach(shards []*ShardMetrics) { m.shards = shards }
+// attach wires the per-shard metric blocks (called by New, and again by
+// Reshard with the rebuilt shard set; per-shard counters restart at zero).
+func (m *Metrics) attach(shards []*ShardMetrics) { m.shards.Store(&shards) }
 
 // Shards returns the per-shard metric blocks.
-func (m *Metrics) Shards() []*ShardMetrics { return m.shards }
+func (m *Metrics) Shards() []*ShardMetrics {
+	if p := m.shards.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // Latency returns a snapshot of op's service-latency histogram.
 func (m *Metrics) Latency(op Op) obs.LatencySnapshot {
@@ -177,7 +188,7 @@ func (m *Metrics) Latency(op Op) obs.LatencySnapshot {
 // across all shard queues and the slow-path queue.
 func (m *Metrics) QueueDepth() int64 {
 	d := m.slowDepth.Load()
-	for _, s := range m.shards {
+	for _, s := range m.Shards() {
 		d += s.queueDepth.Load()
 	}
 	return d
@@ -193,7 +204,7 @@ func (m *Metrics) Responses(s Status) uint64 { return m.statuses[s].Load() }
 // block with at least one other request, across all shards.
 func (m *Metrics) Coalesced() uint64 {
 	var n uint64
-	for _, s := range m.shards {
+	for _, s := range m.Shards() {
 		n += s.coalesced.Load()
 	}
 	return n
@@ -203,7 +214,7 @@ func (m *Metrics) Coalesced() uint64 {
 // shards (fast path and slow path).
 func (m *Metrics) Sections() uint64 {
 	var n uint64
-	for _, s := range m.shards {
+	for _, s := range m.Shards() {
 		n += s.sections.Load()
 	}
 	return n
@@ -220,7 +231,7 @@ func (m *Metrics) HelloRejects() uint64 { return m.helloRejects.Load() }
 // ewmaServiceNanos returns the widest shard EWMA, the merged gauge.
 func (m *Metrics) ewmaServiceNanosMax() int64 {
 	var v int64
-	for _, s := range m.shards {
+	for _, s := range m.Shards() {
 		if e := s.ewmaServiceNanos.Load(); e > v {
 			v = e
 		}
@@ -240,6 +251,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
+	// One load for the whole scrape: Reshard may swap the shard set while
+	// a render is in flight, and mixed generations would mislabel series.
+	shards := m.Shards()
 
 	p("# HELP rtled_connections Open client connections.\n")
 	p("# TYPE rtled_connections gauge\n")
@@ -251,7 +265,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 
 	p("# HELP rtled_shards Independent ADT shards served.\n")
 	p("# TYPE rtled_shards gauge\n")
-	p("rtled_shards %d\n", len(m.shards))
+	p("rtled_shards %d\n", len(shards))
 
 	p("# HELP rtled_requests_total Requests decoded, by operation.\n")
 	p("# TYPE rtled_requests_total counter\n")
@@ -288,7 +302,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	// {shard="k"} series per shard so a dashboard can see skew.
 	var inflight int64
 	var sections, batchOps, coalesced, slowBlocks uint64
-	for _, s := range m.shards {
+	for _, s := range shards {
 		inflight += s.inflight.Load()
 		sections += s.sections.Load()
 		batchOps += s.batchOps.Load()
@@ -299,54 +313,54 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p("# HELP rtled_inflight Requests a worker is executing.\n")
 	p("# TYPE rtled_inflight gauge\n")
 	p("rtled_inflight %d\n", inflight)
-	for k, s := range m.shards {
+	for k, s := range shards {
 		p("rtled_inflight{shard=\"%d\"} %d\n", k, s.inflight.Load())
 	}
 
 	p("# HELP rtled_shard_queue_depth Accepted requests waiting on one shard's queue.\n")
 	p("# TYPE rtled_shard_queue_depth gauge\n")
-	for k, s := range m.shards {
+	for k, s := range shards {
 		p("rtled_shard_queue_depth{shard=\"%d\"} %d\n", k, s.queueDepth.Load())
 	}
 
 	p("# HELP rtled_sections_total Atomic blocks executed by the worker pools.\n")
 	p("# TYPE rtled_sections_total counter\n")
 	p("rtled_sections_total %d\n", sections)
-	for k, s := range m.shards {
+	for k, s := range shards {
 		p("rtled_sections_total{shard=\"%d\"} %d\n", k, s.sections.Load())
 	}
 
 	p("# HELP rtled_batch_ops_total Operations executed inside client batches.\n")
 	p("# TYPE rtled_batch_ops_total counter\n")
 	p("rtled_batch_ops_total %d\n", batchOps)
-	for k, s := range m.shards {
+	for k, s := range shards {
 		p("rtled_batch_ops_total{shard=\"%d\"} %d\n", k, s.batchOps.Load())
 	}
 
 	p("# HELP rtled_coalesced_ops_total Single operations coalesced into a shared atomic block.\n")
 	p("# TYPE rtled_coalesced_ops_total counter\n")
 	p("rtled_coalesced_ops_total %d\n", coalesced)
-	for k, s := range m.shards {
+	for k, s := range shards {
 		p("rtled_coalesced_ops_total{shard=\"%d\"} %d\n", k, s.coalesced.Load())
 	}
 
 	p("# HELP rtled_slow_blocks_total Atomic blocks run under exclusive drain gates by the cross-shard slow path.\n")
 	p("# TYPE rtled_slow_blocks_total counter\n")
 	p("rtled_slow_blocks_total %d\n", slowBlocks)
-	for k, s := range m.shards {
+	for k, s := range shards {
 		p("rtled_slow_blocks_total{shard=\"%d\"} %d\n", k, s.slowBlocks.Load())
 	}
 
 	p("# HELP rtled_service_ewma_seconds Decayed mean atomic-block service time (max across shards).\n")
 	p("# TYPE rtled_service_ewma_seconds gauge\n")
 	p("rtled_service_ewma_seconds %g\n", float64(m.ewmaServiceNanosMax())/1e9)
-	for k, s := range m.shards {
+	for k, s := range shards {
 		p("rtled_service_ewma_seconds{shard=\"%d\"} %g\n", k, float64(s.ewmaServiceNanos.Load())/1e9)
 	}
 
 	p("# HELP rtled_coalesce_window Live adaptive coalesce window, per shard.\n")
 	p("# TYPE rtled_coalesce_window gauge\n")
-	for k, s := range m.shards {
+	for k, s := range shards {
 		if s.coal != nil {
 			p("rtled_coalesce_window{shard=\"%d\"} %d\n", k, s.coal.Window())
 		}
@@ -354,7 +368,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 
 	p("# HELP rtled_abort_ewma_per_mille Decayed HTM abort fraction (aborts per 1000 attempts), per shard.\n")
 	p("# TYPE rtled_abort_ewma_per_mille gauge\n")
-	for k, s := range m.shards {
+	for k, s := range shards {
 		p("rtled_abort_ewma_per_mille{shard=\"%d\"} %d\n", k, s.ewmaAbortPerMille.Load())
 	}
 
@@ -404,6 +418,23 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		p("# HELP rtled_repl_sync_degraded_total Sync-mode commits acknowledged without a live subscriber.\n")
 		p("# TYPE rtled_repl_sync_degraded_total counter\n")
 		p("rtled_repl_sync_degraded_total %d\n", r.degraded.Load())
+
+		st := r.log.LogStats()
+		p("# HELP rtled_repl_log_entries Log entries retained above the compaction floor.\n")
+		p("# TYPE rtled_repl_log_entries gauge\n")
+		p("rtled_repl_log_entries %d\n", st.Entries)
+
+		p("# HELP rtled_repl_log_bytes Encoded size of the retained log entries.\n")
+		p("# TYPE rtled_repl_log_bytes gauge\n")
+		p("rtled_repl_log_bytes %d\n", st.Bytes)
+
+		p("# HELP rtled_repl_log_floor Compaction floor: highest sequence truncated out of the log.\n")
+		p("# TYPE rtled_repl_log_floor gauge\n")
+		p("rtled_repl_log_floor %d\n", st.Floor)
+
+		p("# HELP rtled_repl_log_truncations_total Completed log compactions (truncations and bootstrap resets).\n")
+		p("# TYPE rtled_repl_log_truncations_total counter\n")
+		p("rtled_repl_log_truncations_total %d\n", st.Truncations)
 	}
 
 	p("# HELP rtled_request_latency_seconds Queue-to-response service latency by operation.\n")

@@ -79,6 +79,26 @@
 // is acked by every live subscriber. Unrecognized feature bits are ignored
 // by both sides (a FeatureReplicated primary serves non-replicating
 // clients unchanged), so the extension is compatible in both directions.
+//
+// # Snapshot stream
+//
+// A server that can serve consistent-cut snapshots advertises
+// FeatureSnapshot. A client sends one OpSnapshot request (arguments
+// zero); the server answers StatusOK with no results and then streams the
+// snapshot as chunk frames — each payload is an internal/snap chunk
+// ("SNAP" magic, header/items/end; see that package) — ending with the
+// end chunk, after which the connection resumes ordinary request/response
+// service. OpSnapshot must be the only in-flight request on its
+// connection while the chunks stream (the chunks carry no request id), so
+// snapshot consumers use a dedicated connection.
+//
+// The same chunks ride the replication stream: a subscriber whose
+// requested sequence has been compacted away (and whose hello declared
+// FeatureSnapshot) receives snapshot chunks before the entry frames —
+// snapshot-then-log-tail — instead of an error. Chunk frames are
+// distinguishable from entry frames by the magic; a subscriber that did
+// not declare FeatureSnapshot gets StatusBad, preserving the old
+// contract.
 package server
 
 import (
@@ -110,6 +130,11 @@ const (
 	// log and accepts OpReplSubscribe; clients set it to declare they
 	// intend to subscribe.
 	FeatureReplicated uint32 = 1 << 1
+	// FeatureSnapshot: the server serves consistent-cut snapshots via
+	// OpSnapshot; a subscriber sets it to declare it accepts
+	// snapshot-then-log-tail bootstrap when its requested sequence has
+	// been compacted away.
+	FeatureSnapshot uint32 = 1 << 2
 )
 
 // ClientHello is the client's version-negotiation frame.
@@ -188,6 +213,10 @@ const (
 	// Arg1 is the first wanted log sequence, the OK response is followed by
 	// entry frames (server to client) and ack frames (client to server).
 	OpReplSubscribe Op = 102
+	// OpSnapshot requests one consistent-cut snapshot: the OK response is
+	// followed by snapshot chunk frames (internal/snap), after which the
+	// connection resumes request/response service. Arguments are zero.
+	OpSnapshot Op = 103
 )
 
 // Status is a response status code.
@@ -340,6 +369,19 @@ func AppendReplEntry(buf []byte, e *repl.Entry) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0)
 	buf = repl.AppendEntryPayload(buf, e)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// AppendSnapChunk wraps one snapshot chunk payload (see internal/snap) as
+// a stream frame appended to buf. The largest chunk (a full items chunk)
+// stays well under maxFrame, so snapshot streams reuse the ordinary frame
+// reader; chunk payloads start with the snapshot magic, which no entry or
+// response payload can, so receivers demux by snap.IsChunk.
+func AppendSnapChunk(buf, chunk []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = append(buf, chunk...)
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf
 }

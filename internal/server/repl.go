@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -329,11 +330,45 @@ func (s *Server) serveSubscriber(c *conn, fr *frameReader, req Request) {
 		s.reject(c, req.ID, StatusBad, "subscribe sequence is past the log high-water mark")
 		return
 	}
+	bootstrap := false
+	if floor := r.log.Floor(); first <= floor {
+		// The requested suffix was compacted away. A snapshot-capable
+		// subscriber bootstraps from the live state instead of erroring;
+		// an older subscriber gets told why it cannot follow.
+		if c.features&FeatureSnapshot == 0 {
+			s.reject(c, req.ID, StatusBad, fmt.Sprintf(
+				"subscribe sequence %d was compacted away (log floor %d) and the subscriber did not declare snapshot support", first, floor))
+			return
+		}
+		bootstrap = true
+	}
 	s.metrics.statuses[StatusOK].Add(1)
 	c.send(AppendResponse(nil, &Response{ID: req.ID, Status: StatusOK}))
 
 	sub := r.addSub(first)
 	defer r.removeSub(sub)
+
+	// Registration closes the compaction race: Compact bounds its cut by
+	// the live ack floor, which now includes this subscriber at first-1,
+	// so the log floor can no longer reach first. Re-check for a
+	// compaction that won the race before registration.
+	if !bootstrap && r.log.Floor() >= first {
+		if c.features&FeatureSnapshot == 0 {
+			_ = c.nc.Close() // its reconnect lands on the clean rejection above
+			return
+		}
+		bootstrap = true
+	}
+	start := first
+	if bootstrap {
+		sn, err := s.CaptureSnapshot()
+		if err != nil {
+			_ = c.nc.Close() // draining; nothing to stream
+			return
+		}
+		s.sendSnapshot(c, sn)
+		start = sn.Seq + 1
+	}
 
 	// The streamer sends via c.send like any worker; c.tasks keeps c.out
 	// open until it exits, and writeLoop's dead-drain keeps c.send from
@@ -343,7 +378,7 @@ func (s *Server) serveSubscriber(c *conn, fr *frameReader, req Request) {
 	go func() {
 		defer c.tasks.Done()
 		defer close(done)
-		s.streamEntries(c, sub, first)
+		s.streamEntries(c, sub, start)
 	}()
 
 	for {

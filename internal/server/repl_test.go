@@ -290,9 +290,38 @@ func TestReplGauges(t *testing.T) {
 		"rtled_repl_acked_seq",
 		"rtled_repl_lag_entries",
 		"rtled_repl_subscribers 1",
+		"rtled_repl_log_entries 20",
+		"rtled_repl_log_bytes",
+		"rtled_repl_log_floor 0",
+		"rtled_repl_log_truncations_total 0",
 	} {
 		if !strings.Contains(pOut.String(), want) {
 			t.Errorf("primary metrics missing %q", want)
+		}
+	}
+
+	// Compaction moves the floor series and bumps the truncation counter.
+	// Wait for the replica's acks to land on the primary first: the cut is
+	// bounded by the slowest subscriber's acknowledgement.
+	waitFor(t, 10*time.Second, "subscriber acks", func() bool {
+		return primary.repl.minAcked() >= primary.repl.log.HighWater()
+	})
+	snapPath := filepath.Join(t.TempDir(), "state.snap")
+	primary.cfg.SnapFile = snapPath
+	if _, err := primary.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	var pOut2 strings.Builder
+	if err := primary.Metrics().WritePrometheus(&pOut2); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"rtled_repl_log_entries 0",
+		"rtled_repl_log_floor 20",
+		"rtled_repl_log_truncations_total 1",
+	} {
+		if !strings.Contains(pOut2.String(), want) {
+			t.Errorf("post-compaction metrics missing %q", want)
 		}
 	}
 	for _, want := range []string{

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rtle/internal/repl"
+	"rtle/internal/snap"
 )
 
 // runReplica is the replica's dial/follow loop: connect to the primary,
@@ -66,7 +67,7 @@ func (s *Server) dialPrimary() (net.Conn, *frameReader, error) {
 	fr := &frameReader{r: bufio.NewReaderSize(nc, 1<<16)}
 	if _, err := nc.Write(AppendClientHello(nil, &ClientHello{
 		Version:  ProtocolVersion,
-		Features: FeatureReplicated,
+		Features: FeatureReplicated | FeatureSnapshot,
 	})); err != nil {
 		return fail(err)
 	}
@@ -114,16 +115,49 @@ func (s *Server) dialPrimary() (net.Conn, *frameReader, error) {
 // new high-water mark. Duplicates below the high-water mark are skipped
 // (a resubscribe race replays a suffix), a gap means the stream
 // desynchronized.
+//
+// A primary whose log no longer holds the requested suffix (compaction)
+// streams a snapshot first, as snap chunks interleaved nowhere — the
+// chunks arrive before any entry — then the log tail above the snapshot's
+// sequence. The replica rebuilds its shard state from the snapshot and
+// resets its own log to the snapshot's sequence, so the tail mirrors
+// contiguously.
 func (s *Server) followStream(nc net.Conn, fr *frameReader) {
 	r := s.repl
 	r.setConn(nc)
 	defer r.setConn(nil)
 	bw := bufio.NewWriterSize(nc, 1<<12)
 	br, _ := fr.r.(*bufio.Reader)
+	var sr *snap.Reader
 	for {
 		payload, err := fr.next()
 		if err != nil {
 			return
+		}
+		if snap.IsChunk(payload) {
+			if sr == nil {
+				sr = snap.NewReader()
+			}
+			done, err := sr.Feed(payload)
+			if err != nil {
+				return
+			}
+			if !done {
+				continue
+			}
+			sn, err := sr.Snapshot()
+			if err != nil {
+				return
+			}
+			sr = nil
+			if err := s.bootstrapFromSnapshot(sn); err != nil {
+				return
+			}
+			_, _ = bw.Write(AppendReplAck(nil, sn.Seq))
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			continue
 		}
 		e, err := repl.DecodeEntryPayload(payload)
 		if err != nil {
@@ -136,15 +170,11 @@ func (s *Server) followStream(nc net.Conn, fr *frameReader) {
 		if e.Seq != hw+1 {
 			return // gap: resubscribe from our own high-water mark
 		}
-		if err := s.applyEntry(&e); err != nil {
+		if err := s.applyEntry(&e, true); err != nil {
 			// An entry the shard contract rejects can only mean version or
 			// config skew with the primary; applying it would fork state.
 			return
 		}
-		if err := r.log.AppendEntry(e); err != nil {
-			return
-		}
-		r.appliedSeq.Store(e.Seq)
 		_, _ = bw.Write(AppendReplAck(nil, e.Seq)) // error surfaces at Flush
 		// Flush when the read buffer is momentarily empty: a catch-up burst
 		// acks once per buffered batch, a live tail acks per entry.
@@ -156,10 +186,44 @@ func (s *Server) followStream(nc net.Conn, fr *frameReader) {
 	}
 }
 
+// bootstrapFromSnapshot replaces this replica's entire state with a
+// snapshot streamed by the primary: build a fresh generation at the
+// current shard count, restore into it, swap it live, and reset the local
+// log to the snapshot's sequence so the tail that follows mirrors
+// contiguously. The discarded generation held only state the snapshot
+// subsumes.
+func (s *Server) bootstrapFromSnapshot(sn *snap.Snapshot) error {
+	r := s.repl
+	nt, err := s.buildTopology(len(s.top().shards))
+	if err != nil {
+		return err
+	}
+	if err := s.restoreTopology(nt, sn); err != nil {
+		return err
+	}
+	if err := s.swapTopology(nt); err != nil {
+		return err
+	}
+	if err := r.log.ResetTo(sn.Seq); err != nil {
+		return err
+	}
+	r.appliedSeq.Store(sn.Seq)
+	return nil
+}
+
 // applyEntry validates one log entry against the serving contract and
-// replays it through the cross-shard machinery. Validation first: the
-// entry came off the network, and the shard executors trust their inputs.
-func (s *Server) applyEntry(e *repl.Entry) error {
+// replays it through the cross-shard machinery, under the involved
+// shards' exclusive gates — the replica-side mirror of runSlowBatch,
+// which makes replay serialization a superset of the primary's: whatever
+// interleaving produced the block, executing it alone under exclusive
+// gates reproduces its effect. Validation first: the entry came off the
+// network, and the shard executors trust their inputs.
+//
+// With mirror set (the replica stream path), the local log append and the
+// applied-cursor advance happen inside the same gate region, so the shard
+// state, the mirrored log, and the cursor always agree — the consistency
+// a snapshot captured on this server rests on.
+func (s *Server) applyEntry(e *repl.Entry, mirror bool) error {
 	entries := make([]BatchEntry, len(e.Ops))
 	for i, op := range e.Ops {
 		entries[i] = BatchEntry{Op: Op(op.Code), Arg1: op.Arg1, Arg2: op.Arg2, Arg3: op.Arg3}
@@ -168,29 +232,34 @@ func (s *Server) applyEntry(e *repl.Entry) error {
 	if err := s.validate(&req); err != nil {
 		return fmt.Errorf("repl: entry %d: %w", e.Seq, err)
 	}
-	s.applyBlock(entries)
-	return nil
-}
-
-// applyBlock replays one block's operations under the involved shards'
-// exclusive gates, in entry order — the replica-side mirror of
-// runSlowBatch, which makes replay serialization a superset of the
-// primary's: whatever interleaving produced the block, executing it alone
-// under exclusive gates reproduces its effect.
-func (s *Server) applyBlock(entries []BatchEntry) {
-	spans := s.router.batchSpans(entries)
+	// The admission lock pins the topology: a concurrent admin reshard
+	// waits for this apply, and this apply never straddles a swap.
+	s.drainMu.RLock()
+	tp := s.top()
+	spans := tp.router.batchSpans(entries)
 	results := make([]Result, len(entries))
-	s.lockSpans(spans)
-	s.execEntriesLocked(entries, results)
-	s.unlockSpans(spans)
+	var merr error
+	tp.lockSpans(spans)
+	s.execEntriesLocked(tp, entries, results)
+	if mirror {
+		r := s.repl
+		if merr = r.log.AppendEntry(*e); merr == nil {
+			r.appliedSeq.Store(e.Seq)
+		}
+	}
+	tp.unlockSpans(spans)
+	s.drainMu.RUnlock()
+	return merr
 }
 
-// replayLog replays the log's entries through the shard machinery — the
-// warm-boot path, before any worker or connection exists. Invalid entries
-// abort the boot: serving on top of a half-applied log would fork state.
-func (s *Server) replayLog() error {
+// replayLog replays the log's entries above seq `from` through the shard
+// machinery — the warm-boot path, before any worker or connection exists
+// (from is the restored snapshot's sequence, or zero on a snapshot-less
+// boot). Invalid entries abort the boot: serving on top of a half-applied
+// log would fork state.
+func (s *Server) replayLog(from uint64) error {
 	r := s.repl
-	var seq uint64
+	seq := from
 	for {
 		entries := r.log.From(seq+1, 256)
 		if len(entries) == 0 {
@@ -198,7 +267,7 @@ func (s *Server) replayLog() error {
 			return nil
 		}
 		for i := range entries {
-			if err := s.applyEntry(&entries[i]); err != nil {
+			if err := s.applyEntry(&entries[i], false); err != nil {
 				return err
 			}
 			seq = entries[i].Seq

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtle/internal/core"
@@ -15,6 +16,7 @@ import (
 	"rtle/internal/mem"
 	"rtle/internal/obs"
 	"rtle/internal/repl"
+	"rtle/internal/snap"
 )
 
 // Config assembles a Server. Zero fields select the documented defaults.
@@ -76,6 +78,17 @@ type Config struct {
 	// ReplLog, when set, mirrors the log to this append-only file and
 	// replays it on boot.
 	ReplLog string
+
+	// SnapFile, when set, names the durable snapshot file: restored (if
+	// present) before log replay on boot, and rewritten by Compact. A
+	// compacted log cannot boot without the snapshot holding its discarded
+	// prefix.
+	SnapFile string
+	// CompactEvery, when > 0, auto-compacts the replication log each time
+	// it accumulates this many entries above its floor: the state is
+	// snapshotted to SnapFile and the covered log prefix truncated.
+	// Requires SnapFile; implies Repl.
+	CompactEvery int
 }
 
 func (c *Config) fill() {
@@ -110,7 +123,7 @@ func (c *Config) fill() {
 	if c.Workload == "bank" && c.Shards > c.Keys {
 		c.Shards = c.Keys // at least one account per shard
 	}
-	if c.ReplicaOf != "" || c.ReplAck != "" || c.ReplLog != "" {
+	if c.ReplicaOf != "" || c.ReplAck != "" || c.ReplLog != "" || c.CompactEvery > 0 {
 		c.Repl = true
 	}
 	if c.Repl && c.ReplAck == "" {
@@ -118,38 +131,78 @@ func (c *Config) fill() {
 	}
 }
 
+// topology is one generation of the serving plane: the key router, the
+// shard set it routes over, and the cross-shard slow queue. Admission
+// reads the live generation through Server.topo under drainMu; Reshard
+// builds a new generation offline, migrates the state into it through a
+// snapshot, and swaps the pointer while admission is quiesced — so a task
+// always executes on the generation that admitted it, and a worker only
+// ever drains queues of its own generation.
+type topology struct {
+	router *router
+	shards []*shard
+
+	// slowQueue feeds this generation's cross-shard slow path (multi-shard
+	// transfers and batches).
+	slowQueue chan *task
+}
+
+// shardMetrics collects the per-shard metric blocks in shard order.
+func (tp *topology) shardMetrics() []*ShardMetrics {
+	sms := make([]*ShardMetrics, len(tp.shards))
+	for i, sh := range tp.shards {
+		sms[i] = sh.m
+	}
+	return sms
+}
+
 // Server is the TCP serving layer: an acceptor, per-connection reader and
 // writer goroutines, and per-shard bounded worker pools executing requests
 // against independently elided data-structure partitions.
 type Server struct {
 	cfg      Config
-	router   *router
-	shards   []*shard
 	director *fault.Director
 	metrics  Metrics
+
+	// policy is the resolved speculation configuration (observer and fault
+	// director wired in), kept so Reshard can rebuild method instances.
+	policy core.Policy
+
+	// topo is the live serving topology. Swapped only under drainMu held
+	// exclusively (Reshard, replica bootstrap); loaded under drainMu shared
+	// on the admission path, and freely for read-only accessors.
+	topo atomic.Pointer[topology]
 
 	// repl is the replication subsystem state; nil unless Config.Repl.
 	repl *replication
 
-	// slowQueue feeds the cross-shard slow path (multi-shard transfers
-	// and batches).
-	slowQueue chan *task
-
 	// drainMu serializes request admission against the drain flip: readers
 	// admit under RLock, Shutdown flips draining under Lock, so after the
 	// flip no reader can be mid-admission and tasksWG covers every
-	// accepted task.
+	// accepted task. Topology swaps hold it exclusively for the same
+	// reason: after the flip, no admission can target a retired queue.
 	drainMu  sync.RWMutex
 	draining bool
+	// started flips in Listen (under drainMu): topology swaps only manage
+	// worker pools once they exist.
+	started bool
 
 	tasksWG   sync.WaitGroup // accepted tasks not yet answered
 	workersWG sync.WaitGroup
 	connsWG   sync.WaitGroup
 
+	// Auto-compactor lifecycle (nil/unused unless CompactEvery > 0).
+	compactStop chan struct{}
+	compactDone chan struct{}
+	compactOnce sync.Once
+
 	mu    sync.Mutex
 	lis   net.Listener
 	conns map[*conn]struct{}
 }
+
+// top returns the live topology generation.
+func (s *Server) top() *topology { return s.topo.Load() }
 
 // task is one accepted request bound to its connection.
 type task struct {
@@ -166,6 +219,10 @@ type task struct {
 type conn struct {
 	nc  net.Conn
 	out chan []byte // encoded response frames, closed after the last send
+	// features holds the client hello's declared feature bits, written by
+	// hello and read only from the same read-loop goroutine (subscriber
+	// bootstrap checks FeatureSnapshot).
+	features uint32
 	// tasks counts this connection's accepted-but-unanswered requests;
 	// out closes only once it drains, so workers never send on a closed
 	// channel.
@@ -177,40 +234,126 @@ func (c *conn) send(frame []byte) { c.out <- frame }
 
 // New builds a Server: per-shard simulated heaps, ADT partitions, and
 // synchronization methods, plus the key router, fault director, and worker
-// pool state.
+// pool state. When Config.SnapFile names an existing snapshot it is
+// restored first, and log replay (Config.ReplLog) continues from the
+// snapshot's sequence instead of from scratch.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
-	s := &Server{
-		cfg:       cfg,
-		router:    newRouter(cfg.Workload, cfg.Shards, cfg.Keys),
-		slowQueue: make(chan *task, cfg.QueueDepth),
-		conns:     make(map[*conn]struct{}),
+	if cfg.CompactEvery > 0 && cfg.SnapFile == "" {
+		return nil, errors.New("server: CompactEvery needs SnapFile; the truncated log prefix must survive somewhere")
 	}
-	policy := cfg.Policy
+	s := &Server{
+		cfg:   cfg,
+		conns: make(map[*conn]struct{}),
+	}
+	s.policy = cfg.Policy
 	if cfg.Registry != nil {
-		policy.Observer = cfg.Registry
+		s.policy.Observer = cfg.Registry
 	}
 	if cfg.Plan != nil && cfg.Plan.Active() {
 		s.director = fault.NewDirector(*cfg.Plan)
-		s.director.Configure(&policy)
+		s.director.Configure(&s.policy)
 	}
 
+	tp, err := s.buildTopology(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	s.topo.Store(tp)
+	s.metrics.attach(tp.shardMetrics())
+
+	// Durable snapshot first: it seeds the shard state the log suffix
+	// replays on top of.
+	var bootSeq uint64
+	var haveSnap bool
+	if cfg.SnapFile != "" {
+		sn, err := snap.ReadFile(cfg.SnapFile)
+		if err != nil {
+			return nil, err
+		}
+		if sn != nil {
+			if err := s.restoreTopology(tp, sn); err != nil {
+				return nil, err
+			}
+			bootSeq, haveSnap = sn.Seq, true
+		}
+	}
+
+	if cfg.Repl {
+		var syncAck bool
+		switch cfg.ReplAck {
+		case "async":
+		case "sync":
+			syncAck = true
+		default:
+			return nil, fmt.Errorf("server: unknown replication ack mode %q (want async or sync)", cfg.ReplAck)
+		}
+		log, err := repl.Open(cfg.ReplLog)
+		if err != nil {
+			return nil, err
+		}
+		if floor := log.Floor(); floor > 0 {
+			// The log's prefix below the floor was compacted away; only a
+			// snapshot at or above the floor holds the missing state.
+			if !haveSnap {
+				_ = log.Close() // the missing-snapshot error is the one to report
+				return nil, fmt.Errorf("server: replication log was compacted below seq %d and no snapshot is available; boot needs the snapshot the compaction left behind", floor)
+			}
+			if floor > bootSeq {
+				_ = log.Close() // the floor-gap error is the one to report
+				return nil, fmt.Errorf("server: replication log floor %d is above the snapshot sequence %d; the entries between them are unrecoverable", floor, bootSeq)
+			}
+		}
+		if haveSnap && log.HighWater() < bootSeq {
+			// The snapshot is ahead of the whole log (for example a
+			// bootstrap file next to a fresh log): the snapshot subsumes
+			// every missing entry, so restart the log at its sequence.
+			if err := log.ResetTo(bootSeq); err != nil {
+				_ = log.Close() // the reset error is the one to report
+				return nil, err
+			}
+		}
+		s.repl = newReplication(log, syncAck, cfg.ReplicaOf)
+		s.metrics.repl = s.repl
+		// Warm boot: replay the log suffix above the snapshot (the whole
+		// log on a snapshot-less boot), before any worker or connection
+		// exists.
+		if err := s.replayLog(bootSeq); err != nil {
+			_ = log.Close() // the replay error is the one to report
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// buildTopology assembles one serving generation with n shards: per-shard
+// simulated heaps, ADT partitions, method instances, queues, and metric
+// blocks. The generation is cold — startWorkers launches its pools — and
+// its structures are pristine, which restoreTopology relies on.
+func (s *Server) buildTopology(n int) (*topology, error) {
+	cfg := &s.cfg
+	if cfg.Workload == "bank" && n > cfg.Keys {
+		n = cfg.Keys // at least one account per shard
+	}
+	tp := &topology{
+		router:    newRouter(cfg.Workload, n, cfg.Keys),
+		slowQueue: make(chan *task, cfg.QueueDepth),
+	}
 	slots := cfg.Coalesce
 	if MaxBatchOps > slots {
 		slots = MaxBatchOps
 	}
-	sms := make([]*ShardMetrics, cfg.Shards)
-	for k := 0; k < cfg.Shards; k++ {
+	for k := 0; k < n; k++ {
 		m := mem.New(heapWords(cfg.Workload, cfg.Keys, cfg.Workers))
 		var owned []uint64
 		if cfg.Workload == "bank" {
-			owned = s.router.ownedAccounts(k)
+			owned = tp.router.ownedAccounts(k)
 		}
 		a, err := newADT(cfg.Workload, m, cfg.Keys, owned)
 		if err != nil {
 			return nil, err
 		}
-		method, err := harness.BuildMethod(cfg.Method, m, policy)
+		method, err := harness.BuildMethod(cfg.Method, m, s.policy)
 		if err != nil {
 			return nil, err
 		}
@@ -226,34 +369,22 @@ func New(cfg Config) (*Server, error) {
 		sh.m.coal = sh.coal
 		sh.slowThread = method.NewThread()
 		sh.slowEx = a.newExecutor(slots)
-		s.shards = append(s.shards, sh)
-		sms[k] = sh.m
+		tp.shards = append(tp.shards, sh)
 	}
-	s.metrics.attach(sms)
+	return tp, nil
+}
 
-	if cfg.Repl {
-		var syncAck bool
-		switch cfg.ReplAck {
-		case "async":
-		case "sync":
-			syncAck = true
-		default:
-			return nil, fmt.Errorf("server: unknown replication ack mode %q (want async or sync)", cfg.ReplAck)
-		}
-		log, err := repl.Open(cfg.ReplLog)
-		if err != nil {
-			return nil, err
-		}
-		s.repl = newReplication(log, syncAck, cfg.ReplicaOf)
-		s.metrics.repl = s.repl
-		// Warm boot: replay what a previous process logged, before any
-		// worker or connection exists.
-		if err := s.replayLog(); err != nil {
-			_ = log.Close() // the replay error is the one to report
-			return nil, err
+// startWorkers launches one generation's pools: Workers fast-path workers
+// per shard plus the generation's slow worker.
+func (s *Server) startWorkers(tp *topology) {
+	for _, sh := range tp.shards {
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.workersWG.Add(1)
+			go s.worker(sh)
 		}
 	}
-	return s, nil
+	s.workersWG.Add(1)
+	go s.slowWorker(tp)
 }
 
 // Metrics returns the server's wire-level metric registry.
@@ -263,7 +394,7 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 func (s *Server) Director() *fault.Director { return s.director }
 
 // MethodName returns the served method's legend name.
-func (s *Server) MethodName() string { return s.shards[0].method.Name() }
+func (s *Server) MethodName() string { return s.top().shards[0].method.Name() }
 
 // Workload returns the served ADT kind.
 func (s *Server) Workload() string { return s.cfg.Workload }
@@ -271,8 +402,9 @@ func (s *Server) Workload() string { return s.cfg.Workload }
 // Keys returns the served key-space bound (account count for bank).
 func (s *Server) Keys() int { return s.cfg.Keys }
 
-// Shards returns the number of served partitions.
-func (s *Server) Shards() int { return s.cfg.Shards }
+// Shards returns the number of served partitions (live: Reshard changes
+// it).
+func (s *Server) Shards() int { return len(s.top().shards) }
 
 // Listen binds the configured address and starts the worker pools. It
 // returns the bound address (Config.Addr may name port 0).
@@ -284,17 +416,18 @@ func (s *Server) Listen() (net.Addr, error) {
 	s.mu.Lock()
 	s.lis = lis
 	s.mu.Unlock()
-	for _, sh := range s.shards {
-		for i := 0; i < s.cfg.Workers; i++ {
-			s.workersWG.Add(1)
-			go s.worker(sh)
-		}
-	}
-	s.workersWG.Add(1)
-	go s.slowWorker()
+	s.drainMu.Lock()
+	s.started = true
+	s.drainMu.Unlock()
+	s.startWorkers(s.top())
 	if r := s.repl; r != nil && r.role.Load() == roleReplica {
 		r.started.Store(true)
 		go s.runReplica()
+	}
+	if s.cfg.CompactEvery > 0 {
+		s.compactStop = make(chan struct{})
+		s.compactDone = make(chan struct{})
+		go s.runCompactor()
 	}
 	return lis.Addr(), nil
 }
@@ -386,6 +519,12 @@ func (s *Server) readLoop(c *conn) {
 			s.serveSubscriber(c, &fr, req)
 			return
 		}
+		if req.Op == OpSnapshot {
+			// The full state streams inline as snapshot chunks; the read
+			// loop resumes decoding requests once the end chunk is queued.
+			s.serveSnapshot(c, req)
+			continue
+		}
 		if err := s.validate(&req); err != nil {
 			s.metrics.badOps.Add(1)
 			s.reject(c, req.ID, StatusBad, err.Error())
@@ -422,14 +561,15 @@ func (s *Server) hello(c *conn, fr *frameReader) bool {
 	}
 	// Unrecognized client feature bits are ignored (forward compatibility);
 	// the server advertises what it actually runs.
-	features := FeatureSharded
+	c.features = ch.Features
+	features := FeatureSharded | FeatureSnapshot
 	if s.repl != nil {
 		features |= FeatureReplicated
 	}
 	c.send(AppendServerHello(nil, &ServerHello{
 		Version:  ProtocolVersion,
 		Features: features,
-		Shards:   uint16(len(s.shards)),
+		Shards:   uint16(len(s.top().shards)),
 	}))
 	return true
 }
@@ -443,7 +583,7 @@ func (s *Server) validate(req *Request) error {
 		if len(req.Batch) == 0 {
 			return errors.New("empty batch")
 		}
-		adt := s.shards[0].adt // the contract (key bounds, served ops) is shard-independent
+		adt := s.top().shards[0].adt // the contract (key bounds, served ops) is shard-independent
 		for i := range req.Batch {
 			e := &req.Batch[i]
 			if err := adt.validate(e.Op, e.Arg1, e.Arg2); err != nil {
@@ -453,7 +593,7 @@ func (s *Server) validate(req *Request) error {
 		}
 		return nil
 	default:
-		return s.shards[0].adt.validate(req.Op, req.Arg1, req.Arg2)
+		return s.top().shards[0].adt.validate(req.Op, req.Arg1, req.Arg2)
 	}
 }
 
@@ -469,19 +609,23 @@ func (s *Server) admit(c *conn, req Request) {
 			"server is a replica of "+r.primaryAddr)
 		return
 	}
-	plan := s.router.plan(&req)
 	s.drainMu.RLock()
 	if s.draining {
 		s.drainMu.RUnlock()
 		s.reject(c, req.ID, StatusShutdown, "server is draining")
 		return
 	}
+	// The topology load sits inside the drain lock: swaps hold it
+	// exclusively, so the task lands on the generation whose workers will
+	// drain its queue.
+	tp := s.top()
+	plan := tp.router.plan(&req)
 	//rtle:ignore hotalloc one task header per admitted request; pooling the headers is the zero-alloc roadmap item
 	t := &task{c: c, req: req, arrived: time.Now()}
 	c.tasks.Add(1)
 	s.tasksWG.Add(1)
 	if plan.fast {
-		sh := s.shards[plan.shard]
+		sh := tp.shards[plan.shard]
 		t.sh = sh
 		// Count before the send: a worker decrements at pickup, so
 		// counting after it could let the gauge dip negative — and the
@@ -503,14 +647,14 @@ func (s *Server) admit(c *conn, req Request) {
 	t.spans = plan.spans
 	s.metrics.slowDepth.Add(1)
 	select {
-	case s.slowQueue <- t:
+	case tp.slowQueue <- t:
 		s.drainMu.RUnlock()
 	default:
 		s.metrics.slowDepth.Add(-1)
 		c.tasks.Done()
 		s.tasksWG.Done()
 		s.drainMu.RUnlock()
-		s.busy(c, req.ID, s.shards[plan.spans[0]])
+		s.busy(c, req.ID, tp.shards[plan.spans[0]])
 	}
 }
 
@@ -607,6 +751,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
+	s.stopCompactor()
 
 	if s.repl != nil {
 		s.repl.shutdownRunner()
@@ -635,12 +780,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	// All accepted tasks are answered and no reader can admit more (the
-	// draining flip happened under drainMu), so every queue is empty and
-	// closing them retires the workers.
-	for _, sh := range s.shards {
+	// draining flip happened under drainMu, which also pins the topology),
+	// so every queue is empty and closing them retires the workers.
+	tp := s.top()
+	for _, sh := range tp.shards {
 		close(sh.queue)
 	}
-	close(s.slowQueue)
+	close(tp.slowQueue)
 	s.workersWG.Wait()
 
 	// Unblock readers parked on their sockets; writers flush what remains
@@ -667,6 +813,7 @@ func (s *Server) Close() error {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
+	s.stopCompactor()
 	if s.repl != nil {
 		s.repl.shutdownRunner()
 		// Before any connection dies: a sync-ack waiter released by the
@@ -685,6 +832,16 @@ func (s *Server) Close() error {
 		return s.repl.log.Close()
 	}
 	return nil
+}
+
+// stopCompactor retires the auto-compactor, if Listen started one.
+// Idempotent: Shutdown and Close may both run.
+func (s *Server) stopCompactor() {
+	if s.compactStop == nil {
+		return
+	}
+	s.compactOnce.Do(func() { close(s.compactStop) })
+	<-s.compactDone
 }
 
 // closeConns force-closes every live connection.

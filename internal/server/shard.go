@@ -271,7 +271,7 @@ func (s *Server) replWait(bar uint64) bool {
 // held). Zero means no barrier.
 //
 //rtle:gated
-func (s *Server) replAppendSlow(spans []int, ops []repl.Op) uint64 {
+func (s *Server) replAppendSlow(tp *topology, spans []int, ops []repl.Op) uint64 {
 	r := s.repl
 	if r == nil || !r.primary() {
 		return 0
@@ -282,7 +282,7 @@ func (s *Server) replAppendSlow(spans []int, ops []repl.Op) uint64 {
 		}
 		var bar uint64
 		for _, k := range spans {
-			if v := s.shards[k].lastSeq.Load(); v > bar {
+			if v := tp.shards[k].lastSeq.Load(); v > bar {
 				bar = v
 			}
 		}
@@ -290,7 +290,7 @@ func (s *Server) replAppendSlow(spans []int, ops []repl.Op) uint64 {
 	}
 	seq := r.append(ops)
 	for _, k := range spans {
-		s.shards[k].lastSeq.Store(seq)
+		tp.shards[k].lastSeq.Store(seq)
 	}
 	return seq
 }
@@ -320,20 +320,20 @@ func (sh *shard) slowSectionDone(start time.Time) {
 	sh.m.observeService(time.Since(start).Nanoseconds())
 }
 
-// slowWorker executes cross-shard tasks. One goroutine suffices: slow
-// operations serialize on the exclusive gates anyway, and keeping the
-// pool at one bounds the number of shards a misbehaving workload can
-// quiesce at once.
-func (s *Server) slowWorker() {
+// slowWorker executes one generation's cross-shard tasks. One goroutine
+// suffices: slow operations serialize on the exclusive gates anyway, and
+// keeping the pool at one bounds the number of shards a misbehaving
+// workload can quiesce at once.
+func (s *Server) slowWorker(tp *topology) {
 	defer s.workersWG.Done()
 	results := make([]Result, MaxBatchOps)
-	for t := range s.slowQueue {
+	for t := range tp.slowQueue {
 		s.metrics.slowDepth.Add(-1)
 		switch t.req.Op {
 		case check.OpTransfer:
-			s.runSlowTransfer(t)
+			s.runSlowTransfer(tp, t)
 		case OpBatch:
-			s.runSlowBatch(t, results)
+			s.runSlowBatch(tp, t, results)
 		default:
 			// The router only sends transfers and batches here; anything
 			// else is a routing bug surfaced loudly in tests.
@@ -350,16 +350,16 @@ func (s *Server) slowWorker() {
 // possible; spans is ascending by construction (router.plan).
 //
 //rtle:gatelock
-func (s *Server) lockSpans(spans []int) {
+func (tp *topology) lockSpans(spans []int) {
 	for _, k := range spans {
-		s.shards[k].gate.Lock()
+		tp.shards[k].gate.Lock()
 	}
 }
 
 // unlockSpans releases the gates taken by lockSpans.
-func (s *Server) unlockSpans(spans []int) {
+func (tp *topology) unlockSpans(spans []int) {
 	for _, k := range spans {
-		s.shards[k].gate.Unlock()
+		tp.shards[k].gate.Unlock()
 	}
 }
 
@@ -371,20 +371,20 @@ func (s *Server) unlockSpans(spans []int) {
 // can read either shard between the halves — so the bank's conservation
 // invariant is never visibly broken, exactly as if TransferCS had run in
 // one block.
-func (s *Server) runSlowTransfer(t *task) {
-	from := s.shards[s.router.shardOf(t.req.Arg1)]
-	to := s.shards[s.router.shardOf(t.req.Arg2)]
+func (s *Server) runSlowTransfer(tp *topology, t *task) {
+	from := tp.shards[tp.router.shardOf(t.req.Arg1)]
+	to := tp.shards[tp.router.shardOf(t.req.Arg2)]
 
-	s.lockSpans(t.spans)
+	tp.lockSpans(t.spans)
 	res := s.crossTransfer(from, to, t.req.Arg1, t.req.Arg2, t.req.Arg3)
 	var bar uint64
 	if r := s.repl; r != nil && r.primary() {
-		bar = s.replAppendSlow(t.spans, []repl.Op{{
+		bar = s.replAppendSlow(tp, t.spans, []repl.Op{{
 			Code: uint8(check.OpTransfer),
 			Arg1: t.req.Arg1, Arg2: t.req.Arg2, Arg3: t.req.Arg3,
 		}})
 	}
-	s.unlockSpans(t.spans)
+	tp.unlockSpans(t.spans)
 
 	s.metrics.crossOps.Add(1)
 	if !s.replWait(bar) {
@@ -423,18 +423,18 @@ func (s *Server) crossTransfer(from, to *shard, src, dst, amount uint64) Result 
 // different shards' heaps. The gates make the per-entry blocks jointly
 // atomic to every observer, so the client sees exactly a sequential,
 // atomic execution of its batch.
-func (s *Server) runSlowBatch(t *task, results []Result) {
+func (s *Server) runSlowBatch(tp *topology, t *task, results []Result) {
 	entries := t.req.Batch
 	spans := t.spans
 
-	s.lockSpans(spans)
-	s.execEntriesLocked(entries, results)
+	tp.lockSpans(spans)
+	s.execEntriesLocked(tp, entries, results)
 	var ops []repl.Op
 	if r := s.repl; r != nil && r.primary() {
 		ops = replBatchOps(nil, entries)
 	}
-	bar := s.replAppendSlow(spans, ops)
-	s.unlockSpans(spans)
+	bar := s.replAppendSlow(tp, spans, ops)
+	tp.unlockSpans(spans)
 
 	s.metrics.crossOps.Add(uint64(len(entries)))
 	if !s.replWait(bar) {
@@ -449,15 +449,15 @@ func (s *Server) runSlowBatch(t *task, results []Result) {
 // crossTransfer split). The caller holds every involved shard's gate
 // exclusively — runSlowBatch for client batches, applyBlock for replica
 // replay, so both paths produce identical state transitions.
-func (s *Server) execEntriesLocked(entries []BatchEntry, results []Result) {
+func (s *Server) execEntriesLocked(tp *topology, entries []BatchEntry, results []Result) {
 	for i := range entries {
 		e := &entries[i]
-		a, b := s.router.entryShards(e)
+		a, b := tp.router.entryShards(e)
 		if a != b {
-			results[i] = s.crossTransfer(s.shards[a], s.shards[b], e.Arg1, e.Arg2, e.Arg3)
+			results[i] = s.crossTransfer(tp.shards[a], tp.shards[b], e.Arg1, e.Arg2, e.Arg3)
 			continue
 		}
-		sh := s.shards[a]
+		sh := tp.shards[a]
 		start := time.Now()
 		sh.slowThread.Atomic(func(c core.Context) {
 			results[i] = sh.slowEx.run(c, i, e.Op, e.Arg1, e.Arg2, e.Arg3)

@@ -126,7 +126,7 @@ func TestCrossShardTransferBatch(t *testing.T) {
 	}
 	defer c.Close()
 
-	cross, _ := crossShardPair(t, srv.router, keys)
+	cross, _ := crossShardPair(t, srv.top().router, keys)
 	from, to := cross[0], cross[1]
 
 	const amount = 7

@@ -16,12 +16,21 @@
 # a linearizable merged history — the zero acknowledged-write-loss claim,
 # checked at the wire.
 #
+# The "reshard" scenario boots a single-shard server with the admin
+# endpoint, POSTs /reshard?shards=4 while recorded load runs, and requires
+# the merged history (spanning both topologies) to check linearizable.
+# The "warm" scenario runs two consecutive checked rtleload runs against
+# the same server: the second must report its models seeded from a server
+# snapshot at a nonzero sequence and still verdict linearizable — the
+# warm-checking contract.
+#
 # Usage: scripts/e2e.sh [bindir] [shard counts] [scenarios]
 #   bindir: directory holding prebuilt rtled/rtleload (default: build into
 #   a temp dir with `go build`).
 #   shard counts: space-separated list (default "1 4"); CI passes a single
 #   count per matrix job.
-#   scenarios: space-separated subset of "load failover" (default both).
+#   scenarios: space-separated subset of "load failover reshard warm"
+#   (default "load failover").
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -97,6 +106,17 @@ drain2() {
   wait "$SRV2_PID" || { echo "e2e: second rtled exited non-zero on drain"; cat "$LOG2"; exit 1; }
   SRV2_PID=""
   echo "e2e: replica drained cleanly"
+}
+
+# http_post <host:port> <path>: minimal HTTP/1.0 POST over bash's
+# /dev/tcp, so the admin endpoints need no curl on the runner. Prints the
+# full response (headers and body).
+http_post() {
+  local hp="$1" path="$2"
+  exec 3<>"/dev/tcp/${hp%:*}/${hp##*:}"
+  printf 'POST %s HTTP/1.0\r\nHost: %s\r\nContent-Length: 0\r\n\r\n' "$path" "$hp" >&3
+  cat <&3
+  exec 3>&-
 }
 
 FAULT_PLAN='{"seed":11,"begin_prob":0.05,"storm_every":500,"storm_len":3}'
@@ -192,11 +212,88 @@ run_failover() {
   echo "e2e: failover survived with a linearizable history"
 }
 
+# run_reshard: rebuild the serving plane mid-run. Boot at one shard with
+# the admin endpoint, start recorded load, POST /reshard?shards=4 while it
+# runs, and require the merged history — spanning both topologies — to
+# check linearizable. The shard-count matrix dimension does not apply: the
+# scenario fixes its own before/after counts.
+run_reshard() {
+  echo "e2e: === reshard scenario (1 -> 4 shards mid-run) ==="
+  LOAD_OUT="$(mktemp)"
+
+  boot -workload map -method TLE -shards 1 -workers 4 -keys 256 \
+    -http 127.0.0.1:0
+  ADMIN=""
+  for _ in $(seq 1 100); do
+    ADMIN="$(sed -n 's|^rtled: serving /metrics and /snapshot on \(.*\)$|\1|p' "$LOG" | head -1)"
+    [ -n "$ADMIN" ] && break
+    sleep 0.1
+  done
+  [ -n "$ADMIN" ] || { echo "e2e: rtled never announced its admin port"; cat "$LOG"; exit 1; }
+  echo "e2e: admin endpoint at $ADMIN"
+
+  "$BINDIR/rtleload" -addr "$ADDR" -workload map -keys 256 \
+    -conns 4 -pipeline 8 -ops 2000000 -duration 4s -read-pct 60 -batch-pct 5 \
+    >"$LOAD_OUT" 2>&1 &
+  LOAD_PID=$!
+
+  sleep 1
+  echo "e2e: POST /reshard?shards=4 mid-run"
+  http_post "$ADMIN" "/reshard?shards=4" | grep -q 'resharded to 4 shards' || {
+    echo "e2e: reshard request failed"; cat "$LOG"; kill "$LOAD_PID" 2>/dev/null || true; exit 1; }
+
+  wait "$LOAD_PID" || {
+    echo "e2e: rtleload failed across the reshard"; cat "$LOAD_OUT"; cat "$LOG"; exit 1; }
+  grep -q 'history is linearizable' "$LOAD_OUT" || {
+    echo "e2e: reshard history was not checked linearizable"; cat "$LOAD_OUT"; exit 1; }
+  grep -q 'rtled: resharded to 4 shards' "$LOG" || {
+    echo "e2e: server never logged the reshard"; cat "$LOG"; exit 1; }
+  grep 'rtleload:.*ops/sec' "$LOAD_OUT" || true
+
+  drain
+  rm -f "$LOAD_OUT"
+  echo "e2e: reshard survived with a linearizable history"
+}
+
+# run_warm: the warm-checking contract. Two consecutive checked runs
+# against the same server: the second must seed its models from a server
+# snapshot at a nonzero sequence (the first run's writes) and still check
+# linearizable. An unseeded second run would report false violations.
+run_warm() {
+  echo "e2e: === warm-check scenario, shard count $SHARDS ==="
+  LOAD_OUT="$(mktemp)"
+
+  # Replication (async ack, in-memory log) gives the snapshot a real log
+  # sequence, so the second run's "seeded at seq N" proves the cut
+  # captured the first run's writes rather than an empty server.
+  boot -workload map -method TLE -shards "$SHARDS" -workers 4 -keys 128 \
+    -repl-ack async
+
+  "$BINDIR/rtleload" -addr "$ADDR" -workload map -keys 128 \
+    -conns 4 -pipeline 8 -ops 8000 -read-pct 50 -batch-pct 10
+  echo "e2e: first checked run passed; server is now warm"
+
+  "$BINDIR/rtleload" -addr "$ADDR" -workload map -keys 128 \
+    -conns 4 -pipeline 8 -ops 8000 -read-pct 50 -batch-pct 10 -seed 2 \
+    >"$LOAD_OUT" 2>&1 || {
+    echo "e2e: second (warm) checked run failed"; cat "$LOAD_OUT"; exit 1; }
+  grep -qE 'check seeded from server snapshot at seq [1-9]' "$LOAD_OUT" || {
+    echo "e2e: warm run was not seeded from a snapshot"; cat "$LOAD_OUT"; exit 1; }
+  grep -q 'history is linearizable' "$LOAD_OUT" || {
+    echo "e2e: warm history was not checked linearizable"; cat "$LOAD_OUT"; exit 1; }
+
+  drain
+  rm -f "$LOAD_OUT"
+  echo "e2e: warm run seeded from snapshot and stayed linearizable"
+}
+
 for SHARDS in $SHARD_COUNTS; do
   for SCENARIO in $SCENARIOS; do
     case "$SCENARIO" in
       load) run_load ;;
       failover) run_failover ;;
+      reshard) run_reshard ;;
+      warm) run_warm ;;
       *) echo "e2e: unknown scenario $SCENARIO"; exit 1 ;;
     esac
   done
