@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet rtlevet e2e bench-json bench-wire bench-guard bench-repl all
+.PHONY: build test race vet rtlevet e2e bench-json bench-wire bench-sweep bench-smoke bench-guard bench-repl all
 
 all: build vet test
 
@@ -39,6 +39,21 @@ bench-json:
 bench-wire:
 	$(GO) run ./cmd/rtlebench -threads 1,2,4 -dur 300ms -json -outdir . \
 		-wire -wire-shards 1,2,4 -wire-ops 60000 -wire-rate 40000
+
+# bench-sweep runs the multi-core wire sweep (coalesce x workers x shards
+# x GOMAXPROCS over one deeply pipelined connection) into the next
+# BENCH_<n>.json. Grid axes are overridable via SWEEP_* env vars.
+bench-sweep:
+	scripts/benchsweep.sh
+
+# bench-smoke is the CI regression gate: a short two-cell wire sweep
+# diffed against the committed BENCH_8.json baseline; any matched cell
+# dropping more than 20% fails.
+bench-smoke:
+	rm -rf /tmp/benchsmoke && mkdir -p /tmp/benchsmoke
+	SWEEP_OUTDIR=/tmp/benchsmoke SWEEP_SHARDS=1,4 SWEEP_PROCS=1 \
+		SWEEP_COALESCE=8 SWEEP_RATE=0 SWEEP_OPS=15000 scripts/benchsweep.sh
+	$(GO) run ./scripts/benchdiff.go -tolerance 0.20 BENCH_8.json /tmp/benchsmoke/BENCH_0.json
 
 # bench-guard sweeps the elision guards (rtle.Mutex / rtle.RWMutex vs
 # sync locks vs raw Methods) into a BENCH_<n>.json "guard" section. The

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -101,15 +102,20 @@ type benchResult struct {
 }
 
 // wireResult is one serving-layer sweep cell: a fresh in-process rtled
-// server at the given shard count, driven over loopback TCP.
+// server at the given grid point, driven over loopback TCP.
 type wireResult struct {
 	Workload string `json:"workload"`
 	Method   string `json:"method"`
 	Shards   int    `json:"shards"`
 	Workers  int    `json:"workers"` // per shard
-	Conns    int    `json:"conns"`
-	Pipeline int    `json:"pipeline"`
-	ReadPct  int    `json:"read_pct"`
+	// Coalesce is the server's adaptive-window cap for the cell (1 pins
+	// execution uncoalesced); GOMAXPROCS is the Go scheduler's processor
+	// count during the cell (0 = the process default, unchanged).
+	Coalesce   int `json:"coalesce"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Conns      int `json:"conns"`
+	Pipeline   int `json:"pipeline"`
+	ReadPct    int `json:"read_pct"`
 	// RatePerSec is the open-loop arrival rate; 0 marks a closed-loop cell.
 	RatePerSec int `json:"rate_per_sec"`
 	// Ops is completed single operations; ElapsedNS the issuing wall time.
@@ -123,6 +129,11 @@ type wireResult struct {
 	// to-response open loop (queueing delay included).
 	P50MS float64 `json:"p50_ms"`
 	P99MS float64 `json:"p99_ms"`
+	// Server-side wire counters for the cell: operations delivered through
+	// the reader's shard-affinity run path, and the mean number of frames
+	// the write loop flushed per writev batch.
+	AffineOps           uint64  `json:"affine_ops"`
+	AvgWriteBatchFrames float64 `json:"avg_write_batch_frames"`
 }
 
 func main() {
@@ -141,7 +152,9 @@ func main() {
 	wireShards := flag.String("wire-shards", "1,2,4", "comma-separated shard counts for the wire sweep")
 	wireWorkload := flag.String("wire-workload", "map", "wire sweep workload")
 	wireMethod := flag.String("wire-method", "FG-TLE(256)", "wire sweep method")
-	wireWorkers := flag.Int("wire-workers", 2, "workers per shard in the wire sweep")
+	wireWorkers := flag.String("wire-workers", "2", "comma-separated workers-per-shard counts for the wire sweep")
+	wireCoalesce := flag.String("wire-coalesce", "8", "comma-separated coalesce-window caps for the wire sweep (1 = uncoalesced)")
+	wireProcs := flag.String("wire-gomaxprocs", "0", "comma-separated GOMAXPROCS values for the wire sweep (0 = process default)")
 	wireConns := flag.Int("wire-conns", 8, "load generator connections")
 	wirePipeline := flag.Int("wire-pipeline", 4, "pipelined slots per connection")
 	wireOps := flag.Int("wire-ops", 30000, "single operations per wire cell")
@@ -176,6 +189,10 @@ func main() {
 	out := benchFile{
 		Schema:    "rtle-bench/v1",
 		WrittenAt: time.Now().UTC().Format(time.RFC3339),
+		// An empty slice, not nil: a section-only run (-methods '') must
+		// serialize "results": [] — consumers index the field unguarded,
+		// and null round-trips as a schema violation.
+		Results: []benchResult{},
 		Config: benchConfig{
 			Workload: "avl-set", KeyRange: *keyRange,
 			InsertPct: *insert, RemovePct: *remove,
@@ -198,25 +215,47 @@ func main() {
 		if err != nil {
 			fatalf("bad -wire-shards: %v", err)
 		}
-		fmt.Printf("\n%-8s %8s %8s %14s %10s %10s %10s\n",
-			"shards", "rate", "ops", "ops/sec", "p50 ms", "p99 ms", "busy/op")
-		for _, sc := range shardCounts {
-			rates := []int{0}
-			if *wireRate > 0 {
-				rates = append(rates, *wireRate)
-			}
-			for _, rate := range rates {
-				wr := runWireCell(wireCellConfig{
-					workload: *wireWorkload, method: *wireMethod,
-					shards: sc, workers: *wireWorkers,
-					conns: *wireConns, pipeline: *wirePipeline,
-					ops: *wireOps, readPct: *wireReadPct,
-					keys: *wireKeys, rate: rate, seed: *seed,
-				})
-				fmt.Printf("%-8d %8d %8d %14.0f %10.3f %10.3f %10.4f\n",
-					wr.Shards, wr.RatePerSec, wr.Ops, wr.ThroughputOpsPerSec,
-					wr.P50MS, wr.P99MS, wr.BusyRetryRate)
-				out.Wire = append(out.Wire, wr)
+		workerCounts, err := parseInts(*wireWorkers)
+		if err != nil {
+			fatalf("bad -wire-workers: %v", err)
+		}
+		coalesceCaps, err := parseInts(*wireCoalesce)
+		if err != nil {
+			fatalf("bad -wire-coalesce: %v", err)
+		}
+		procCounts, err := parseIntsMin(*wireProcs, 0)
+		if err != nil {
+			fatalf("bad -wire-gomaxprocs: %v", err)
+		}
+		fmt.Printf("\n%-6s %6s %8s %5s %6s %8s %12s %9s %9s %8s %8s %8s\n",
+			"shards", "work", "coalesce", "procs", "rate", "ops",
+			"ops/sec", "p50 ms", "p99 ms", "busy/op", "affine", "wr/batch")
+		for _, procs := range procCounts {
+			for _, coal := range coalesceCaps {
+				for _, workers := range workerCounts {
+					for _, sc := range shardCounts {
+						rates := []int{0}
+						if *wireRate > 0 {
+							rates = append(rates, *wireRate)
+						}
+						for _, rate := range rates {
+							wr := runWireCell(wireCellConfig{
+								workload: *wireWorkload, method: *wireMethod,
+								shards: sc, workers: workers,
+								coalesce: coal, procs: procs,
+								conns: *wireConns, pipeline: *wirePipeline,
+								ops: *wireOps, readPct: *wireReadPct,
+								keys: *wireKeys, rate: rate, seed: *seed,
+							})
+							fmt.Printf("%-6d %6d %8d %5d %6d %8d %12.0f %9.3f %9.3f %8.4f %8d %8.1f\n",
+								wr.Shards, wr.Workers, wr.Coalesce, wr.GOMAXPROCS,
+								wr.RatePerSec, wr.Ops, wr.ThroughputOpsPerSec,
+								wr.P50MS, wr.P99MS, wr.BusyRetryRate,
+								wr.AffineOps, wr.AvgWriteBatchFrames)
+							out.Wire = append(out.Wire, wr)
+						}
+					}
+				}
 			}
 		}
 	}
@@ -308,6 +347,7 @@ type wireCellConfig struct {
 	workload, method             string
 	shards, workers, conns       int
 	pipeline, ops, readPct, keys int
+	coalesce, procs              int
 	rate                         int
 	seed                         uint64
 }
@@ -317,12 +357,20 @@ type wireCellConfig struct {
 // keeps adaptive state (coalesce windows, EWMAs) and ADT contents from
 // bleeding between measurements.
 func runWireCell(c wireCellConfig) wireResult {
+	procs := c.procs
+	if procs > 0 {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+	} else {
+		procs = runtime.GOMAXPROCS(0)
+	}
 	srv, err := server.New(server.Config{
 		Addr:     "127.0.0.1:0",
 		Workload: c.workload,
 		Method:   c.method,
 		Shards:   c.shards,
 		Workers:  c.workers,
+		Coalesce: c.coalesce,
 		Keys:     c.keys,
 	})
 	if err != nil {
@@ -353,6 +401,16 @@ func runWireCell(c wireCellConfig) wireResult {
 		fatalf("wire cell load: %v", err)
 	}
 
+	// Read the wire counters before the drain: shutdown traffic (drain
+	// rejections, closing writes) must not blur the cell's numbers.
+	m := srv.Metrics()
+	affine := m.AffineOps()
+	wb := m.WriteBatches()
+	avgBatch := 0.0
+	if wb.Count > 0 {
+		avgBatch = float64(wb.SumNanos) / float64(wb.Count)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -367,13 +425,15 @@ func runWireCell(c wireCellConfig) wireResult {
 	return wireResult{
 		Workload: c.workload, Method: c.method,
 		Shards: c.shards, Workers: c.workers,
+		Coalesce: c.coalesce, GOMAXPROCS: procs,
 		Conns: c.conns, Pipeline: c.pipeline,
 		ReadPct: c.readPct, RatePerSec: c.rate,
 		Ops: res.Ops, ElapsedNS: res.Elapsed.Nanoseconds(),
 		ThroughputOpsPerSec: res.Throughput(),
 		BusyRetries:         res.BusyRetries, BusyRetryRate: busyRate,
-		P50MS: res.Percentile(0.50) * 1e3,
-		P99MS: res.Percentile(0.99) * 1e3,
+		P50MS:     res.Percentile(0.50) * 1e3,
+		P99MS:     res.Percentile(0.99) * 1e3,
+		AffineOps: affine, AvgWriteBatchFrames: avgBatch,
 	}
 }
 
@@ -397,11 +457,15 @@ func nextBenchPath(dir string) (string, error) {
 	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
 }
 
-func parseInts(s string) ([]int, error) {
+func parseInts(s string) ([]int, error) { return parseIntsMin(s, 1) }
+
+// parseIntsMin parses a comma-separated integer list with an inclusive
+// floor (0 admits sentinel values like "GOMAXPROCS unchanged").
+func parseIntsMin(s string, min int) ([]int, error) {
 	var out []int
 	for _, f := range splitList(s) {
 		n, err := strconv.Atoi(f)
-		if err != nil || n <= 0 {
+		if err != nil || n < min {
 			return nil, fmt.Errorf("bad count %q", f)
 		}
 		out = append(out, n)

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestBenchFileSchemaRoundTrip pins the BENCH_<n>.json wire schema: a
+// section-only file (no method grid) must serialize "results": [] rather
+// than null, every section must survive an encode/decode round trip
+// unchanged, and the section keys must appear under their documented names.
+func TestBenchFileSchemaRoundTrip(t *testing.T) {
+	in := benchFile{
+		Schema:    "rtle-bench/v1",
+		WrittenAt: "2026-08-08T00:00:00Z",
+		Results:   []benchResult{},
+		Config:    benchConfig{Workload: "avl-set", KeyRange: 8192, DurationMS: 500, Attempts: 8, Seed: 1},
+		Wire: []wireResult{{
+			Workload: "map", Method: "FG-TLE(256)",
+			Shards: 4, Workers: 2, Coalesce: 8, GOMAXPROCS: 1,
+			Conns: 8, Pipeline: 4, ReadPct: 90,
+			Ops: 30000, ElapsedNS: 123456789, ThroughputOpsPerSec: 243000.5,
+			BusyRetries: 3, BusyRetryRate: 0.0001,
+			P50MS: 0.21, P99MS: 1.75,
+			AffineOps: 29500, AvgWriteBatchFrames: 6.2,
+		}},
+	}
+
+	raw, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The generic view: "results" must be an array even when empty, and the
+	// wire cells must carry the new grid axes under their documented keys.
+	var generic map[string]any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatal(err)
+	}
+	results, ok := generic["results"].([]any)
+	if !ok {
+		t.Fatalf(`"results" is %T (%v), want a JSON array — a section-only run must not emit null`, generic["results"], generic["results"])
+	}
+	if len(results) != 0 {
+		t.Fatalf(`"results" has %d entries, want 0`, len(results))
+	}
+	wire, ok := generic["wire"].([]any)
+	if !ok || len(wire) != 1 {
+		t.Fatalf(`"wire" is %T with %v entries, want a 1-entry array`, generic["wire"], len(wire))
+	}
+	cell := wire[0].(map[string]any)
+	for _, key := range []string{
+		"workload", "method", "shards", "workers", "coalesce", "gomaxprocs",
+		"conns", "pipeline", "read_pct", "rate_per_sec", "ops", "elapsed_ns",
+		"throughput_ops_per_sec", "busy_retries", "busy_retry_rate",
+		"p50_ms", "p99_ms", "affine_ops", "avg_write_batch_frames",
+	} {
+		if _, present := cell[key]; !present {
+			t.Errorf("wire cell lost key %q", key)
+		}
+	}
+
+	// The typed view: decoding back must reproduce the input exactly.
+	var back benchFile
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, back) {
+		t.Errorf("round trip changed the file:\n in: %+v\nout: %+v", in, back)
+	}
+
+	// Absent sections must stay absent, not appear as empty arrays: the
+	// schema distinguishes "sweep not run" from "sweep ran and was empty".
+	for _, key := range []string{"guard", "repl"} {
+		if _, present := generic[key]; present {
+			t.Errorf("omitted section %q serialized anyway", key)
+		}
+	}
+}
+
+// TestNextBenchPath pins the ordinal policy: one past the highest existing
+// ordinal, never slotting into a gap below a committed file.
+func TestNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_0.json", "BENCH_2.json", "BENCH_7.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := nextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_8.json"); got != want {
+		t.Errorf("nextBenchPath = %q, want %q (gaps below the maximum must stay unused)", got, want)
+	}
+}

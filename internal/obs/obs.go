@@ -82,6 +82,16 @@ func BucketUpperBoundSeconds(b int) float64 {
 	return float64(uint64(1)<<uint(b+1)) / 1e9
 }
 
+// BucketLowerBoundSeconds returns the inclusive lower bound of histogram
+// bucket b in seconds. Together with the upper bound it brackets every
+// sample the bucket holds, which is what sub-bucket percentile
+// interpolation needs: a log2 bucket is wide (its bounds differ by 2×), so
+// reporting the raw upper bound quantizes every quantile falling inside it
+// to one identical value.
+func BucketLowerBoundSeconds(b int) float64 {
+	return float64(uint64(1)<<uint(b)) / 1e9
+}
+
 // Config tunes a Registry. The zero value selects the defaults.
 type Config struct {
 	// TraceCapacity bounds the path-transition trace ring; older events

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"io"
+	"net"
 	"testing"
 
 	"rtle/internal/check"
@@ -16,8 +18,15 @@ type fastPathHarness struct {
 	ex      []*executor
 	threads []core.Thread
 	reqBuf  []byte
-	respBuf []byte
 	results []Result
+
+	// Response-side scratch, mirroring writeLoop's conn-lifetime iovec
+	// backing array, its boxed view (see writeLoop for why the view must
+	// not be re-boxed per batch), and the client's per-slot decode scratch.
+	bufs   net.Buffers
+	view   *net.Buffers
+	sink   io.Writer
+	cliRes [1]Result
 
 	// The decoded operation is staged in fields so the per-shard atomic
 	// bodies can be built once at setup — the worker's block closures are
@@ -37,8 +46,10 @@ func newFastPathHarness(tb testing.TB) *fastPathHarness {
 	h := &fastPathHarness{
 		srv:     srv,
 		reqBuf:  make([]byte, 0, 64),
-		respBuf: make([]byte, 0, 64),
 		results: make([]Result, 1),
+		bufs:    make(net.Buffers, 1),
+		view:    new(net.Buffers),
+		sink:    io.Discard,
 	}
 	for k, sh := range srv.top().shards {
 		h.ex = append(h.ex, sh.adt.newExecutor(1))
@@ -51,11 +62,13 @@ func newFastPathHarness(tb testing.TB) *fastPathHarness {
 	return h
 }
 
-// serve pushes one request through the wire fast path: encode the frame,
-// decode it back (the server's read side), validate, route, execute the
-// operation in an atomic block on the routed shard, and encode the
-// response — everything the serving layer does per request except the
-// socket I/O and queue handoff.
+// serve pushes one request through the wire fast path end to end: encode
+// the frame, decode it back (the server's read side), validate, route,
+// execute the operation in an atomic block on the routed shard, encode the
+// response into a pooled frame buffer, flush it through the vectored
+// writer, recycle the buffer, and decode the response into the
+// client-side result scratch — everything both ends do per request except
+// the socket itself and the queue handoff.
 func (h *fastPathHarness) serve(req *Request) error {
 	h.reqBuf = AppendRequest(h.reqBuf[:0], req)
 	decoded, err := DecodeRequest(h.reqBuf[4:])
@@ -73,7 +86,27 @@ func (h *fastPathHarness) serve(req *Request) error {
 	// operation reuses the handle.
 	h.ex[plan.shard].after(0, decoded.Op, h.results[0])
 	h.resp = Response{ID: decoded.ID, Status: StatusOK, Results: h.results[:1]}
-	h.respBuf = AppendResponse(h.respBuf[:0], &h.resp)
+
+	// Response side: pooled frame, vectored flush, recycle — writeLoop's
+	// steady state with a one-frame batch.
+	f := getFrame()
+	f.b = AppendResponse(f.b, &h.resp)
+	h.bufs[0] = f.b
+	*h.view = h.bufs[:1]
+	if err := writeBuffers(h.sink, h.view); err != nil {
+		return err
+	}
+
+	// Client side: decode the response into the caller's result scratch,
+	// as Client.readLoop does for a DoInto caller.
+	cresp, err := DecodeResponseInto(f.b[4:], h.cliRes[:])
+	putFrame(f)
+	if err != nil {
+		return err
+	}
+	if cresp.ID != decoded.ID || cresp.Status != StatusOK {
+		return errShort
+	}
 	return nil
 }
 

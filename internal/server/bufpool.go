@@ -1,0 +1,74 @@
+package server
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// frameBuf is one pooled wire-frame buffer. Every frame queued on a
+// conn's out channel is encoded into one — responses, hellos, replication
+// entries, snapshot chunks — and the write loop returns it to the pool
+// after the vectored flush, so the steady-state response path allocates
+// zero bytes per operation: the arena is sized by the peak in-flight
+// frame count, not the operation rate.
+type frameBuf struct {
+	b []byte
+}
+
+// maxPooledFrame bounds what a recycled buffer may retain. A frame that
+// grew past it (a huge batch response, a snapshot items chunk) is dropped
+// instead of pinning its capacity in the pool forever; the common single-
+// op response is ~20 bytes.
+const maxPooledFrame = 1 << 14
+
+var framePool = sync.Pool{
+	New: func() any { return &frameBuf{b: make([]byte, 0, 256)} },
+}
+
+// getFrame takes an empty frame buffer from the arena.
+//
+//rtle:hotpath
+func getFrame() *frameBuf {
+	f := framePool.Get().(*frameBuf)
+	f.b = f.b[:0]
+	return f
+}
+
+// putFrame recycles one frame buffer after its bytes hit the socket.
+// Oversized buffers are dropped so the arena's footprint stays bounded by
+// the steady-state frame size, not the largest frame ever sent.
+//
+//rtle:hotpath
+func putFrame(f *frameBuf) {
+	if cap(f.b) > maxPooledFrame {
+		return
+	}
+	framePool.Put(f)
+}
+
+// writeBuffers flushes every buffer of v to w as one vectored write — a
+// single writev syscall on a *net.TCPConn — looping on partial writes
+// until the batch is fully on the wire. net.Buffers.WriteTo consumes v in
+// place (advancing past whatever the short write sent), so resuming after
+// an io.ErrShortWrite or a positive-progress error retries exactly the
+// unsent tail; any other error, or a round that makes no progress, is
+// fatal for the connection.
+//
+//rtle:hotpath
+func writeBuffers(w io.Writer, v *net.Buffers) error {
+	for len(*v) > 0 {
+		n, err := v.WriteTo(w)
+		if err != nil && err != io.ErrShortWrite {
+			return err
+		}
+		if len(*v) > 0 && n == 0 {
+			// No progress: surface the short write instead of spinning.
+			if err == nil {
+				err = io.ErrShortWrite
+			}
+			return err
+		}
+	}
+	return nil
+}

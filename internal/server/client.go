@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -19,14 +20,44 @@ type Client struct {
 	nc    net.Conn
 	hello ServerHello // the server's negotiation answer, fixed at Dial
 
-	wmu sync.Mutex // one frame per Write call, serialized
+	wmu  sync.Mutex // one frame per Write call, serialized
+	wbuf []byte     // encode scratch, owned by wmu: the request frame reuses it
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signaled when pending shrinks or the client dies
 	nextID  uint32
-	pending map[uint32]chan Response
+	pending map[uint32]*pendingCall
 	closing bool  // CloseContext called: refuse new requests, drain
 	err     error // sticky transport error, set by the read loop
+}
+
+// pendingCall is one in-flight request's rendezvous: the buffered reply
+// channel the caller blocks on, and the caller-owned result scratch the
+// read loop decodes into (nil means the decode allocates). Calls are
+// pooled — the channel is reused across requests — which is safe because
+// each carries exactly one response per registration and error paths never
+// return a call (a closed or possibly-occupied channel must not be
+// recycled).
+type pendingCall struct {
+	ch  chan Response
+	res []Result
+}
+
+var callPool = sync.Pool{
+	New: func() any { return &pendingCall{ch: make(chan Response, 1)} },
+}
+
+//rtle:hotpath
+func getCall(res []Result) *pendingCall {
+	call := callPool.Get().(*pendingCall)
+	call.res = res
+	return call
+}
+
+//rtle:hotpath
+func putCall(call *pendingCall) {
+	call.res = nil
+	callPool.Put(call)
 }
 
 // ErrClosed reports a request issued after the client's connection died or
@@ -126,7 +157,7 @@ func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client,
 		return nil, fmt.Errorf("server: server speaks rtled/%d, client speaks rtled/%d", sh.Version, ProtocolVersion)
 	}
 	_ = nc.SetDeadline(time.Time{}) // the setup bound does not govern the connection's life
-	c := &Client{nc: nc, hello: sh, pending: make(map[uint32]chan Response)}
+	c := &Client{nc: nc, hello: sh, pending: make(map[uint32]*pendingCall)}
 	c.cond = sync.NewCond(&c.mu)
 	go c.readLoop(fr)
 	return c, nil
@@ -161,18 +192,29 @@ func (c *Client) readLoop(fr frameReader) {
 			c.fail(fmt.Errorf("%w: %v", ErrConnClosed, err))
 			return
 		}
-		resp, err := DecodeResponse(payload)
+		if len(payload) < 5 {
+			c.fail(errShort)
+			return
+		}
+		// The id leads the payload; looking the call up first lets the
+		// decode target the caller's result scratch instead of allocating.
+		id := binary.BigEndian.Uint32(payload)
+		c.mu.Lock()
+		call := c.pending[id]
+		delete(c.pending, id)
+		c.cond.Broadcast() // wake a draining CloseContext
+		c.mu.Unlock()
+		var res []Result
+		if call != nil {
+			res = call.res
+		}
+		resp, err := DecodeResponseInto(payload, res)
 		if err != nil {
 			c.fail(err) // a protocol error, not transport death: no wrap
 			return
 		}
-		c.mu.Lock()
-		ch := c.pending[resp.ID]
-		delete(c.pending, resp.ID)
-		c.cond.Broadcast() // wake a draining CloseContext
-		c.mu.Unlock()
-		if ch != nil {
-			ch <- resp
+		if call != nil {
+			call.ch <- resp
 		}
 	}
 }
@@ -187,11 +229,11 @@ func (c *Client) fail(err error) {
 		c.err = err
 	}
 	pending := c.pending
-	c.pending = make(map[uint32]chan Response)
+	c.pending = make(map[uint32]*pendingCall)
 	c.cond.Broadcast() // nothing left to drain
 	c.mu.Unlock()
-	for _, ch := range pending {
-		close(ch)
+	for _, call := range pending {
+		close(call.ch) // the call never returns to the pool: a closed channel must not be reused
 	}
 }
 
@@ -232,39 +274,44 @@ func (c *Client) CloseContext(ctx context.Context) error {
 	return err
 }
 
-// send registers a pending slot, encodes req with a fresh id, and writes
-// the frame.
+// send registers a pooled pending call, encodes req with a fresh id into
+// the client's write scratch, and writes the frame. The caller owns the
+// returned call until the response arrives; error paths never return one.
 //
 //rtle:hotpath
-func (c *Client) send(req *Request) (chan Response, error) {
-	ch := make(chan Response, 1) //rtle:ignore hotalloc one reply slot per in-flight request; pooling the slots is the zero-alloc roadmap item
+func (c *Client) send(req *Request, res []Result) (*pendingCall, error) {
+	call := getCall(res)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
+		putCall(call)
 		return nil, err
 	}
 	if c.closing {
 		c.mu.Unlock()
+		putCall(call)
 		return nil, ErrClosed
 	}
 	c.nextID++
 	req.ID = c.nextID
-	c.pending[req.ID] = ch
+	c.pending[req.ID] = call
 	c.mu.Unlock()
 
-	//rtle:ignore hotalloc fresh frame per request until client-side buffer pooling lands (zero-alloc roadmap item)
-	frame := AppendRequest(nil, req)
 	c.wmu.Lock()
-	_, err := c.nc.Write(frame)
+	c.wbuf = AppendRequest(c.wbuf[:0], req)
+	_, err := c.nc.Write(c.wbuf)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
+		// The call is not recycled: the read loop may have raced a
+		// response into its channel (or fail may close it) — either way
+		// its channel is no longer provably empty and open.
 		return nil, fmt.Errorf("%w: %v", ErrConnClosed, err)
 	}
-	return ch, nil
+	return call, nil
 }
 
 // Do issues req and blocks for its response. The request's ID field is
@@ -274,12 +321,23 @@ func (c *Client) send(req *Request) (chan Response, error) {
 //
 //rtle:hotpath
 func (c *Client) Do(req *Request) (Response, error) {
-	ch, err := c.send(req)
+	return c.DoInto(req, nil) //rtle:ignore hotalloc scratchless compatibility surface; zero-alloc callers use DoInto
+}
+
+// DoInto is Do with caller-owned result scratch: an OK response's results
+// are decoded into res when they fit (Response.Results then aliases res),
+// so a caller that sizes res to its op's result count completes the whole
+// round trip without allocating. A nil res is Do.
+//
+//rtle:hotpath
+func (c *Client) DoInto(req *Request, res []Result) (Response, error) {
+	call, err := c.send(req, res)
 	if err != nil {
 		return Response{}, err
 	}
-	resp, ok := <-ch
+	resp, ok := <-call.ch
 	if !ok {
+		// fail closed the channel; it never returns to the pool.
 		c.mu.Lock()
 		err := c.err
 		c.mu.Unlock()
@@ -288,6 +346,9 @@ func (c *Client) Do(req *Request) (Response, error) {
 		}
 		return Response{}, err
 	}
+	// Exactly one response per registration was delivered, so the channel
+	// is empty and open again: safe to recycle.
+	putCall(call)
 	return resp, nil
 }
 

@@ -200,11 +200,17 @@ func (fc *FailoverClient) invalidate(gen uint64) {
 // on that classification, and a typed error survives message rewording
 // where string matching would not.
 func (fc *FailoverClient) Do(req *Request) (Response, error) {
+	return fc.DoInto(req, nil)
+}
+
+// DoInto is Do with caller-owned result scratch, forwarded to the live
+// connection's Client.DoInto (see that method's aliasing contract).
+func (fc *FailoverClient) DoInto(req *Request, res []Result) (Response, error) {
 	c, gen, err := fc.conn()
 	if err != nil {
 		return Response{}, err
 	}
-	resp, err := c.Do(req)
+	resp, err := c.DoInto(req, res)
 	if err != nil && (errors.Is(err, ErrConnClosed) || errors.Is(err, ErrClosed)) {
 		fc.invalidate(gen)
 	}

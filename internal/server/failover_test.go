@@ -259,6 +259,9 @@ func (f *scriptedNotPrimaryConn) Do(req *Request) (Response, error) {
 	}
 	return Response{Status: StatusOK, Results: []Result{{Ret: 0, Ok: true}}}, nil
 }
+func (f *scriptedNotPrimaryConn) DoInto(req *Request, res []Result) (Response, error) {
+	return f.Do(req)
+}
 func (f *scriptedNotPrimaryConn) Batch(entries []BatchEntry) (Response, error) {
 	return f.Do(nil)
 }
@@ -277,7 +280,9 @@ func TestLoadRetriesNotPrimaryByType(t *testing.T) {
 	conn := &scriptedNotPrimaryConn{rejections: 3}
 	r := rng.NewXoshiro256(1)
 
-	if ok := st.single(st.hist.Recorder(0), conn, r, time.Now()); !ok {
+	var req Request
+	var resBuf [1]Result
+	if ok := st.single(st.hist.Recorder(0), conn, r, time.Now(), &req, resBuf[:]); !ok {
 		t.Fatal("single() abandoned the slot on a not-primary rejection")
 	}
 	if st.notPrimary != 3 {

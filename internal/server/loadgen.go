@@ -168,21 +168,34 @@ func (r *LoadResult) Throughput() float64 {
 }
 
 // Percentile returns the q-quantile (0 < q <= 1) of the latency
-// distribution in seconds, resolved to its histogram bucket's upper bound.
+// distribution in seconds, linearly interpolated within its log2 histogram
+// bucket. The buckets are wide (each spans a 2× range), so resolving a
+// quantile to the raw bucket bound — as this method once did — quantizes
+// every distribution whose quantile lands in the same bucket to one
+// byte-identical value; interpolating by the quantile's rank within the
+// bucket recovers sub-bucket resolution under the usual assumption that
+// samples spread uniformly inside a bucket.
 func (r *LoadResult) Percentile(q float64) float64 {
 	if r.Latency.Count == 0 {
 		return 0
 	}
-	target := uint64(q * float64(r.Latency.Count))
-	if target == 0 {
+	target := q * float64(r.Latency.Count)
+	if target < 1 {
 		target = 1
 	}
 	var cum uint64
 	for b := 0; b < obs.NumLatencyBuckets; b++ {
-		cum += r.Latency.Counts[b]
-		if cum >= target {
-			return obs.BucketUpperBoundSeconds(b)
+		n := r.Latency.Counts[b]
+		if n == 0 {
+			continue
 		}
+		if float64(cum+n) >= target {
+			lo := obs.BucketLowerBoundSeconds(b)
+			hi := obs.BucketUpperBoundSeconds(b)
+			frac := (target - float64(cum)) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum += n
 	}
 	return obs.BucketUpperBoundSeconds(obs.NumLatencyBuckets - 1)
 }
@@ -191,6 +204,7 @@ func (r *LoadResult) Percentile(q float64) float64 {
 // *Client (one address) and *FailoverClient (an address list) satisfy it.
 type loadConn interface {
 	Do(req *Request) (Response, error)
+	DoInto(req *Request, res []Result) (Response, error)
 	Batch(entries []BatchEntry) (Response, error)
 	ServerShards() int
 	Close() error
@@ -393,6 +407,12 @@ func (st *loadState) slot(s int, c loadConn, start time.Time) {
 	r := rng.NewXoshiro256(cfg.Seed + uint64(s)*0x9e3779b97f4a7c15 + 1)
 	slots := cfg.Conns * cfg.Pipeline
 
+	// Per-slot round-trip scratch: one request header and one result slot,
+	// reused for every single operation, so the slot's steady state rides
+	// the client's zero-alloc path end to end.
+	var req Request
+	var resBuf [1]Result
+
 	// Open loop: this slot owns every slots'th arrival of the aggregate
 	// schedule.
 	var period time.Duration
@@ -421,7 +441,7 @@ func (st *loadState) slot(s int, c loadConn, start time.Time) {
 			st.witnessBatch(c, r)
 			continue
 		}
-		if !st.single(rec, c, r, issueAt) {
+		if !st.single(rec, c, r, issueAt, &req, resBuf[:]) {
 			return
 		}
 	}
@@ -436,11 +456,12 @@ func (st *loadState) slot(s int, c loadConn, start time.Time) {
 // is the one genuinely ambiguous outcome — the operation may or may not
 // have executed — so the event is cut to pending rather than abandoned,
 // and the checker must explain it both ways.
-func (st *loadState) single(rec *check.ThreadRecorder, c loadConn, r *rng.Xoshiro256, issueAt time.Time) bool {
+func (st *loadState) single(rec *check.ThreadRecorder, c loadConn, r *rng.Xoshiro256, issueAt time.Time, req *Request, res []Result) bool {
 	op, a1, a2, a3 := st.pick(r)
 	rec.Invoke(op, a1, a2, a3)
 	for {
-		resp, err := c.Do(&Request{Op: op, Arg1: a1, Arg2: a2, Arg3: a3})
+		*req = Request{Op: op, Arg1: a1, Arg2: a2, Arg3: a3}
+		resp, err := c.DoInto(req, res)
 		if err != nil {
 			if errors.Is(err, ErrNotPrimary) {
 				// Typed, not string-matched: the failover client classified

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"testing"
+
+	"rtle/internal/obs"
+)
+
+// latResult builds a LoadResult whose latency histogram holds the given
+// samples (nanoseconds), the way a run's per-op observations would land.
+func latResult(nanos ...int64) *LoadResult {
+	var h obs.Histogram
+	for _, n := range nanos {
+		h.Observe(n)
+	}
+	return &LoadResult{Ops: uint64(len(nanos)), Latency: h.Snapshot()}
+}
+
+// TestPercentileInterpolation pins the sub-bucket resolution the wire sweep
+// depends on. The log2 buckets are 2× wide, so the old bound-reporting
+// Percentile collapsed every distribution whose quantile fell in the same
+// bucket onto one byte-identical value — a one-bucket sweep axis read as
+// flat. Interpolated quantiles must instead move with the sample ranks.
+func TestPercentileInterpolation(t *testing.T) {
+	// Two loads whose p50 lands in the same bucket ([1024, 2048) ns) but
+	// at different ranks within it: one entered the bucket with half its
+	// mass already spent below, the other holds all its mass there.
+	skewLow := latResult(100, 100, 100, 1100, 1100, 1100, 1100, 1100, 1100)
+	skewHigh := latResult(1100, 1100, 1100, 1100, 1100, 1100, 1100, 1100, 1100)
+	p50Low, p50High := skewLow.Percentile(0.5), skewHigh.Percentile(0.5)
+	if p50Low == p50High {
+		t.Errorf("distinct distributions in one bucket quantized to identical p50 %.9f", p50Low)
+	}
+
+	// The interpolated value must stay inside the bucket that holds the
+	// quantile's rank, and rank within the bucket must order the results.
+	lo, hi := obs.BucketLowerBoundSeconds(10), obs.BucketUpperBoundSeconds(10)
+	for name, p := range map[string]float64{"skewLow": p50Low, "skewHigh": p50High} {
+		if p < lo || p > hi {
+			t.Errorf("%s p50 %.9f escaped its bucket [%.9f, %.9f]", name, p, lo, hi)
+		}
+	}
+	if p50Low >= p50High {
+		t.Errorf("p50 ordering inverted: bottom-heavy %.9f >= top-heavy %.9f", p50Low, p50High)
+	}
+
+	// Exact arithmetic on a single-bucket histogram: 4 samples in bucket
+	// 10, rank targets q*4 clamp to {1,2,3,4}, so quantiles step through
+	// the bucket in quarter-width increments.
+	r := latResult(1024, 1024, 1024, 1024)
+	width := hi - lo
+	for _, tc := range []struct{ q, want float64 }{
+		{0.25, lo + width*0.25},
+		{0.50, lo + width*0.50},
+		{0.99, lo + width*0.99},
+		{1.00, hi},
+	} {
+		if got := r.Percentile(tc.q); !near(got, tc.want) {
+			t.Errorf("q=%.2f: got %.12f, want %.12f", tc.q, got, tc.want)
+		}
+	}
+
+	// Quantiles must be monotone in q across buckets.
+	spread := latResult(100, 500, 1100, 4000, 9000, 70000, 70000, 2_000_000)
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		p := spread.Percentile(q)
+		if p < prev {
+			t.Errorf("Percentile(%.2f)=%.9f < Percentile(prev)=%.9f", q, p, prev)
+		}
+		prev = p
+	}
+
+	// Degenerate cases: empty histogram reports 0; a tiny q still resolves
+	// to at least the first sample's bucket rather than underflowing.
+	if p := (&LoadResult{}).Percentile(0.5); p != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", p)
+	}
+	one := latResult(1500)
+	if p := one.Percentile(0.001); p < obs.BucketLowerBoundSeconds(10) {
+		t.Errorf("q=0.001 with one sample underflowed to %.9f", p)
+	}
+}
+
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-15
+}

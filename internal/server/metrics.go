@@ -158,6 +158,22 @@ type Metrics struct {
 	// latency is the queue-to-response service latency per op slot.
 	latency [numOps]obs.Histogram
 
+	// writeBatchFrames is the distribution of frames per vectored write:
+	// how many queued responses each writev flushed in one syscall. A mass
+	// near 1 means the write loop never finds a second frame queued (the
+	// load is not pipelined enough to coalesce); a fatter tail is syscalls
+	// saved.
+	writeBatchFrames obs.Histogram
+
+	// affineOps counts operations handed to their shard queue by an
+	// affinity run: the reader chained consecutive same-shard single ops
+	// and delivered the chain in one queue send, skipping the per-op
+	// channel hop.
+	affineOps atomic.Uint64
+	// affineRuns counts the chains themselves (affineOps / affineRuns is
+	// the mean run length).
+	affineRuns atomic.Uint64
+
 	// shards holds the per-shard execution metrics, attached by New and
 	// swapped atomically by Reshard while scrapes may be in flight.
 	shards atomic.Pointer[[]*ShardMetrics]
@@ -227,6 +243,14 @@ func (m *Metrics) CrossShard() uint64 { return m.crossOps.Load() }
 // HelloRejects returns the number of connections refused at version
 // negotiation.
 func (m *Metrics) HelloRejects() uint64 { return m.helloRejects.Load() }
+
+// AffineOps returns the number of operations delivered to their shard by
+// an affinity run (chained same-shard handoff) rather than a per-op queue
+// send.
+func (m *Metrics) AffineOps() uint64 { return m.affineOps.Load() }
+
+// WriteBatches returns a snapshot of the frames-per-writev distribution.
+func (m *Metrics) WriteBatches() obs.LatencySnapshot { return m.writeBatchFrames.Snapshot() }
 
 // ewmaServiceNanos returns the widest shard EWMA, the merged gauge.
 func (m *Metrics) ewmaServiceNanosMax() int64 {
@@ -435,6 +459,33 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		p("# HELP rtled_repl_log_truncations_total Completed log compactions (truncations and bootstrap resets).\n")
 		p("# TYPE rtled_repl_log_truncations_total counter\n")
 		p("rtled_repl_log_truncations_total %d\n", st.Truncations)
+	}
+
+	p("# HELP rtled_affine_ops_total Operations handed to their shard by a chained affinity run.\n")
+	p("# TYPE rtled_affine_ops_total counter\n")
+	p("rtled_affine_ops_total %d\n", m.affineOps.Load())
+
+	p("# HELP rtled_affine_runs_total Affinity-run chains delivered (ops/runs is the mean run length).\n")
+	p("# TYPE rtled_affine_runs_total counter\n")
+	p("rtled_affine_runs_total %d\n", m.affineRuns.Load())
+
+	// Frames-per-writev distribution. The histogram's log2 buckets hold
+	// frame counts, not nanoseconds, so the bucket bound is rendered as the
+	// largest count the bucket admits.
+	if wb := m.writeBatchFrames.Snapshot(); wb.Count > 0 {
+		p("# HELP rtled_write_batch_frames Response frames flushed per vectored write syscall.\n")
+		p("# TYPE rtled_write_batch_frames histogram\n")
+		var cum uint64
+		for b := 0; b < obs.NumLatencyBuckets; b++ {
+			if wb.Counts[b] == 0 {
+				continue
+			}
+			cum += wb.Counts[b]
+			p("rtled_write_batch_frames_bucket{le=\"%d\"} %d\n", uint64(1)<<(b+1)-1, cum)
+		}
+		p("rtled_write_batch_frames_bucket{le=\"+Inf\"} %d\n", wb.Count)
+		p("rtled_write_batch_frames_sum %d\n", wb.SumNanos)
+		p("rtled_write_batch_frames_count %d\n", wb.Count)
 	}
 
 	p("# HELP rtled_request_latency_seconds Queue-to-response service latency by operation.\n")

@@ -102,6 +102,7 @@
 package server
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -443,6 +444,30 @@ func (fr *frameReader) next() ([]byte, error) {
 	return p, nil
 }
 
+// ready reports whether a complete frame is already buffered, i.e. whether
+// next() would return without touching the socket. The server's read loop
+// uses it to decide when a pipelined burst has drained: as long as ready
+// holds, admission may keep extending an affinity run, because flushing is
+// only mandatory before a read that could block. False when the underlying
+// reader is not a *bufio.Reader (no lookahead available).
+//
+//rtle:hotpath
+func (fr *frameReader) ready() bool {
+	br, ok := fr.r.(*bufio.Reader)
+	if !ok {
+		return false
+	}
+	if br.Buffered() < 4 {
+		return false
+	}
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	return n <= maxFrame && br.Buffered() >= 4+int(n)
+}
+
 // DecodeRequest parses a request payload. The returned request's Batch
 // aliases nothing in p.
 //
@@ -501,6 +526,17 @@ func DecodeRequest(p []byte) (Request, error) {
 //
 //rtle:hotpath
 func DecodeResponse(p []byte) (Response, error) {
+	return DecodeResponseInto(p, nil) //rtle:ignore hotalloc scratchless compatibility surface; zero-alloc callers use DecodeResponseInto
+}
+
+// DecodeResponseInto parses a response payload, decoding an OK response's
+// results into res when they fit (the returned Response's Results then
+// aliases res). A response carrying more results than res holds — or a nil
+// res — falls back to allocating, so the zero-alloc contract is between
+// the caller and its own scratch sizing.
+//
+//rtle:hotpath
+func DecodeResponseInto(p []byte, res []Result) (Response, error) {
 	var r Response
 	if len(p) < 5 {
 		return r, errShort
@@ -519,8 +555,12 @@ func DecodeResponse(p []byte) (Response, error) {
 			return r, errShort
 		}
 		if n > 0 {
-			//rtle:ignore hotalloc one result slice per OK response; pooled decode is the zero-alloc roadmap item
-			r.Results = make([]Result, n)
+			if n <= len(res) {
+				r.Results = res[:n]
+			} else {
+				//rtle:ignore hotalloc oversized-response fallback; steady-state callers size their scratch to the op's result count
+				r.Results = make([]Result, n)
+			}
 			for i := range r.Results {
 				r.Results[i].Ret = binary.BigEndian.Uint64(p)
 				r.Results[i].Ok = p[8] != 0

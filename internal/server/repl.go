@@ -343,7 +343,9 @@ func (s *Server) serveSubscriber(c *conn, fr *frameReader, req Request) {
 		bootstrap = true
 	}
 	s.metrics.statuses[StatusOK].Add(1)
-	c.send(AppendResponse(nil, &Response{ID: req.ID, Status: StatusOK}))
+	ok := getFrame()
+	ok.b = AppendResponse(ok.b, &Response{ID: req.ID, Status: StatusOK})
+	c.send(ok)
 
 	sub := r.addSub(first)
 	defer r.removeSub(sub)
@@ -419,7 +421,9 @@ func (s *Server) streamEntries(c *conn, sub *replSub, next uint64) {
 			}
 		}
 		for i := range entries {
-			c.send(AppendReplEntry(nil, &entries[i]))
+			f := getFrame()
+			f.b = AppendReplEntry(f.b, &entries[i])
+			c.send(f)
 		}
 		next = entries[len(entries)-1].Seq + 1
 	}

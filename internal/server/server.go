@@ -204,7 +204,9 @@ type Server struct {
 // top returns the live topology generation.
 func (s *Server) top() *topology { return s.topo.Load() }
 
-// task is one accepted request bound to its connection.
+// task is one accepted request bound to its connection. Task headers are
+// pooled: admit draws them from the arena and respond/discard recycle
+// them, so steady-state admission allocates nothing.
 type task struct {
 	c       *conn
 	req     Request
@@ -213,12 +215,39 @@ type task struct {
 	sh *shard
 	// spans is the ascending involved-shard set for slow-path tasks.
 	spans []int
+	// next chains an affinity run: consecutive same-shard single ops the
+	// reader handed to the shard queue as one linked batch (see
+	// readLoop's run handoff). nil outside a run.
+	next *task
+}
+
+var taskPool = sync.Pool{
+	New: func() any { return new(task) },
+}
+
+// getTask draws a clean task header from the arena.
+//
+//rtle:hotpath
+func getTask() *task { return taskPool.Get().(*task) }
+
+// putTask recycles one answered task's header, dropping every reference
+// it carried (the batch slice, the connection, the chain link) so the
+// arena never pins freed request state.
+//
+//rtle:hotpath
+func putTask(t *task) {
+	*t = task{}
+	taskPool.Put(t)
 }
 
 // conn is one client connection.
 type conn struct {
-	nc  net.Conn
-	out chan []byte // encoded response frames, closed after the last send
+	nc net.Conn
+	// out carries encoded response frames to the write loop, which flushes
+	// them in vectored batches and recycles every buffer into the frame
+	// arena; closed after the last send. Every frame on it MUST come from
+	// getFrame.
+	out chan *frameBuf
 	// features holds the client hello's declared feature bits, written by
 	// hello and read only from the same read-loop goroutine (subscriber
 	// bootstrap checks FeatureSnapshot).
@@ -229,8 +258,11 @@ type conn struct {
 	tasks sync.WaitGroup
 }
 
-// send queues an encoded response frame for writing.
-func (c *conn) send(frame []byte) { c.out <- frame }
+// send queues one pooled frame for writing. Ownership transfers to the
+// write loop, which recycles the buffer after the flush.
+//
+//rtle:hotpath
+func (c *conn) send(f *frameBuf) { c.out <- f }
 
 // New builds a Server: per-shard simulated heaps, ADT partitions, and
 // synchronization methods, plus the key router, fault director, and worker
@@ -449,7 +481,7 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
-		c := &conn{nc: nc, out: make(chan []byte, 64)}
+		c := &conn{nc: nc, out: make(chan *frameBuf, 64)}
 		s.mu.Lock()
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
@@ -498,11 +530,21 @@ func (s *Server) readLoop(c *conn) {
 		// here would race the client out of its explanation.
 		return
 	}
+	var run affRun
 	for {
+		// Flush the pending affinity run before any read that could block:
+		// as long as the next frame is already buffered the run may keep
+		// growing, but a parked reader must not sit on admitted-but-unqueued
+		// work.
+		if run.n > 0 && !fr.ready() {
+			s.flushRun(c, &run)
+		}
 		payload, err := fr.next()
 		if err != nil {
 			// EOF, connection reset, or an unrecoverable framing error
 			// (oversized frame): no way to resynchronize, drop the conn.
+			// The run is always empty here: a buffered frame cannot fail to
+			// read, and the flush above covered the blocking case.
 			_ = c.nc.Close() // double-close on teardown is harmless
 			return
 		}
@@ -516,12 +558,14 @@ func (s *Server) readLoop(c *conn) {
 		if req.Op == OpReplSubscribe {
 			// The connection becomes a replication stream; when the
 			// subscriber hangs up the deferred teardown runs as usual.
+			s.flushRun(c, &run)
 			s.serveSubscriber(c, &fr, req)
 			return
 		}
 		if req.Op == OpSnapshot {
 			// The full state streams inline as snapshot chunks; the read
 			// loop resumes decoding requests once the end chunk is queued.
+			s.flushRun(c, &run)
 			s.serveSnapshot(c, req)
 			continue
 		}
@@ -530,7 +574,144 @@ func (s *Server) readLoop(c *conn) {
 			s.reject(c, req.ID, StatusBad, err.Error())
 			continue
 		}
+		// A replica serves pings (drain and liveness probes) but rejects
+		// everything else before execution: clients retry against the
+		// primary or ride out this server's promotion.
+		if r := s.repl; r != nil && !r.primary() && req.Op != OpPing {
+			s.reject(c, req.ID, StatusNotPrimary,
+				"server is a replica of "+r.primaryAddr)
+			continue
+		}
+		// Shard-affinity classification: consecutive fast-path ops that
+		// hash to one shard chain into a run and reach the shard queue as
+		// one linked handoff, skipping the per-op channel send.
+		if run.n > 0 {
+			plan := run.tp.router.plan(&req)
+			if plan.fast && plan.shard == run.sh && run.n < affinityRunCap {
+				run.add(c, req)
+				continue
+			}
+			// Cross-shard op, slow-path op, or a full run: the run flushes
+			// in admission order ahead of the newcomer.
+			s.flushRun(c, &run)
+		}
+		tp := s.top()
+		plan := tp.router.plan(&req)
+		if plan.fast {
+			run.tp, run.sh = tp, plan.shard
+			run.add(c, req)
+			continue
+		}
 		s.admit(c, req)
+	}
+}
+
+// affinityRunCap bounds one affinity run's chain length. A run occupies a
+// single queue slot however long it is, so the cap keeps the effective
+// queue bound (slots × cap) within the same order as QueueDepth while
+// still amortizing the channel handoff across a pipelined burst.
+const affinityRunCap = 32
+
+// affRun accumulates one connection's pending affinity run: consecutive
+// fast-path operations, all planned onto one shard of one topology
+// generation, chained through task.next while further frames are already
+// buffered. flushRun delivers the whole chain with a single queue send.
+type affRun struct {
+	head, tail *task
+	sh         int       // planned shard index
+	tp         *topology // generation the plan was made against
+	n          int
+}
+
+// add appends one accepted request to the run.
+//
+//rtle:hotpath
+func (run *affRun) add(c *conn, req Request) {
+	t := getTask()
+	t.c, t.req, t.arrived = c, req, time.Now()
+	if run.tail == nil {
+		run.head = t
+	} else {
+		run.tail.next = t
+	}
+	run.tail = t
+	run.n++
+}
+
+// flushRun hands the pending run to its shard queue in one send, applying
+// the same drain and backpressure discipline as admit. The run was planned
+// against a cached topology pointer without holding drainMu; the flush
+// re-checks the generation under the lock and re-plans per task if a
+// reshard swapped it in between (rare, and the re-plan may legally send
+// individual tasks to different shards or the slow path).
+//
+//rtle:hotpath
+func (s *Server) flushRun(c *conn, run *affRun) {
+	if run.n == 0 {
+		return
+	}
+	head, shIdx, tp0, n := run.head, run.sh, run.tp, run.n
+	run.head, run.tail, run.tp, run.n = nil, nil, nil, 0
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		for t := head; t != nil; {
+			nx := t.next
+			s.reject(c, t.req.ID, StatusShutdown, "server is draining")
+			putTask(t)
+			t = nx
+		}
+		return
+	}
+	tp := s.top()
+	if tp != tp0 {
+		// The serving generation changed since classification: re-plan
+		// every task on the generation whose workers will execute it.
+		var rejected *task
+		for t := head; t != nil; {
+			nx := t.next
+			t.next = nil
+			if bsh := s.enqueueLocked(tp, t, tp.router.plan(&t.req)); bsh != nil {
+				t.sh = bsh // carries the busy-hint target out of the lock
+				t.next = rejected
+				rejected = t
+			}
+			t = nx
+		}
+		s.drainMu.RUnlock()
+		for t := rejected; t != nil; {
+			nx := t.next
+			s.busy(c, t.req.ID, t.sh)
+			putTask(t)
+			t = nx
+		}
+		return
+	}
+	sh := tp.shards[shIdx]
+	for t := head; t != nil; t = t.next {
+		t.sh = sh
+	}
+	// Count before the send (see admit): the gauge must never dip negative
+	// under a racing pickup.
+	c.tasks.Add(n)
+	s.tasksWG.Add(n)
+	sh.m.queueDepth.Add(int64(n))
+	select {
+	case sh.queue <- head:
+		s.drainMu.RUnlock()
+		s.metrics.affineOps.Add(uint64(n))
+		s.metrics.affineRuns.Add(1)
+	default:
+		sh.m.queueDepth.Add(int64(-n))
+		c.tasks.Add(-n)
+		s.tasksWG.Add(-n)
+		s.drainMu.RUnlock()
+		for t := head; t != nil; {
+			nx := t.next
+			s.busy(c, t.req.ID, sh)
+			putTask(t)
+			t = nx
+		}
 	}
 }
 
@@ -566,11 +747,13 @@ func (s *Server) hello(c *conn, fr *frameReader) bool {
 	if s.repl != nil {
 		features |= FeatureReplicated
 	}
-	c.send(AppendServerHello(nil, &ServerHello{
+	f := getFrame()
+	f.b = AppendServerHello(f.b, &ServerHello{
 		Version:  ProtocolVersion,
 		Features: features,
 		Shards:   uint16(len(s.top().shards)),
-	}))
+	})
+	c.send(f)
 	return true
 }
 
@@ -599,16 +782,12 @@ func (s *Server) validate(req *Request) error {
 
 // admit routes one request and queues it, applying drain and backpressure
 // rejection. Fast-path requests go to their shard's bounded queue;
-// multi-shard requests go to the slow queue.
+// multi-shard requests go to the slow queue. (The read loop admits
+// fast-path singles through affinity runs instead; this is the slow-path
+// and direct-call entry.)
+//
+//rtle:hotpath
 func (s *Server) admit(c *conn, req Request) {
-	// A replica serves pings (drain and liveness probes) but rejects
-	// everything else before execution: clients retry against the primary
-	// or ride out this server's promotion.
-	if r := s.repl; r != nil && !r.primary() && req.Op != OpPing {
-		s.reject(c, req.ID, StatusNotPrimary,
-			"server is a replica of "+r.primaryAddr)
-		return
-	}
 	s.drainMu.RLock()
 	if s.draining {
 		s.drainMu.RUnlock()
@@ -620,41 +799,56 @@ func (s *Server) admit(c *conn, req Request) {
 	// drain its queue.
 	tp := s.top()
 	plan := tp.router.plan(&req)
-	//rtle:ignore hotalloc one task header per admitted request; pooling the headers is the zero-alloc roadmap item
-	t := &task{c: c, req: req, arrived: time.Now()}
+	t := getTask()
+	t.c, t.req, t.arrived = c, req, time.Now()
+	bsh := s.enqueueLocked(tp, t, plan)
+	s.drainMu.RUnlock()
+	if bsh != nil {
+		s.busy(c, t.req.ID, bsh)
+		putTask(t)
+	}
+}
+
+// enqueueLocked queues one planned task on its shard or the slow queue,
+// with the count-before-send accounting discipline (a worker decrements
+// the depth gauge at pickup, so counting after the send could let it dip
+// negative — and the coalescer reads it, so a stale negative depth would
+// spuriously shrink the window). The caller holds drainMu shared with
+// draining false. On backpressure every count is rolled back and the
+// busy-hint shard is returned; the caller sends the StatusBusy response
+// and recycles the task after releasing the lock (a send can block on a
+// stalled peer, and blocking under drainMu would wedge Shutdown).
+//
+//rtle:hotpath
+func (s *Server) enqueueLocked(tp *topology, t *task, plan routePlan) *shard {
+	c := t.c
 	c.tasks.Add(1)
 	s.tasksWG.Add(1)
 	if plan.fast {
 		sh := tp.shards[plan.shard]
 		t.sh = sh
-		// Count before the send: a worker decrements at pickup, so
-		// counting after it could let the gauge dip negative — and the
-		// coalescer reads it, so a stale negative depth would spuriously
-		// shrink the window.
 		sh.m.queueDepth.Add(1)
 		select {
 		case sh.queue <- t:
-			s.drainMu.RUnlock()
+			return nil
 		default:
 			sh.m.queueDepth.Add(-1)
 			c.tasks.Done()
 			s.tasksWG.Done()
-			s.drainMu.RUnlock()
-			s.busy(c, req.ID, sh)
+			t.sh = nil
+			return sh
 		}
-		return
 	}
 	t.spans = plan.spans
 	s.metrics.slowDepth.Add(1)
 	select {
 	case tp.slowQueue <- t:
-		s.drainMu.RUnlock()
+		return nil
 	default:
 		s.metrics.slowDepth.Add(-1)
 		c.tasks.Done()
 		s.tasksWG.Done()
-		s.drainMu.RUnlock()
-		s.busy(c, req.ID, tp.shards[plan.spans[0]])
+		return tp.shards[plan.spans[0]]
 	}
 }
 
@@ -664,7 +858,9 @@ func (s *Server) admit(c *conn, req Request) {
 //rtle:coldpath
 func (s *Server) reject(c *conn, id uint32, st Status, msg string) {
 	s.metrics.statuses[st].Add(1)
-	c.send(AppendResponse(nil, &Response{ID: id, Status: st, Message: msg}))
+	f := getFrame()
+	f.b = AppendResponse(f.b, &Response{ID: id, Status: st, Message: msg})
+	c.send(f)
 }
 
 // busy answers a request rejected by backpressure, with the target
@@ -674,16 +870,34 @@ func (s *Server) reject(c *conn, id uint32, st Status, msg string) {
 //rtle:coldpath
 func (s *Server) busy(c *conn, id uint32, sh *shard) {
 	s.metrics.statuses[StatusBusy].Add(1)
-	c.send(AppendResponse(nil, &Response{
+	f := getFrame()
+	f.b = AppendResponse(f.b, &Response{
 		ID:               id,
 		Status:           StatusBusy,
 		RetryAfterMicros: sh.m.retryAfterMicros(s.cfg.Workers),
 		QueueDepth:       uint32(sh.m.queueDepth.Load()),
-	}))
+	})
+	c.send(f)
 }
 
-// writeLoop flushes encoded responses to the socket. On a write error it
-// keeps draining (discarding) so senders never block on a dead peer.
+// Write-batch bounds. The frame bound keeps one writev's iovec small
+// enough to track the coalesced-block sizes the adaptive controller
+// produces (a whole block's responses land in one syscall); the byte
+// bound is the latency budget — it flushes before the vectored write
+// itself becomes a latency cliff for whoever's response rides last in
+// the batch. Gathering never waits: only frames already queued join a
+// batch, so batching adds no latency, it only removes syscalls.
+const (
+	maxWriteBatchFrames = 256
+	maxWriteBatchBytes  = 256 << 10
+)
+
+// writeLoop flushes encoded responses to the socket in vectored batches:
+// every frame already queued on c.out (bounded by the batch limits above)
+// is gathered into one net.Buffers and hits the wire as a single writev
+// syscall — one syscall per coalesced burst, not per response. Flushed
+// buffers return to the frame arena. On a write error it keeps draining
+// (recycling) so senders never block on a dead peer.
 //
 //rtle:hotpath
 func (s *Server) writeLoop(c *conn) {
@@ -692,42 +906,73 @@ func (s *Server) writeLoop(c *conn) {
 	defer func() {
 		_ = c.nc.Close() // double-close on teardown is harmless
 	}()
-	bw := bufio.NewWriterSize(c.nc, 1<<16)
+	frames := make([]*frameBuf, 0, maxWriteBatchFrames) //rtle:ignore hotalloc conn-lifetime gather scratch, reused for every batch
+	bufs := make(net.Buffers, maxWriteBatchFrames)      //rtle:ignore hotalloc conn-lifetime iovec backing array, reused for every batch
+	// The iovec view handed to writeBuffers must live in a conn-lifetime
+	// box: net.Buffers.WriteTo consumes the view in place through an
+	// interface, so a per-batch &view would escape — one header allocation
+	// per writev, exactly the cost this loop exists to remove.
+	view := new(net.Buffers) //rtle:ignore hotalloc conn-lifetime iovec view box, reused for every batch
 	dead := false
-	for frame := range c.out {
-		if dead {
-			continue
+	open := true
+	for open {
+		f, ok := <-c.out
+		if !ok {
+			return
 		}
-		if _, err := bw.Write(frame); err != nil {
-			dead = true
-			continue
-		}
-		// Flush once the channel momentarily empties: pipelined bursts
-		// batch into few syscalls, a lone response leaves immediately.
-		if len(c.out) == 0 {
-			if err := bw.Flush(); err != nil {
-				dead = true
+		frames = append(frames[:0], f)
+		bytes := len(f.b)
+		// Gather whatever else is already queued — never wait for more.
+	gather:
+		for len(frames) < maxWriteBatchFrames && bytes < maxWriteBatchBytes {
+			select {
+			case f2, ok2 := <-c.out:
+				if !ok2 {
+					open = false
+					break gather
+				}
+				frames = append(frames, f2)
+				bytes += len(f2.b)
+			default:
+				break gather
 			}
 		}
-	}
-	if !dead {
-		_ = bw.Flush() // the conn is closing; a lost final flush is the peer's EOF anyway
+		if !dead {
+			for i, fb := range frames {
+				bufs[i] = fb.b
+			}
+			*view = bufs[:len(frames)]
+			if err := writeBuffers(c.nc, view); err != nil {
+				dead = true
+			}
+			s.metrics.writeBatchFrames.Observe(int64(len(frames)))
+		}
+		for _, fb := range frames {
+			putFrame(fb)
+		}
 	}
 }
 
-// respond answers an executed task and releases its accounting. results
-// may alias a worker's scratch slice; it is encoded before returning.
+// respond answers an executed task and releases its accounting, then
+// recycles the task header. results may alias a worker's scratch slice;
+// it is encoded into a pooled frame before returning, so the steady-state
+// response path allocates nothing: the frame returns to the arena after
+// the write loop's vectored flush, the task header after this call.
+//
+//rtle:hotpath
 func (s *Server) respond(t *task, results []Result, resp Response) {
 	resp.Results = results
-	//rtle:ignore hotalloc fresh response frame per task until server-side buffer pooling lands (zero-alloc roadmap item)
-	frame := AppendResponse(nil, &resp)
+	f := getFrame()
+	f.b = AppendResponse(f.b, &resp)
 	s.metrics.statuses[resp.Status].Add(1)
 	s.metrics.latency[opIndex(t.req.Op)].Observe(time.Since(t.arrived).Nanoseconds())
-	t.c.send(frame)
+	c := t.c
 	if t.sh != nil {
 		t.sh.m.inflight.Add(-1)
 	}
-	t.c.tasks.Done()
+	putTask(t)
+	c.send(f)
+	c.tasks.Done()
 	s.tasksWG.Done()
 }
 
@@ -736,10 +981,12 @@ func (s *Server) respond(t *task, results []Result, resp Response) {
 // response must not escape to the client (see replWait), which instead
 // observes its dying connection and records the operation as pending.
 func (s *Server) discard(t *task) {
+	c := t.c
 	if t.sh != nil {
 		t.sh.m.inflight.Add(-1)
 	}
-	t.c.tasks.Done()
+	putTask(t)
+	c.tasks.Done()
 	s.tasksWG.Done()
 }
 

@@ -168,12 +168,12 @@ func TestBackpressure(t *testing.T) {
 	}
 	// No workers are running (Listen was never called), so the first
 	// admission fills the queue and the second must bounce.
-	c := &conn{out: make(chan []byte, 4)}
+	c := &conn{out: make(chan *frameBuf, 4)}
 	srv.admit(c, Request{ID: 1, Op: check.OpContains, Arg1: 1})
 	srv.admit(c, Request{ID: 2, Op: check.OpContains, Arg1: 2})
 
 	frame := <-c.out
-	resp, err := DecodeResponse(frame[4:])
+	resp, err := DecodeResponse(frame.b[4:])
 	if err != nil {
 		t.Fatal(err)
 	}

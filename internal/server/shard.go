@@ -106,9 +106,16 @@ func (s *Server) worker(sh *shard) {
 		if !ok {
 			return
 		}
-		sh.pickup(t)
+		// The queue carries affinity-run chains as well as lone tasks. Each
+		// task is picked up (queued → executing) only as it is detached
+		// into a group, so a carried chain remainder still reads as queue
+		// depth — the backlog signal the adaptive coalescer widens on.
+		// Detaching before execution matters: putTask clears next, so a
+		// still-linked task would drop its tail.
 		for t != nil {
-			var carry *task
+			carry := t.next
+			t.next = nil
+			sh.pickup(t)
 			switch t.req.Op {
 			case OpPing:
 				//rtle:ignore hotalloc a ping carries no results; respond encodes nil as the empty set without growing it
@@ -117,7 +124,20 @@ func (s *Server) worker(sh *shard) {
 				s.runBatch(sh, ex, thread, t, results, probe, replBuf)
 			default:
 				group = append(group[:0], t)
-				carry = s.fillGroup(sh, &group)
+				window := sh.coal.Window()
+				// The rest of the chain fills the group first, then the
+				// queue tops it off.
+				for carry != nil && len(group) < window &&
+					carry.req.Op != OpPing && carry.req.Op != OpBatch {
+					nt := carry
+					carry = carry.next
+					nt.next = nil
+					sh.pickup(nt)
+					group = append(group, nt)
+				}
+				if carry == nil && len(group) < window {
+					carry = s.fillGroup(sh, &group, window)
+				}
 				s.runGroup(sh, ex, thread, group, results, probe, replBuf)
 			}
 			t = carry
@@ -134,23 +154,29 @@ func (sh *shard) pickup(t *task) {
 // fillGroup opportunistically drains further pending single operations
 // into group — up to the shard's live adaptive window — so one elided
 // critical section serves several queued requests. A batch or ping pulled
-// while filling is returned for the caller to run next. Coalescing
-// preserves linearizability: every grouped operation is pending (invoked,
-// not yet answered) when the shared block commits, so placing them all at
-// its commit point respects real-time order.
-func (s *Server) fillGroup(sh *shard, group *[]*task) *task {
-	window := sh.coal.Window()
+// while filling is returned for the caller to run next, as is the
+// remainder of a chain that overflows the window (already picked up, its
+// links intact). Coalescing preserves linearizability: every grouped
+// operation is pending (invoked, not yet answered) when the shared block
+// commits, so placing them all at its commit point respects real-time
+// order.
+func (s *Server) fillGroup(sh *shard, group *[]*task, window int) *task {
 	for len(*group) < window {
 		select {
 		case t, ok := <-sh.queue:
 			if !ok {
 				return nil
 			}
-			sh.pickup(t)
-			if t.req.Op == OpPing || t.req.Op == OpBatch {
-				return t
+			for t != nil {
+				if t.req.Op == OpPing || t.req.Op == OpBatch || len(*group) >= window {
+					return t
+				}
+				nx := t.next
+				t.next = nil
+				sh.pickup(t)
+				*group = append(*group, t)
+				t = nx
 			}
-			*group = append(*group, t)
 		default:
 			return nil
 		}
@@ -338,8 +364,7 @@ func (s *Server) slowWorker(tp *topology) {
 			// The router only sends transfers and batches here; anything
 			// else is a routing bug surfaced loudly in tests.
 			s.reject(t.c, t.req.ID, StatusBad, "internal: single-shard op on slow path")
-			t.c.tasks.Done()
-			s.tasksWG.Done()
+			s.discard(t)
 		}
 	}
 }

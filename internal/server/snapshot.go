@@ -212,7 +212,9 @@ func (s *Server) serveSnapshot(c *conn, req Request) {
 		return
 	}
 	s.metrics.statuses[StatusOK].Add(1)
-	c.send(AppendResponse(nil, &Response{ID: req.ID, Status: StatusOK}))
+	ok := getFrame()
+	ok.b = AppendResponse(ok.b, &Response{ID: req.ID, Status: StatusOK})
+	c.send(ok)
 	s.sendSnapshot(c, sn)
 }
 
@@ -221,7 +223,9 @@ func (s *Server) serveSnapshot(c *conn, req Request) {
 // never extends the capture's busy window.
 func (s *Server) sendSnapshot(c *conn, sn *snap.Snapshot) {
 	w := snap.NewWriter(func(chunk []byte) error {
-		c.send(AppendSnapChunk(nil, chunk))
+		f := getFrame()
+		f.b = AppendSnapChunk(f.b, chunk)
+		c.send(f)
 		return nil
 	})
 	// The emit callback never fails and the snapshot came from our own

@@ -1,0 +1,141 @@
+// Command benchdiff compares the wire sections of two BENCH_<n>.json files
+// and fails on throughput regressions.
+//
+//	go run ./scripts/benchdiff.go [-tolerance 0.20] baseline.json candidate.json
+//
+// Cells are matched on their full configuration (workload, method, shards,
+// workers, coalesce, gomaxprocs, conns, pipeline, read mix, arrival rate) —
+// ops-per-cell is deliberately not part of the key, so a short CI smoke run
+// is comparable against the committed full sweep. A matched closed-loop
+// cell whose candidate throughput falls more than the tolerance below the
+// baseline fails the diff; open-loop cells (rate > 0) are checked for
+// delivering the offered rate rather than compared, since their throughput
+// is pinned by the arrival schedule. Zero matched cells is itself a failure:
+// it means the sweep's grid or schema drifted and the gate is comparing
+// nothing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchFile struct {
+	Schema  string     `json:"schema"`
+	Results []any      `json:"results"`
+	Wire    []wireCell `json:"wire"`
+}
+
+type wireCell struct {
+	Workload   string  `json:"workload"`
+	Method     string  `json:"method"`
+	Shards     int     `json:"shards"`
+	Workers    int     `json:"workers"`
+	Coalesce   int     `json:"coalesce"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Conns      int     `json:"conns"`
+	Pipeline   int     `json:"pipeline"`
+	ReadPct    int     `json:"read_pct"`
+	RatePerSec int     `json:"rate_per_sec"`
+	Ops        uint64  `json:"ops"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+}
+
+func (c *wireCell) key() string {
+	return fmt.Sprintf("%s/%s s%d w%d c%d p%d conns%d pipe%d r%d rate%d",
+		c.Workload, c.Method, c.Shards, c.Workers, c.Coalesce,
+		c.GOMAXPROCS, c.Conns, c.Pipeline, c.ReadPct, c.RatePerSec)
+}
+
+func load(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if f.Schema != "rtle-bench/v1" {
+		return nil, fmt.Errorf("%s: schema %q, want rtle-bench/v1", path, f.Schema)
+	}
+	if f.Results == nil {
+		return nil, fmt.Errorf(`%s: "results" is null; a section-only file must carry []`, path)
+	}
+	for i := range f.Wire {
+		c := &f.Wire[i]
+		if c.Ops == 0 || (c.RatePerSec == 0 && c.Throughput <= 0) {
+			return nil, fmt.Errorf("%s: wire cell %d (%s) carries no measurement", path, i, c.key())
+		}
+	}
+	return &f, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.20,
+		"maximum allowed fractional throughput drop vs the baseline")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.20] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	baseline := make(map[string]*wireCell, len(base.Wire))
+	for i := range base.Wire {
+		baseline[base.Wire[i].key()] = &base.Wire[i]
+	}
+
+	matched, failed := 0, 0
+	for i := range cand.Wire {
+		c := &cand.Wire[i]
+		b, ok := baseline[c.key()]
+		if !ok {
+			continue
+		}
+		matched++
+		if c.RatePerSec > 0 {
+			// Open loop: the schedule pins throughput; the gate is only
+			// that the offered rate was actually delivered.
+			floor := float64(c.RatePerSec) * (1 - *tolerance)
+			if c.Throughput < floor {
+				failed++
+				fmt.Printf("FAIL %s: delivered %.0f ops/sec of an offered %d\n",
+					c.key(), c.Throughput, c.RatePerSec)
+			}
+			continue
+		}
+		floor := b.Throughput * (1 - *tolerance)
+		if c.Throughput < floor {
+			failed++
+			fmt.Printf("FAIL %s: %.0f ops/sec vs baseline %.0f (floor %.0f)\n",
+				c.key(), c.Throughput, b.Throughput, floor)
+		} else {
+			fmt.Printf("ok   %s: %.0f ops/sec vs baseline %.0f (%+.1f%%)\n",
+				c.key(), c.Throughput, b.Throughput,
+				100*(c.Throughput-b.Throughput)/b.Throughput)
+		}
+	}
+	if matched == 0 {
+		fatal(fmt.Errorf("no candidate wire cell matched the baseline: grid or schema drift"))
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d matched cells regressed beyond %.0f%%",
+			failed, matched, *tolerance*100))
+	}
+	fmt.Printf("benchdiff: %d matched cells within tolerance\n", matched)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
